@@ -1,0 +1,61 @@
+// Command evbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	evbench [-run all|table1,fig8,...] [-quick] [-seed N] [-dur us] [-list]
+//
+// Each experiment prints an aligned text table plus the paper's
+// reference band, so the output can be compared against the paper (and
+// is the source for EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	evedge "evedge"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		quick = flag.Bool("quick", false, "reduced fidelity (half-scale camera, smaller search)")
+		seed  = flag.Int64("seed", 7, "random seed for all stochastic components")
+		dur   = flag.Int64("dur", 2_000_000, "simulated stream duration in microseconds")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range evedge.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := evedge.FullExperimentConfig()
+	if *quick {
+		cfg = evedge.QuickExperimentConfig()
+	}
+	cfg.Seed = *seed
+	cfg.DurUS = *dur
+
+	ids := evedge.Experiments()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		res, err := evedge.RunExperiment(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(evedge.RenderExperiment(res))
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,121 @@
+// Command evmap runs the Network Mapper on a workload and prints the
+// resulting per-layer assignment, a device-occupancy Gantt chart, and
+// optionally the mapped graph in Graphviz DOT format.
+//
+// Usage:
+//
+//	evmap [-nets Fusion-FlowNet,HALSIE,DOTIE,HidalgoDepth]
+//	      [-platform xavier|orin] [-objective latency|energy]
+//	      [-fp] [-seed N] [-dot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"evedge/internal/hw"
+	"evedge/internal/nmp"
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+	"evedge/internal/taskgraph"
+)
+
+func main() {
+	var (
+		netsFlag = flag.String("nets", strings.Join([]string{
+			nn.FusionFlowNet, nn.HALSIE, nn.DOTIE, nn.HidalgoDepth}, ","),
+			"comma-separated workload networks")
+		platName  = flag.String("platform", "xavier", "platform preset (xavier, orin)")
+		objective = flag.String("objective", "latency", "search objective: latency or energy")
+		fp        = flag.Bool("fp", false, "full-precision-only search (Ev-Edge-NMP-FP)")
+		seed      = flag.Int64("seed", 11, "search seed")
+		density   = flag.Float64("density", 0.05, "input event-frame density per task")
+		dot       = flag.Bool("dot", false, "emit the mapped graph in Graphviz DOT")
+	)
+	flag.Parse()
+
+	platform, err := hw.PlatformByName(*platName)
+	if err != nil {
+		fail(err)
+	}
+	var nets []*nn.Network
+	var dens []float64
+	for _, name := range strings.Split(*netsFlag, ",") {
+		net, err := nn.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fail(err)
+		}
+		nets = append(nets, net)
+		dens = append(dens, *density)
+	}
+	model := perf.NewModel(platform)
+	db, err := perf.BuildProfileDB(model, nets, true, dens)
+	if err != nil {
+		fail(err)
+	}
+	cfg := nmp.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.FullPrecisionOnly = *fp
+	switch *objective {
+	case "latency":
+		cfg.Objective = nmp.MinLatency
+	case "energy":
+		cfg.Objective = nmp.MinEnergy
+	default:
+		fail(fmt.Errorf("unknown objective %q", *objective))
+	}
+	mapper, err := nmp.NewMapper(db, model, cfg)
+	if err != nil {
+		fail(err)
+	}
+	res, err := mapper.Search()
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("platform: %s, objective: %s, FP-only: %v\n", platform.Name, *objective, *fp)
+	fmt.Printf("searched: %d evaluations (%d cache hits)\n", res.Evaluations, res.CacheHits)
+	fmt.Printf("latency:  %.2f ms (feasible=%v), energy %.2f J\n\n",
+		res.LatencyUS/1000, res.Feasible, res.EnergyJ)
+
+	g, err := taskgraph.Build(db, model, res.Assignment)
+	if err != nil {
+		fail(err)
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+	fmt.Print(g.MappingTable())
+
+	// Re-run the schedule recording the timeline for the Gantt chart.
+	sched, err := g.Run(platform)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println()
+	var spans []hw.Span
+	for _, n := range g.Nodes {
+		name := "UM"
+		if n.Kind == taskgraph.ComputeNode {
+			name = platform.Devices[n.Dev].Name
+		}
+		spans = append(spans, hw.Span{
+			Device: name, Tag: n.Label,
+			Start: sched.NodeStart[n.ID], End: sched.NodeEnd[n.ID],
+		})
+	}
+	fmt.Print(hw.Gantt(platform, spans, 100))
+	fmt.Println()
+	for t, lat := range sched.TaskLatencyUS {
+		fmt.Printf("  task %d (%s): %.2f ms, ΔA %.3f (budget %.3f)\n",
+			t, nets[t].Name, lat/1000, res.Deltas[t], mapper.Budgets()[t])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "evmap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command evprof dumps the offline layer-time profile (the ProfileDB
+// that substitutes for the paper's TensorRT measurements): one row per
+// (layer, device, precision) combination.
+//
+// Usage:
+//
+//	evprof [-nets SpikeFlowNet,DOTIE] [-density 0.05] [-dense]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	evedge "evedge"
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+)
+
+func main() {
+	var (
+		netsFlag = flag.String("nets", evedge.SpikeFlowNet, "comma-separated network names")
+		density  = flag.Float64("density", 0.05, "input event-frame density for the sparse path")
+		dense    = flag.Bool("dense", false, "profile the dense path only (no kernel selection)")
+		summary  = flag.Bool("summary", false, "print per-layer network summaries instead of the profile")
+	)
+	flag.Parse()
+
+	var nets []*nn.Network
+	var dens []float64
+	for _, name := range strings.Split(*netsFlag, ",") {
+		net, err := nn.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evprof:", err)
+			os.Exit(1)
+		}
+		nets = append(nets, net)
+		dens = append(dens, *density)
+	}
+	if *summary {
+		for _, net := range nets {
+			fmt.Println(net.Summary())
+		}
+		return
+	}
+	platform := evedge.Xavier()
+	model := perf.NewModel(platform)
+	if *dense {
+		dens = nil
+	}
+	db, err := perf.BuildProfileDB(model, nets, !*dense, dens)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evprof:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-18s %-12s %-6s %-5s %12s\n", "NETWORK", "LAYER", "DEVICE", "PREC", "TIME(us)")
+	for _, row := range db.Rows() {
+		fmt.Printf("%-18s %-12s %-6s %-5s %12.1f\n",
+			row.Network, row.Layer, row.Device, row.Precision, row.TimeUS)
+	}
+	fmt.Printf("\n%d entries (%s path)\n", db.Len(), map[bool]string{true: "dense", false: "best-kernel"}[*dense])
+}

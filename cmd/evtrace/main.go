@@ -1,0 +1,91 @@
+// Command evtrace generates synthetic event-camera sequences and
+// inspects their statistics: event counts, spatial density, and the
+// temporal-density timeline of the paper's Fig. 5.
+//
+// Usage:
+//
+//	evtrace [-preset indoorflying2] [-dur us] [-seed N] [-full]
+//	        [-bucket us] [-o file.evar] [-text]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	evedge "evedge"
+	"evedge/internal/events"
+	"evedge/internal/scene"
+)
+
+func main() {
+	var (
+		preset = flag.String("preset", string(scene.IndoorFlying2), "sequence preset (see -list)")
+		dur    = flag.Int64("dur", 2_000_000, "duration in microseconds")
+		seed   = flag.Int64("seed", 7, "random seed")
+		full   = flag.Bool("full", false, "full DAVIS346 resolution")
+		bucket = flag.Int64("bucket", 50_000, "density timeline bucket in microseconds")
+		out    = flag.String("o", "", "write the stream to this file (EVAR binary)")
+		asText = flag.Bool("text", false, "write the text format instead of binary")
+		list   = flag.Bool("list", false, "list presets and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for _, p := range evedge.Presets() {
+			names = append(names, string(p))
+		}
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+	scale := evedge.HalfScale
+	if *full {
+		scale = evedge.FullScale
+	}
+	stream, err := evedge.GenerateSequence(scene.Preset(*preset), scale, *seed, *dur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evtrace:", err)
+		os.Exit(1)
+	}
+
+	st := stream.Summarize()
+	fmt.Printf("preset:   %s (%s)\n", *preset, scene.DatasetOf(scene.Preset(*preset)))
+	fmt.Printf("sensor:   %dx%d\n", stream.Width, stream.Height)
+	fmt.Printf("events:   %s\n", st)
+	fmt.Printf("timeline (events per %.0f ms):\n", float64(*bucket)/1000)
+	series := stream.DensitySeries(*bucket)
+	peak := 0
+	for _, c := range series {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range series {
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", c*60/peak)
+		}
+		fmt.Printf("%7.0fms %7d %s\n", float64(int64(i)*(*bucket))/1000, c, bar)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evtrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if *asText {
+			err = events.WriteText(f, stream)
+		} else {
+			err = events.WriteBinary(f, stream)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evtrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,171 @@
+// Package evedge is a reproduction of "Ev-Edge: Efficient Execution of
+// Event-based Vision Algorithms on Commodity Edge Platforms"
+// (Sridharan et al., DAC 2024).
+//
+// Ev-Edge boosts event-camera perception pipelines on heterogeneous
+// edge SoCs with three optimizations integrated into the inference
+// pipeline:
+//
+//   - E2SF, an Event2Sparse Frame converter that turns raw AER event
+//     streams directly into sparse COO-style frames;
+//   - DSFA, a Dynamic Sparse Frame Aggregator that merges sparse
+//     frames at runtime based on input dynamics and hardware
+//     availability;
+//   - NMP, a Network Mapper that evolutionarily searches per-layer
+//     device placement and precision for concurrently executing
+//     networks under accuracy-degradation bounds.
+//
+// This package is the public facade: it exposes the network zoo
+// (paper Table 1), the Jetson Xavier AGX-like platform model, the
+// end-to-end streaming pipeline with its cumulative optimization
+// levels, the Network Mapper with its round-robin baselines, and the
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package evedge
+
+import (
+	"evedge/internal/events"
+	"evedge/internal/experiments"
+	"evedge/internal/hw"
+	"evedge/internal/nmp"
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+	"evedge/internal/pipeline"
+	"evedge/internal/scene"
+)
+
+// Core type aliases: the implementation lives in internal packages;
+// these aliases form the supported public surface.
+type (
+	// Network is a layer DAG plus task metadata (paper Table 1).
+	Network = nn.Network
+	// Platform is a heterogeneous edge platform model.
+	Platform = hw.Platform
+	// Stream is an AER event stream.
+	Stream = events.Stream
+	// Event is one AER event {x, y, t, p}.
+	Event = events.Event
+	// PipelineConfig configures an end-to-end streaming run.
+	PipelineConfig = pipeline.Config
+	// PipelineReport summarizes a streaming run.
+	PipelineReport = pipeline.Report
+	// Level is a cumulative optimization level of the pipeline.
+	Level = pipeline.Level
+	// MapperConfig tunes the evolutionary search.
+	MapperConfig = nmp.Config
+	// MapperResult is a search or baseline outcome.
+	MapperResult = nmp.Result
+	// ExperimentConfig sizes an experiment run.
+	ExperimentConfig = experiments.Config
+	// ExperimentResult is one regenerated table or figure.
+	ExperimentResult = experiments.Result
+	// ScenePreset names a synthetic dataset-like sequence.
+	ScenePreset = scene.Preset
+	// SceneScale selects the camera resolution.
+	SceneScale = scene.Scale
+)
+
+// Optimization levels (each includes the previous).
+const (
+	LevelBaseline = pipeline.LevelBaseline
+	LevelE2SF     = pipeline.LevelE2SF
+	LevelDSFA     = pipeline.LevelDSFA
+	LevelNMP      = pipeline.LevelNMP
+)
+
+// Camera scales.
+const (
+	FullScale = scene.Full
+	HalfScale = scene.Half
+)
+
+// Canonical network names.
+const (
+	SpikeFlowNet     = nn.SpikeFlowNet
+	FusionFlowNet    = nn.FusionFlowNet
+	AdaptiveSpikeNet = nn.AdaptiveSpikeNet
+	HALSIE           = nn.HALSIE
+	HidalgoDepth     = nn.HidalgoDepth
+	DOTIE            = nn.DOTIE
+	EVFlowNet        = nn.EVFlowNet
+)
+
+// Networks lists every network in the zoo.
+func Networks() []string { return nn.AllNames() }
+
+// Table1Networks lists exactly the networks of the paper's Table 1.
+func Table1Networks() []string { return nn.Table1Names() }
+
+// LoadNetwork constructs a network by canonical name.
+func LoadNetwork(name string) (*Network, error) { return nn.ByName(name) }
+
+// Xavier returns the Jetson Xavier AGX-like platform model (CPU, GPU,
+// two DLAs, unified memory).
+func Xavier() *Platform { return hw.Xavier() }
+
+// GenerateSequence simulates an event-camera sequence for one of the
+// dataset-like presets.
+func GenerateSequence(p ScenePreset, sc SceneScale, seed, durUS int64) (*Stream, error) {
+	seq, err := scene.NewSequence(p, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	return seq.Generate(durUS)
+}
+
+// Presets lists the available synthetic sequences.
+func Presets() []ScenePreset { return scene.AllPresets() }
+
+// RunPipeline executes the end-to-end streaming pipeline.
+func RunPipeline(cfg PipelineConfig) (*PipelineReport, error) { return pipeline.Run(cfg) }
+
+// Multi-task streaming aliases.
+type (
+	// MultiTaskConfig configures a concurrent streaming run of several
+	// networks sharing the platform.
+	MultiTaskConfig = pipeline.MultiTaskConfig
+	// MultiTaskReport summarizes a concurrent streaming run.
+	MultiTaskReport = pipeline.MultiTaskReport
+)
+
+// RunMultiTask streams several networks' frames through the shared
+// platform under a mapper (or baseline) assignment, with cross-task
+// queue contention.
+func RunMultiTask(cfg MultiTaskConfig) (*MultiTaskReport, error) {
+	return pipeline.RunMultiTask(cfg)
+}
+
+// NewMapper profiles the given networks on the platform (at the given
+// per-task input event densities) and returns a Network Mapper ready
+// to Search. Pass nil densities to profile fully dense.
+func NewMapper(p *Platform, nets []*Network, densities []float64, cfg MapperConfig) (*nmp.Mapper, error) {
+	model := perf.NewModel(p)
+	db, err := perf.BuildProfileDB(model, nets, true, densities)
+	if err != nil {
+		return nil, err
+	}
+	return nmp.NewMapper(db, model, cfg)
+}
+
+// DefaultMapperConfig returns the search settings used by the
+// experiments.
+func DefaultMapperConfig() MapperConfig { return nmp.DefaultConfig() }
+
+// Experiments lists the regenerable tables and figures.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table or figure.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiments.Run(id, cfg)
+}
+
+// RenderExperiment formats a result as an aligned text table.
+func RenderExperiment(r *ExperimentResult) string { return experiments.RenderText(r) }
+
+// FullExperimentConfig returns the full-fidelity experiment settings
+// (DAVIS346 geometry, 2 s streams).
+func FullExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// QuickExperimentConfig returns reduced settings for fast iteration.
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }

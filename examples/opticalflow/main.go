@@ -1,0 +1,58 @@
+// Optical-flow streaming with burst handling: runs Adaptive-SpikeNet
+// on the aggressive IndoorFlying2-like sequence at every optimization
+// level and shows how DSFA absorbs activity bursts by trading temporal
+// granularity (merge ratio) for backlog relief — the paper's Sec. 4.2
+// scenario.
+//
+//	go run ./examples/opticalflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	evedge "evedge"
+	"evedge/internal/scene"
+)
+
+func main() {
+	net, err := evedge.LoadNetwork(evedge.AdaptiveSpikeNet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Force the bursty sequence regardless of the network's default.
+	stream, err := evedge.GenerateSequence(scene.IndoorFlying2, evedge.HalfScale, 11, 2_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequence: %s\n", stream.Summarize())
+	fmt.Printf("burst profile (events per 100 ms): %v\n\n", stream.DensitySeries(100_000))
+
+	fmt.Printf("%-14s %10s %10s %8s %8s %8s\n",
+		"level", "mean(ms)", "p99(ms)", "merge", "drops", "energy(J)")
+	var base float64
+	for _, level := range []evedge.Level{
+		evedge.LevelBaseline, evedge.LevelE2SF, evedge.LevelDSFA, evedge.LevelNMP,
+	} {
+		rep, err := evedge.RunPipeline(evedge.PipelineConfig{
+			Net:    net,
+			Level:  level,
+			Stream: stream,
+			Scale:  evedge.HalfScale,
+			DurUS:  2_000_000,
+			Seed:   11,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if level == evedge.LevelBaseline {
+			base = rep.MeanLatencyUS
+		}
+		fmt.Printf("%-14s %10.2f %10.2f %8.2f %8d %8.1f   (%.2fx)\n",
+			rep.Level, rep.MeanLatencyUS/1000, rep.P99LatencyUS/1000,
+			rep.MergeRatio, rep.DroppedFrames, rep.EnergyJ, base/rep.MeanLatencyUS)
+	}
+	fmt.Println("\nDuring the maneuvers the count-based framing emits frames faster")
+	fmt.Println("than the hardware drains them; DSFA merges frames within the MtTh/")
+	fmt.Println("MdTh thresholds so the backlog clears at bounded accuracy cost.")
+}

@@ -1,0 +1,56 @@
+// Precision-accuracy tradeoff: sweep the accuracy-degradation bound ΔA
+// for HidalgoDepth and watch the Network Mapper trade INT8 coverage
+// (and therefore latency) against accuracy — the constraint mechanics
+// of the paper's Eq. 2.
+//
+//	go run ./examples/precision
+package main
+
+import (
+	"fmt"
+	"log"
+
+	evedge "evedge"
+	"evedge/internal/nn"
+	"evedge/internal/quant"
+)
+
+func main() {
+	net, err := evedge.LoadNetwork(evedge.HidalgoDepth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	platform := evedge.Xavier()
+	table2 := quant.Table2Delta(net.Name)
+	fmt.Printf("network: %s, metric %s (baseline %.2f), Table 2 budget ΔA=%.3f\n\n",
+		net.Name, net.Metric.Name, net.BaselineAccuracy, table2)
+
+	fmt.Printf("%-12s %12s %10s %10s %12s\n", "budget", "latency(ms)", "INT8", "ΔA", "accuracy")
+	for _, scale := range []float64{0.25, 0.5, 1.0, 2.0} {
+		cfg := evedge.DefaultMapperConfig()
+		cfg.Seed = 23
+		mapper, err := evedge.NewMapper(platform, []*evedge.Network{net}, []float64{0.17}, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		budget := table2 * scale
+		if err := mapper.SetBudgets([]float64{budget}); err != nil {
+			log.Fatal(err)
+		}
+		res, err := mapper.Search()
+		if err != nil {
+			log.Fatal(err)
+		}
+		int8Count := 0
+		for _, p := range res.Assignment.Prec[0] {
+			if p == nn.INT8 {
+				int8Count++
+			}
+		}
+		fmt.Printf("%.3f (%.2fx) %12.2f %7d/%2d %10.3f %12.2f\n",
+			budget, scale, res.LatencyUS/1000, int8Count, len(net.Layers),
+			res.Deltas[0], quant.EvEdgeAccuracy(net, res.Deltas[0]))
+	}
+	fmt.Println("\nLooser bounds admit more INT8 layers and lower latency; the")
+	fmt.Println("paper's Ev-Edge-NMP-FP variant is the zero-quantization extreme.")
+}

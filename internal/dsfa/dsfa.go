@@ -1,0 +1,396 @@
+// Package dsfa implements the Dynamic Sparse Frame Aggregator (paper
+// Sec. 4.2). Sparse frames produced by E2SF enter an event buffer that
+// is partitioned into merge buckets; frames are placed greedily into
+// the earliest available bucket subject to a time-delay threshold
+// (MtTh) and a spatial-density-change threshold (MdTh). When the
+// buffer exceeds its capacity — or earlier, whenever the hardware
+// becomes available — buckets are combined according to the merge mode
+// (cAdd, cAverage, cBatch), forwarded to a bounded inference queue
+// (oldest entries are discarded on overflow), and dispatched as one
+// batched input, trading the temporal granularity of events against
+// computational demand to track both input dynamics and hardware
+// processing capability.
+package dsfa
+
+import (
+	"fmt"
+
+	"evedge/internal/sparse"
+)
+
+// CMode is the bucket combine mode.
+type CMode int
+
+// Combine modes (paper: cAdd, cAverage, cBatch).
+const (
+	// CAdd sums member frames pixelwise — event counts are conserved.
+	CAdd CMode = iota
+	// CAverage averages member frames pixelwise.
+	CAverage
+	// CBatch keeps frames separate; every frame opens its own bucket
+	// and batching happens only at dispatch (for high-speed scenes
+	// where temporal precision matters).
+	CBatch
+)
+
+// String names the mode.
+func (m CMode) String() string {
+	switch m {
+	case CAdd:
+		return "cAdd"
+	case CAverage:
+		return "cAverage"
+	case CBatch:
+		return "cBatch"
+	}
+	return fmt.Sprintf("CMode(%d)", int(m))
+}
+
+// Config tunes the aggregator. Per the paper, MtTh and MdTh need
+// per-task tuning (segmentation keeps them tight, which is why DSFA
+// helps HALSIE least).
+type Config struct {
+	// EBufSize is the event-buffer capacity in frames; exceeding it
+	// triggers a flush of all buckets to the inference queue.
+	EBufSize int
+	// MBSize is the per-bucket frame capacity.
+	MBSize int
+	// MtThUS is the maximum delay between a new frame and the earliest
+	// frame of the bucket it joins.
+	MtThUS int64
+	// MdTh is the maximum relative spatial-density change between the
+	// new frame and the bucket's merged density.
+	MdTh float64
+	// Mode is the combine mode.
+	Mode CMode
+	// QueueCap bounds the inference queue (merged buckets awaiting
+	// dispatch); the earliest entry is discarded on overflow.
+	QueueCap int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.EBufSize <= 0 {
+		return fmt.Errorf("dsfa: EBufSize must be positive, got %d", c.EBufSize)
+	}
+	if c.MBSize <= 0 || c.MBSize > c.EBufSize {
+		return fmt.Errorf("dsfa: MBSize %d outside [1, EBufSize=%d]", c.MBSize, c.EBufSize)
+	}
+	if c.MtThUS <= 0 {
+		return fmt.Errorf("dsfa: MtThUS must be positive, got %d", c.MtThUS)
+	}
+	if c.MdTh <= 0 {
+		return fmt.Errorf("dsfa: MdTh must be positive, got %f", c.MdTh)
+	}
+	if c.QueueCap <= 0 {
+		return fmt.Errorf("dsfa: QueueCap must be positive, got %d", c.QueueCap)
+	}
+	return nil
+}
+
+// DefaultConfig returns a moderate tuning: buffer of 8 frames, buckets
+// of 4, 20 ms delay tolerance, 50% density change tolerance, cAdd.
+func DefaultConfig() Config {
+	return Config{EBufSize: 8, MBSize: 4, MtThUS: 20_000, MdTh: 0.5, Mode: CAdd, QueueCap: 4}
+}
+
+// bucketStatus is the paper's AVL / FULL flag.
+type bucketStatus int
+
+const (
+	avl bucketStatus = iota
+	full
+)
+
+type bucket struct {
+	frames   []*sparse.Frame
+	earliest int64 // Time(Evf_1)
+	meanDen  float64
+	status   bucketStatus
+}
+
+func (b *bucket) add(f *sparse.Frame) {
+	if len(b.frames) == 0 {
+		b.earliest = f.T0
+	}
+	n := float64(len(b.frames))
+	b.meanDen = (b.meanDen*n + f.Density()) / (n + 1)
+	b.frames = append(b.frames, f)
+}
+
+// Merged is one combined bucket forwarded to an inference queue.
+type Merged struct {
+	// Frames holds one merged frame for cAdd/cAverage, or the member
+	// frames for cBatch.
+	Frames []*sparse.Frame
+	// NumMerged is how many raw sparse frames went in.
+	NumMerged int
+	// Events is the raw event count that entered the bucket.
+	Events float64
+	T0, T1 int64
+}
+
+// Batch is a dispatch unit: the concatenation of queued merged buckets
+// presented to the network as one batched input.
+type Batch struct {
+	Merged []Merged
+}
+
+// FrameCount returns the number of model invocations the batch
+// represents (merged frames across buckets).
+func (b *Batch) FrameCount() int {
+	n := 0
+	for _, m := range b.Merged {
+		n += len(m.Frames)
+	}
+	return n
+}
+
+// RawFrames returns the number of raw sparse frames that were
+// aggregated into the batch.
+func (b *Batch) RawFrames() int {
+	n := 0
+	for _, m := range b.Merged {
+		n += m.NumMerged
+	}
+	return n
+}
+
+// Stats tracks aggregator behaviour for the experiments.
+type Stats struct {
+	FramesIn        int
+	EventsIn        float64
+	BucketsClosed   int
+	FramesDispatch  int     // raw frames inside dispatched batches
+	EventsDispatch  float64 // raw events inside dispatched batches
+	MergedDispatch  int     // merged buckets dispatched
+	DroppedBuckets  int     // buckets discarded on queue overflow
+	DroppedFrames   int
+	DroppedEvents   float64
+	FlushesOnFull   int // flushes triggered by buffer occupancy
+	EarlyDispatches int // dispatches triggered by hardware availability
+}
+
+// MergeRatio returns mean raw frames per dispatched merged bucket.
+func (s Stats) MergeRatio() float64 {
+	if s.MergedDispatch == 0 {
+		return 0
+	}
+	return float64(s.FramesDispatch) / float64(s.MergedDispatch)
+}
+
+// Aggregator is the DSFA runtime state.
+type Aggregator struct {
+	cfg     Config
+	buckets []*bucket
+	queue   []Merged
+	stats   Stats
+}
+
+// New validates cfg and returns an empty aggregator.
+func New(cfg Config) (*Aggregator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Aggregator{cfg: cfg}, nil
+}
+
+// Config returns the aggregator's configuration.
+func (a *Aggregator) Config() Config { return a.cfg }
+
+// Stats returns a snapshot of the counters.
+func (a *Aggregator) Stats() Stats { return a.stats }
+
+// occupancy is the number of frames currently buffered in buckets.
+func (a *Aggregator) occupancy() int {
+	n := 0
+	for _, b := range a.buckets {
+		n += len(b.frames)
+	}
+	return n
+}
+
+// QueueLen returns the number of merged buckets awaiting dispatch.
+func (a *Aggregator) QueueLen() int { return len(a.queue) }
+
+// Push inserts a sparse frame produced by E2SF. If the event buffer
+// exceeds EBufSize the buckets are flushed to the inference queue.
+func (a *Aggregator) Push(f *sparse.Frame) {
+	a.stats.FramesIn++
+	a.stats.EventsIn += f.EventCount()
+	a.place(f)
+	if a.occupancy() >= a.cfg.EBufSize {
+		a.stats.FlushesOnFull++
+		a.flushBuckets()
+	}
+}
+
+// place implements the greedy earliest-available-bucket policy with
+// the MtTh and MdTh admission conditions.
+func (a *Aggregator) place(f *sparse.Frame) {
+	if a.cfg.Mode == CBatch {
+		// cBatch: every frame opens a fresh bucket.
+		b := &bucket{}
+		b.add(f)
+		b.status = full
+		a.buckets = append(a.buckets, b)
+		return
+	}
+	for _, b := range a.buckets {
+		if b.status != avl {
+			continue
+		}
+		if len(b.frames) >= a.cfg.MBSize {
+			b.status = full
+			continue
+		}
+		// Condition (i): delay between the new frame and the bucket's
+		// earliest entry within MtTh.
+		if f.T0-b.earliest > a.cfg.MtThUS {
+			b.status = full
+			continue
+		}
+		// Condition (ii): relative density change within MdTh.
+		ref := b.meanDen
+		if ref <= 0 {
+			ref = 1e-9
+		}
+		change := (f.Density() - ref) / ref
+		if change < 0 {
+			change = -change
+		}
+		if change > a.cfg.MdTh {
+			b.status = full
+			continue
+		}
+		b.add(f)
+		return
+	}
+	nb := &bucket{}
+	nb.add(f)
+	a.buckets = append(a.buckets, nb)
+}
+
+// flushBuckets combines every bucket per the merge mode and forwards
+// the results to the inference queue, discarding the earliest queued
+// entries on overflow.
+func (a *Aggregator) flushBuckets() {
+	for _, b := range a.buckets {
+		if len(b.frames) == 0 {
+			continue
+		}
+		m := a.combine(b)
+		a.stats.BucketsClosed++
+		a.queue = append(a.queue, m)
+	}
+	a.buckets = a.buckets[:0]
+	for len(a.queue) > a.cfg.QueueCap {
+		drop := a.queue[0]
+		a.queue = a.queue[1:]
+		a.stats.DroppedBuckets++
+		a.stats.DroppedFrames += drop.NumMerged
+		a.stats.DroppedEvents += drop.Events
+	}
+}
+
+func (a *Aggregator) combine(b *bucket) Merged {
+	m := Merged{
+		NumMerged: len(b.frames),
+		T0:        b.frames[0].T0,
+		T1:        b.frames[len(b.frames)-1].T1,
+	}
+	for _, f := range b.frames {
+		m.Events += f.EventCount()
+	}
+	switch a.cfg.Mode {
+	case CAdd:
+		m.Frames = []*sparse.Frame{sparse.MergeAdd(b.frames...)}
+	case CAverage:
+		m.Frames = []*sparse.Frame{sparse.MergeAverage(b.frames...)}
+	case CBatch:
+		m.Frames = append([]*sparse.Frame(nil), b.frames...)
+	}
+	return m
+}
+
+// MarkStale flips buckets whose earliest member is older than MtTh to
+// FULL, so they dispatch on the next opportunity instead of waiting
+// for more frames that may never come.
+func (a *Aggregator) MarkStale(nowUS int64) {
+	for _, b := range a.buckets {
+		if b.status == avl && len(b.frames) > 0 && nowUS-b.earliest > a.cfg.MtThUS {
+			b.status = full
+		}
+	}
+}
+
+// DispatchReady is the hardware-became-available path ("if the
+// hardware platform becomes available before the event buffer reaches
+// full capacity, we dispatch the available merge buckets"): buckets
+// that are FULL — at capacity, threshold-closed, or stale per MtTh —
+// are combined and drained along with anything already queued. Open
+// buckets keep filling, preserving the merge opportunity. Returns nil
+// when nothing is ready.
+func (a *Aggregator) DispatchReady(nowUS int64) *Batch {
+	a.MarkStale(nowUS)
+	kept := a.buckets[:0]
+	for _, b := range a.buckets {
+		if b.status == full || len(b.frames) >= a.cfg.MBSize {
+			a.stats.BucketsClosed++
+			a.queue = append(a.queue, a.combine(b))
+			continue
+		}
+		kept = append(kept, b)
+	}
+	a.buckets = kept
+	for len(a.queue) > a.cfg.QueueCap {
+		drop := a.queue[0]
+		a.queue = a.queue[1:]
+		a.stats.DroppedBuckets++
+		a.stats.DroppedFrames += drop.NumMerged
+		a.stats.DroppedEvents += drop.Events
+	}
+	if len(a.queue) == 0 {
+		return nil
+	}
+	batch := &Batch{Merged: a.queue}
+	a.queue = nil
+	for _, m := range batch.Merged {
+		a.stats.MergedDispatch++
+		a.stats.FramesDispatch += m.NumMerged
+		a.stats.EventsDispatch += m.Events
+	}
+	return batch
+}
+
+// Dispatch flushes everything — open buckets included — and drains the
+// inference queue into one batched input. It returns nil when nothing
+// is pending. Use at end of stream or when temporal granularity must
+// be preserved at any cost.
+func (a *Aggregator) Dispatch() *Batch {
+	if a.occupancy() > 0 {
+		a.stats.EarlyDispatches++
+		a.flushBuckets()
+	}
+	if len(a.queue) == 0 {
+		return nil
+	}
+	batch := &Batch{Merged: a.queue}
+	a.queue = nil
+	for _, m := range batch.Merged {
+		a.stats.MergedDispatch++
+		a.stats.FramesDispatch += m.NumMerged
+		a.stats.EventsDispatch += m.Events
+	}
+	return batch
+}
+
+// PendingFrames returns buffered-but-undispatched raw frames (buckets
+// plus queue) — used by conservation checks.
+func (a *Aggregator) PendingFrames() int {
+	n := a.occupancy()
+	for _, m := range a.queue {
+		n += m.NumMerged
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package events
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary codec. The on-disk layout is a small header followed by one
+// 13-byte record per event:
+//
+//	magic   [4]byte  "EVAR"
+//	version uint16
+//	width   uint16
+//	height  uint16
+//	count   uint64
+//	records: x uint16, y uint16, ts int64, pol int8
+//
+// All integers are little-endian. The format is append-friendly: count
+// may be zero, in which case records run to EOF.
+
+const (
+	binaryMagic   = "EVAR"
+	binaryVersion = 1
+	recordSize    = 2 + 2 + 8 + 1
+)
+
+// WriteBinary serializes the stream to w in the EVAR binary format.
+func WriteBinary(w io.Writer, s *Stream) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 2+2+2+8)
+	binary.LittleEndian.PutUint16(hdr[0:], binaryVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(s.Width))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(s.Height))
+	binary.LittleEndian.PutUint64(hdr[6:], uint64(len(s.Events)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, recordSize)
+	for _, e := range s.Events {
+		binary.LittleEndian.PutUint16(rec[0:], e.X)
+		binary.LittleEndian.PutUint16(rec[2:], e.Y)
+		binary.LittleEndian.PutUint64(rec[4:], uint64(e.TS))
+		rec[12] = byte(e.Pol)
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a stream from the EVAR binary format.
+func ReadBinary(r io.Reader) (*Stream, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("events: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("events: bad magic %q", magic)
+	}
+	hdr := make([]byte, 2+2+2+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("events: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != binaryVersion {
+		return nil, fmt.Errorf("events: unsupported version %d", v)
+	}
+	s := NewStream(int(binary.LittleEndian.Uint16(hdr[2:])), int(binary.LittleEndian.Uint16(hdr[4:])))
+	count := binary.LittleEndian.Uint64(hdr[6:])
+	if count > 0 {
+		s.Events = make([]Event, 0, count)
+	}
+	rec := make([]byte, recordSize)
+	for {
+		_, err := io.ReadFull(br, rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("events: reading record: %w", err)
+		}
+		e := Event{
+			X:   binary.LittleEndian.Uint16(rec[0:]),
+			Y:   binary.LittleEndian.Uint16(rec[2:]),
+			TS:  int64(binary.LittleEndian.Uint64(rec[4:])),
+			Pol: Polarity(int8(rec[12])),
+		}
+		s.Events = append(s.Events, e)
+	}
+	if count > 0 && uint64(len(s.Events)) != count {
+		return nil, fmt.Errorf("events: header count %d but read %d records", count, len(s.Events))
+	}
+	return s, nil
+}
+
+// WriteText serializes the stream in the whitespace-separated text
+// format common to event-camera datasets: a "width height" header line
+// followed by one "t x y p" line per event with p in {0,1} (0 = OFF).
+func WriteText(w io.Writer, s *Stream) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", s.Width, s.Height); err != nil {
+		return err
+	}
+	for _, e := range s.Events {
+		p := 0
+		if e.Pol == On {
+			p = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d\n", e.TS, e.X, e.Y, p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format written by WriteText.
+func ReadText(r io.Reader) (*Stream, error) {
+	br := bufio.NewReader(r)
+	var w, h int
+	if _, err := fmt.Fscanf(br, "%d %d\n", &w, &h); err != nil {
+		return nil, fmt.Errorf("events: reading text header: %w", err)
+	}
+	s := NewStream(w, h)
+	for {
+		var ts int64
+		var x, y, p int
+		_, err := fmt.Fscanf(br, "%d %d %d %d\n", &ts, &x, &y, &p)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("events: reading text record %d: %w", s.Len(), err)
+		}
+		pol := Off
+		if p == 1 {
+			pol = On
+		}
+		s.Append(Event{X: uint16(x), Y: uint16(y), TS: ts, Pol: pol})
+	}
+	return s, nil
+}

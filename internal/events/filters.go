@@ -1,0 +1,133 @@
+package events
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Event-stream denoising filters. Real DVS pipelines run these between
+// the sensor and the framing stage: hot pixels (stuck or overly
+// sensitive photoreceptors) fire orders of magnitude above their
+// neighbors, and shot-noise events have no spatio-temporal support.
+// E2SF consumes the cleaned stream; the filters keep the density
+// statistics the rest of the pipeline depends on trustworthy.
+
+// HotPixels returns the coordinates of pixels whose event count
+// exceeds factor times the mean count of active pixels. factor must be
+// > 1; typical values are 5-20.
+func (s *Stream) HotPixels(factor float64) ([][2]uint16, error) {
+	if factor <= 1 {
+		return nil, fmt.Errorf("events: hot-pixel factor must be > 1, got %f", factor)
+	}
+	if s.Width <= 0 || s.Height <= 0 {
+		return nil, ErrNoGeometry
+	}
+	counts := make([]int, s.Width*s.Height)
+	active := 0
+	for _, e := range s.Events {
+		idx := int(e.Y)*s.Width + int(e.X)
+		if counts[idx] == 0 {
+			active++
+		}
+		counts[idx]++
+	}
+	if active == 0 {
+		return nil, nil
+	}
+	mean := float64(len(s.Events)) / float64(active)
+	var out [][2]uint16
+	for idx, c := range counts {
+		if float64(c) > factor*mean {
+			out = append(out, [2]uint16{uint16(idx % s.Width), uint16(idx / s.Width)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][1] != out[j][1] {
+			return out[i][1] < out[j][1]
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out, nil
+}
+
+// RemoveHotPixels drops all events from the listed pixels.
+func (s *Stream) RemoveHotPixels(pixels [][2]uint16) *Stream {
+	bad := make(map[uint32]bool, len(pixels))
+	for _, p := range pixels {
+		bad[uint32(p[1])<<16|uint32(p[0])] = true
+	}
+	return s.Filter(func(e Event) bool {
+		return !bad[uint32(e.Y)<<16|uint32(e.X)]
+	})
+}
+
+// BackgroundActivityFilter removes events with no recent spatio-
+// temporal support: an event survives only if one of its 8 spatial
+// neighbors (or the pixel itself) produced an event within windowUS
+// before it. This is the classic BAF denoiser; windowUS around a few
+// milliseconds removes shot noise while keeping motion edges. The
+// stream must be sorted.
+func (s *Stream) BackgroundActivityFilter(windowUS int64) (*Stream, error) {
+	if windowUS <= 0 {
+		return nil, fmt.Errorf("events: BAF window must be positive, got %d", windowUS)
+	}
+	if s.Width <= 0 || s.Height <= 0 {
+		return nil, ErrNoGeometry
+	}
+	last := make([]int64, s.Width*s.Height)
+	for i := range last {
+		last[i] = -1 << 62
+	}
+	out := NewStream(s.Width, s.Height)
+	for _, e := range s.Events {
+		x, y := int(e.X), int(e.Y)
+		supported := false
+	neighbors:
+		for dy := -1; dy <= 1; dy++ {
+			ny := y + dy
+			if ny < 0 || ny >= s.Height {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				nx := x + dx
+				if nx < 0 || nx >= s.Width {
+					continue
+				}
+				if e.TS-last[ny*s.Width+nx] <= windowUS {
+					supported = true
+					break neighbors
+				}
+			}
+		}
+		last[y*s.Width+x] = e.TS
+		if supported {
+			out.Append(e)
+		}
+	}
+	return out, nil
+}
+
+// RefractoryFilter drops events from a pixel that fire within
+// periodUS of that pixel's previous (kept) event — mimicking the
+// sensor-side refractory mechanism for streams recorded without one.
+func (s *Stream) RefractoryFilter(periodUS int64) (*Stream, error) {
+	if periodUS <= 0 {
+		return nil, fmt.Errorf("events: refractory period must be positive, got %d", periodUS)
+	}
+	if s.Width <= 0 || s.Height <= 0 {
+		return nil, ErrNoGeometry
+	}
+	last := make([]int64, s.Width*s.Height)
+	for i := range last {
+		last[i] = -1 << 62
+	}
+	out := NewStream(s.Width, s.Height)
+	for _, e := range s.Events {
+		idx := int(e.Y)*s.Width + int(e.X)
+		if e.TS-last[idx] >= periodUS {
+			out.Append(e)
+			last[idx] = e.TS
+		}
+	}
+	return out, nil
+}

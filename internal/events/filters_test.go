@@ -1,0 +1,147 @@
+package events
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHotPixels(t *testing.T) {
+	s := NewStream(8, 8)
+	// Background: 16 pixels fire once each.
+	for i := 0; i < 16; i++ {
+		s.Append(Event{X: uint16(i % 8), Y: uint16(i / 8), TS: int64(i), Pol: On})
+	}
+	// One pixel fires 100 times.
+	for i := 0; i < 100; i++ {
+		s.Append(Event{X: 7, Y: 7, TS: int64(100 + i), Pol: On})
+	}
+	hot, err := s.HotPixels(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != 1 || hot[0] != [2]uint16{7, 7} {
+		t.Fatalf("hot=%v", hot)
+	}
+	clean := s.RemoveHotPixels(hot)
+	if clean.Len() != 16 {
+		t.Fatalf("cleaned len=%d", clean.Len())
+	}
+	if _, err := s.HotPixels(1); err == nil {
+		t.Fatal("factor 1 accepted")
+	}
+	if _, err := NewStream(0, 0).HotPixels(5); err == nil {
+		t.Fatal("no geometry accepted")
+	}
+	empty := NewStream(4, 4)
+	if hot, err := empty.HotPixels(5); err != nil || hot != nil {
+		t.Fatal("empty stream should yield no hot pixels")
+	}
+}
+
+func TestBackgroundActivityFilter(t *testing.T) {
+	s := NewStream(16, 16)
+	// A supported pair: neighbor events 1 ms apart.
+	s.Append(Event{X: 5, Y: 5, TS: 1000, Pol: On})
+	s.Append(Event{X: 6, Y: 5, TS: 1500, Pol: On}) // supported by (5,5)
+	// An isolated noise event far away in space and time.
+	s.Append(Event{X: 12, Y: 12, TS: 2000, Pol: Off})
+	// A repeat at the same pixel within the window (self-support).
+	s.Append(Event{X: 12, Y: 12, TS: 2500, Pol: Off})
+	out, err := s.BackgroundActivityFilter(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First event unsupported, second supported, third unsupported,
+	// fourth self-supported.
+	if out.Len() != 2 {
+		t.Fatalf("kept %d events: %v", out.Len(), out.Events)
+	}
+	if out.Events[0].X != 6 || out.Events[1].X != 12 {
+		t.Fatalf("kept wrong events: %v", out.Events)
+	}
+	if _, err := s.BackgroundActivityFilter(0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestBAFKeepsDenseMotionDropsNoise(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	s := NewStream(64, 64)
+	// A moving vertical edge: columns fire in sequence, tightly packed.
+	for step := 0; step < 50; step++ {
+		x := uint16(step)
+		for y := 0; y < 64; y += 2 {
+			s.Append(Event{X: x, Y: uint16(y), TS: int64(step * 500), Pol: On})
+		}
+	}
+	edgeCount := s.Len()
+	// Sprinkle isolated noise.
+	for i := 0; i < 200; i++ {
+		s.Append(Event{
+			X: uint16(r.Intn(64)), Y: uint16(r.Intn(64)),
+			TS: int64(r.Intn(25000)), Pol: Off,
+		})
+	}
+	s.Sort()
+	out, err := s.BackgroundActivityFilter(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := float64(out.Len()) / float64(edgeCount)
+	if kept < 0.5 {
+		t.Fatalf("BAF dropped too much structure: kept %.2f of edge count", kept)
+	}
+	if out.Len() >= s.Len() {
+		t.Fatal("BAF dropped nothing")
+	}
+}
+
+func TestRefractoryFilter(t *testing.T) {
+	s := NewStream(4, 4)
+	for _, ts := range []int64{0, 100, 300, 1200, 1250} {
+		s.Append(Event{X: 1, Y: 1, TS: ts, Pol: On})
+	}
+	out, err := s.RefractoryFilter(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep 0 (first), drop 100 and 300, keep 1200, drop 1250.
+	if out.Len() != 2 || out.Events[1].TS != 1200 {
+		t.Fatalf("kept %v", out.Events)
+	}
+	if _, err := s.RefractoryFilter(0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+// Property: filters never invent events and preserve order.
+func TestFiltersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomStream(r, 150)
+		baf, err := s.BackgroundActivityFilter(int64(1 + r.Intn(5000)))
+		if err != nil {
+			return false
+		}
+		refr, err := s.RefractoryFilter(int64(1 + r.Intn(5000)))
+		if err != nil {
+			return false
+		}
+		for _, out := range []*Stream{baf, refr} {
+			if out.Len() > s.Len() {
+				return false
+			}
+			if !out.Sorted() {
+				return false
+			}
+			if out.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

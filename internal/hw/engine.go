@@ -1,0 +1,153 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Span is one executed interval on a device's queue.
+type Span struct {
+	Device string
+	Tag    string
+	Start  float64 // microseconds
+	End    float64
+}
+
+// Engine is a discrete-event executor with one FIFO queue per device.
+// Work is submitted with an earliest-start constraint (data
+// dependencies) and begins at max(earliest, queue-free time) — exactly
+// the End_T recurrence of the paper's Eq. 3.
+type Engine struct {
+	p         *Platform
+	busyUntil []float64
+	busyTotal []float64
+	timeline  []Span
+	record    bool
+}
+
+// NewEngine returns an idle engine over the platform. If record is
+// true every span is kept for timeline inspection (power traces,
+// Gantt-style dumps).
+func NewEngine(p *Platform, record bool) *Engine {
+	return &Engine{
+		p:         p,
+		busyUntil: make([]float64, len(p.Devices)),
+		busyTotal: make([]float64, len(p.Devices)),
+		record:    record,
+	}
+}
+
+// Platform returns the engine's platform.
+func (e *Engine) Platform() *Platform { return e.p }
+
+// Submit schedules durUS of work on dev no earlier than earliestUS,
+// after everything already queued on that device. It returns the
+// span's start and end times.
+func (e *Engine) Submit(dev *Device, earliestUS, durUS float64, tag string) (start, end float64) {
+	if durUS < 0 {
+		panic(fmt.Sprintf("hw: negative duration %f for %s", durUS, tag))
+	}
+	start = earliestUS
+	if e.busyUntil[dev.ID] > start {
+		start = e.busyUntil[dev.ID]
+	}
+	end = start + durUS
+	e.busyUntil[dev.ID] = end
+	e.busyTotal[dev.ID] += durUS
+	if e.record {
+		e.timeline = append(e.timeline, Span{Device: dev.Name, Tag: tag, Start: start, End: end})
+	}
+	return start, end
+}
+
+// BusyUntil returns when the device's queue drains.
+func (e *Engine) BusyUntil(dev *Device) float64 { return e.busyUntil[dev.ID] }
+
+// Makespan returns the time the last queue drains.
+func (e *Engine) Makespan() float64 {
+	var m float64
+	for _, t := range e.busyUntil {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// BusyTime returns the total busy microseconds of a device.
+func (e *Engine) BusyTime(dev *Device) float64 { return e.busyTotal[dev.ID] }
+
+// Utilization returns busy/makespan for a device (0 if nothing ran).
+func (e *Engine) Utilization(dev *Device) float64 {
+	m := e.Makespan()
+	if m == 0 {
+		return 0
+	}
+	return e.busyTotal[dev.ID] / m
+}
+
+// EnergyJoules integrates device power over the horizon: active power
+// while busy, idle power otherwise. If horizonUS is zero the makespan
+// is used. This mirrors a Tegrastats busy-time integral.
+func (e *Engine) EnergyJoules(horizonUS float64) float64 {
+	if horizonUS <= 0 {
+		horizonUS = e.Makespan()
+	}
+	var j float64
+	for i, d := range e.p.Devices {
+		busy := e.busyTotal[i]
+		if busy > horizonUS {
+			busy = horizonUS
+		}
+		j += d.ActiveWatts*busy*1e-6 + d.IdleWatts*(horizonUS-busy)*1e-6
+	}
+	return j
+}
+
+// Timeline returns the recorded spans sorted by start time.
+func (e *Engine) Timeline() []Span {
+	out := append([]Span(nil), e.timeline...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Reset clears all queues and accounting.
+func (e *Engine) Reset() {
+	for i := range e.busyUntil {
+		e.busyUntil[i] = 0
+		e.busyTotal[i] = 0
+	}
+	e.timeline = e.timeline[:0]
+}
+
+// PowerSample is one instant of a synthetic Tegrastats trace.
+type PowerSample struct {
+	TimeUS float64
+	Watts  float64
+}
+
+// PowerTrace samples total platform power every intervalUS from the
+// recorded timeline (requires NewEngine(..., true)).
+func (e *Engine) PowerTrace(intervalUS float64) []PowerSample {
+	if intervalUS <= 0 || len(e.timeline) == 0 {
+		return nil
+	}
+	makespan := e.Makespan()
+	var out []PowerSample
+	for t := 0.0; t <= makespan; t += intervalUS {
+		w := 0.0
+		for _, d := range e.p.Devices {
+			w += d.IdleWatts
+		}
+		for _, s := range e.timeline {
+			if s.Start <= t && t < s.End {
+				d, err := e.p.Device(s.Device)
+				if err == nil {
+					w += d.ActiveWatts - d.IdleWatts
+				}
+			}
+		}
+		out = append(out, PowerSample{TimeUS: t, Watts: w})
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+// Package hw models a commodity heterogeneous edge platform — the
+// NVIDIA Jetson Xavier AGX of the paper — as a set of processing
+// elements (CPU, GPU, two DLAs) with per-precision peak throughput,
+// saturating utilization behavior, launch and SNN-timestep overheads,
+// a unified-memory transfer link, and active/idle power. A small
+// discrete-event engine executes work spans against per-device queues
+// and integrates energy, standing in for the real board plus
+// Tegrastats.
+//
+// The model is deliberately analytic: the Network Mapper consumes
+// *profiled layer times* (as the paper measures with TensorRT before
+// the search), so fidelity lives in the ratios — the GPU is fast but
+// batch-hungry and poor at irregular sparse work, the DLAs are
+// efficient at INT8/FP16 only with high dispatch latency, and the CPU
+// is slow but tolerant of irregular access — not in absolute silicon
+// numbers.
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"evedge/internal/nn"
+)
+
+// DeviceKind classifies a processing element.
+type DeviceKind int
+
+// Device kinds on Jetson-class platforms.
+const (
+	CPU DeviceKind = iota
+	GPU
+	DLA
+)
+
+// String names the kind.
+func (k DeviceKind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case GPU:
+		return "GPU"
+	case DLA:
+		return "DLA"
+	}
+	return fmt.Sprintf("DeviceKind(%d)", int(k))
+}
+
+// Device is one processing element with its performance and power
+// profile.
+type Device struct {
+	ID   int
+	Name string
+	Kind DeviceKind
+
+	// PeakMACs maps each supported precision to peak multiply-
+	// accumulates per second. Missing precision = unsupported.
+	PeakMACs map[nn.Precision]float64
+
+	// SparseEff derates peak throughput for irregular gather-scatter
+	// (sparse) work, in (0, 1].
+	SparseEff float64
+
+	// SparseOverheadFrac is the fixed overhead of the sparse path
+	// (rulebook construction, output scatter/zero-init) expressed as a
+	// fraction of the layer's dense work. It bounds the best-case
+	// sparse gain: even an empty frame costs this much.
+	SparseOverheadFrac float64
+
+	// SaturationSites is the output-element parallelism at which a
+	// kernel reaches 50% of peak utilization:
+	// util = sites / (sites + SaturationSites). Large for the GPU
+	// (needs wide kernels to fill), tiny for the CPU.
+	SaturationSites float64
+
+	// LaunchUS is the fixed per-kernel dispatch overhead.
+	LaunchUS float64
+
+	// TimestepUS is the extra overhead per SNN timestep (stateful
+	// kernels cannot be fused across timesteps).
+	TimestepUS float64
+
+	ActiveWatts float64
+	IdleWatts   float64
+}
+
+// Supports reports whether the device executes the given precision.
+func (d *Device) Supports(p nn.Precision) bool {
+	_, ok := d.PeakMACs[p]
+	return ok
+}
+
+// Precisions lists supported precisions, lowest enum first.
+func (d *Device) Precisions() []nn.Precision {
+	out := make([]nn.Precision, 0, len(d.PeakMACs))
+	for p := range d.PeakMACs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BestPrecision returns the highest-throughput supported precision.
+func (d *Device) BestPrecision() nn.Precision {
+	best, bestMACs := nn.FP32, 0.0
+	for p, m := range d.PeakMACs {
+		if m > bestMACs {
+			best, bestMACs = p, m
+		}
+	}
+	return best
+}
+
+// FullPrecision returns the most precise supported precision (FP32
+// where available, else FP16) — what the paper's Ev-Edge-NMP-FP
+// variant maps to.
+func (d *Device) FullPrecision() nn.Precision {
+	ps := d.Precisions()
+	return ps[0]
+}
+
+// Link models the unified-memory transfer path between processing
+// elements.
+type Link struct {
+	BandwidthBps float64 // bytes per second
+	LatencyUS    float64 // fixed per-transfer latency
+}
+
+// TransferUS returns the time to move the given volume.
+func (l Link) TransferUS(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return l.LatencyUS + float64(bytes)/l.BandwidthBps*1e6
+}
+
+// Platform is a set of devices plus the unified-memory link.
+type Platform struct {
+	Name    string
+	Devices []*Device
+	Link    Link
+}
+
+// Device returns the device with the given name.
+func (p *Platform) Device(name string) (*Device, error) {
+	for _, d := range p.Devices {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("hw: platform %q has no device %q", p.Name, name)
+}
+
+// MustDevice is Device that panics on error.
+func (p *Platform) MustDevice(name string) *Device {
+	d, err := p.Device(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// GPUDevice returns the first GPU.
+func (p *Platform) GPUDevice() *Device {
+	for _, d := range p.Devices {
+		if d.Kind == GPU {
+			return d
+		}
+	}
+	return nil
+}
+
+// Validate checks platform consistency.
+func (p *Platform) Validate() error {
+	if len(p.Devices) == 0 {
+		return fmt.Errorf("hw: platform %q has no devices", p.Name)
+	}
+	names := map[string]bool{}
+	for i, d := range p.Devices {
+		if d.ID != i {
+			return fmt.Errorf("hw: device %q has ID %d at index %d", d.Name, d.ID, i)
+		}
+		if names[d.Name] {
+			return fmt.Errorf("hw: duplicate device name %q", d.Name)
+		}
+		names[d.Name] = true
+		if len(d.PeakMACs) == 0 {
+			return fmt.Errorf("hw: device %q supports no precision", d.Name)
+		}
+		for pr, macs := range d.PeakMACs {
+			if macs <= 0 {
+				return fmt.Errorf("hw: device %q has non-positive peak at %v", d.Name, pr)
+			}
+		}
+		if d.SparseEff <= 0 || d.SparseEff > 1 {
+			return fmt.Errorf("hw: device %q sparse efficiency %f outside (0,1]", d.Name, d.SparseEff)
+		}
+		if d.SparseOverheadFrac < 0 {
+			return fmt.Errorf("hw: device %q sparse overhead must be non-negative", d.Name)
+		}
+		if d.SaturationSites <= 0 {
+			return fmt.Errorf("hw: device %q saturation must be positive", d.Name)
+		}
+	}
+	if p.Link.BandwidthBps <= 0 {
+		return fmt.Errorf("hw: link bandwidth must be positive")
+	}
+	return nil
+}
+
+// Xavier returns the Jetson Xavier AGX-like platform used throughout
+// the evaluation: one 8-core CPU, one Volta-class GPU, and two DLAs
+// sharing 137 GB/s of unified memory.
+func Xavier() *Platform {
+	p := &Platform{
+		Name: "jetson-xavier-agx",
+		Devices: []*Device{
+			{
+				ID: 0, Name: "CPU", Kind: CPU,
+				PeakMACs: map[nn.Precision]float64{
+					nn.FP32: 60e9, nn.FP16: 70e9, nn.INT8: 120e9,
+				},
+				SparseEff:          0.90,
+				SparseOverheadFrac: 0.05,
+				SaturationSites:    2e3,
+				LaunchUS:           8,
+				TimestepUS:         15,
+				ActiveWatts:        10, IdleWatts: 1.5,
+			},
+			{
+				ID: 1, Name: "GPU", Kind: GPU,
+				PeakMACs: map[nn.Precision]float64{
+					nn.FP32: 700e9, nn.FP16: 1400e9, nn.INT8: 2800e9,
+				},
+				SparseEff:          0.45,
+				SparseOverheadFrac: 0.35,
+				SaturationSites:    1.2e5,
+				LaunchUS:           12,
+				TimestepUS:         25,
+				ActiveWatts:        20, IdleWatts: 2.5,
+			},
+			{
+				ID: 2, Name: "DLA0", Kind: DLA,
+				PeakMACs: map[nn.Precision]float64{
+					nn.FP16: 700e9, nn.INT8: 1400e9,
+				},
+				SparseEff:          0.12,
+				SparseOverheadFrac: 0.60,
+				SaturationSites:    3e4,
+				LaunchUS:           28,
+				TimestepUS:         35,
+				ActiveWatts:        5, IdleWatts: 0.5,
+			},
+			{
+				ID: 3, Name: "DLA1", Kind: DLA,
+				PeakMACs: map[nn.Precision]float64{
+					nn.FP16: 700e9, nn.INT8: 1400e9,
+				},
+				SparseEff:          0.12,
+				SparseOverheadFrac: 0.60,
+				SaturationSites:    3e4,
+				LaunchUS:           28,
+				TimestepUS:         35,
+				ActiveWatts:        5, IdleWatts: 0.5,
+			},
+		},
+		Link: Link{BandwidthBps: 137e9 * 0.85, LatencyUS: 5},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err) // construction bug, not runtime input
+	}
+	return p
+}

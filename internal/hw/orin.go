@@ -1,0 +1,151 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"evedge/internal/nn"
+)
+
+// Orin returns a Jetson AGX Orin-like platform: an Ampere-class GPU
+// roughly twice the Xavier GPU, two faster DLAs with INT8-heavy
+// ratings, and a wider CPU. The paper evaluates on Xavier only; Orin
+// exists here to demonstrate that Ev-Edge's optimizations port across
+// commodity platforms (the paper's "commodity edge platforms" framing)
+// and to feed the cross-platform ablation bench.
+func Orin() *Platform {
+	p := &Platform{
+		Name: "jetson-agx-orin",
+		Devices: []*Device{
+			{
+				ID: 0, Name: "CPU", Kind: CPU,
+				PeakMACs: map[nn.Precision]float64{
+					nn.FP32: 120e9, nn.FP16: 140e9, nn.INT8: 240e9,
+				},
+				SparseEff:          0.90,
+				SparseOverheadFrac: 0.05,
+				SaturationSites:    2e3,
+				LaunchUS:           6,
+				TimestepUS:         12,
+				ActiveWatts:        14, IdleWatts: 2,
+			},
+			{
+				ID: 1, Name: "GPU", Kind: GPU,
+				PeakMACs: map[nn.Precision]float64{
+					nn.FP32: 1700e9, nn.FP16: 3400e9, nn.INT8: 6800e9,
+				},
+				SparseEff:          0.50,
+				SparseOverheadFrac: 0.30,
+				SaturationSites:    2e5,
+				LaunchUS:           10,
+				TimestepUS:         20,
+				ActiveWatts:        30, IdleWatts: 3.5,
+			},
+			{
+				ID: 2, Name: "DLA0", Kind: DLA,
+				PeakMACs: map[nn.Precision]float64{
+					nn.FP16: 1700e9, nn.INT8: 3400e9,
+				},
+				SparseEff:          0.12,
+				SparseOverheadFrac: 0.60,
+				SaturationSites:    4e4,
+				LaunchUS:           24,
+				TimestepUS:         30,
+				ActiveWatts:        8, IdleWatts: 0.8,
+			},
+			{
+				ID: 3, Name: "DLA1", Kind: DLA,
+				PeakMACs: map[nn.Precision]float64{
+					nn.FP16: 1700e9, nn.INT8: 3400e9,
+				},
+				SparseEff:          0.12,
+				SparseOverheadFrac: 0.60,
+				SaturationSites:    4e4,
+				LaunchUS:           24,
+				TimestepUS:         30,
+				ActiveWatts:        8, IdleWatts: 0.8,
+			},
+		},
+		Link: Link{BandwidthBps: 204e9 * 0.85, LatencyUS: 4},
+	}
+	if err := p.Validate(); err != nil {
+		panic(err) // construction bug, not runtime input
+	}
+	return p
+}
+
+// Platforms lists the built-in platform presets by name.
+func Platforms() []string { return []string{"xavier", "orin"} }
+
+// PlatformByName returns a built-in platform preset.
+func PlatformByName(name string) (*Platform, error) {
+	switch strings.ToLower(name) {
+	case "xavier", "jetson-xavier-agx":
+		return Xavier(), nil
+	case "orin", "jetson-agx-orin":
+		return Orin(), nil
+	}
+	return nil, fmt.Errorf("hw: unknown platform %q (have %v)", name, Platforms())
+}
+
+// Gantt renders a recorded timeline as a fixed-width text chart, one
+// row per device plus the unified-memory row if commSpans are given.
+// Each column covers makespan/width microseconds; a filled cell means
+// the device was busy during that slice.
+func Gantt(p *Platform, spans []Span, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	var makespan float64
+	for _, s := range spans {
+		if s.End > makespan {
+			makespan = s.End
+		}
+	}
+	if makespan == 0 {
+		return "(empty timeline)\n"
+	}
+	names := make([]string, 0, len(p.Devices))
+	for _, d := range p.Devices {
+		names = append(names, d.Name)
+	}
+	// Include any span devices not in the platform list (e.g. "UM").
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	var extra []string
+	for _, s := range spans {
+		if !seen[s.Device] {
+			seen[s.Device] = true
+			extra = append(extra, s.Device)
+		}
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan %.0f us, %.0f us/col\n", makespan, makespan/float64(width))
+	for _, name := range names {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range spans {
+			if s.Device != name {
+				continue
+			}
+			lo := int(s.Start / makespan * float64(width))
+			hi := int(s.End / makespan * float64(width))
+			if hi == lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(&b, "%-5s %s\n", name, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"evedge/internal/nn"
+)
+
+func TestOrinShape(t *testing.T) {
+	p := Orin()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := Xavier()
+	// Orin is strictly faster per device class.
+	if !(p.MustDevice("GPU").PeakMACs[nn.FP16] > x.MustDevice("GPU").PeakMACs[nn.FP16]) {
+		t.Fatal("Orin GPU should beat Xavier GPU")
+	}
+	if !(p.MustDevice("DLA0").PeakMACs[nn.INT8] > x.MustDevice("DLA0").PeakMACs[nn.INT8]) {
+		t.Fatal("Orin DLA should beat Xavier DLA")
+	}
+	if p.MustDevice("DLA0").Supports(nn.FP32) {
+		t.Fatal("Orin DLA must not support FP32")
+	}
+	if !(p.Link.BandwidthBps > x.Link.BandwidthBps) {
+		t.Fatal("Orin memory should be faster")
+	}
+}
+
+func TestPlatformByName(t *testing.T) {
+	for _, name := range Platforms() {
+		p, err := PlatformByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := PlatformByName("tpu-pod"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	// Case-insensitive and full names work.
+	if _, err := PlatformByName("XAVIER"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("jetson-agx-orin"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	p := Xavier()
+	spans := []Span{
+		{Device: "GPU", Tag: "a", Start: 0, End: 50},
+		{Device: "DLA0", Tag: "b", Start: 50, End: 100},
+		{Device: "UM", Tag: "xfer", Start: 45, End: 55},
+	}
+	out := Gantt(p, spans, 40)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 4 devices + UM.
+	if len(lines) != 6 {
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "GPU") || !strings.Contains(out, "UM") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// GPU busy in the first half only.
+	var gpuRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "GPU") {
+			gpuRow = l
+		}
+	}
+	if !strings.Contains(gpuRow[:26], "#") || strings.Contains(gpuRow[30:], "#") {
+		t.Fatalf("gpu row occupancy wrong: %q", gpuRow)
+	}
+	// Empty timeline handled.
+	if !strings.Contains(Gantt(p, nil, 10), "empty") {
+		t.Fatal("empty timeline not reported")
+	}
+	// Zero width defaults.
+	if Gantt(p, spans, 0) == "" {
+		t.Fatal("zero width broke rendering")
+	}
+}

@@ -1,0 +1,108 @@
+package nmp
+
+import (
+	"fmt"
+
+	"evedge/internal/hw"
+	"evedge/internal/nn"
+	"evedge/internal/taskgraph"
+)
+
+// Baseline scheduling policies the paper compares against. Round-robin
+// policies cycle over the neural accelerators (GPU and the two DLAs);
+// the CPU is left to the runtime, as is conventional for inference
+// serving on Jetson-class boards. The baselines deploy at FP16 — the
+// same precision as the all-GPU implementation — since they are
+// *scheduling* baselines and do not search precision.
+
+// accelerators returns GPU and DLA devices in platform order.
+func accelerators(p *hw.Platform) []*hw.Device {
+	var out []*hw.Device
+	for _, d := range p.Devices {
+		if d.Kind == hw.GPU || d.Kind == hw.DLA {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AllGPU maps every layer of every task to the GPU at the given
+// precision — the paper's single-task baseline implementation.
+func AllGPU(nets []*nn.Network, p *hw.Platform, prec nn.Precision) (*taskgraph.Assignment, error) {
+	gpu := p.GPUDevice()
+	if gpu == nil {
+		return nil, fmt.Errorf("nmp: platform %q has no GPU", p.Name)
+	}
+	if !gpu.Supports(prec) {
+		return nil, fmt.Errorf("nmp: GPU does not support %v", prec)
+	}
+	asg := taskgraph.NewAssignment(nets)
+	for t := range nets {
+		for l := range nets[t].Layers {
+			asg.Device[t][l] = gpu.ID
+			asg.Prec[t][l] = prec
+		}
+	}
+	return asg, nil
+}
+
+// RRNetwork is the coarse-grained round-robin policy: network t is
+// assigned wholesale to accelerator t mod N ("each network is assigned
+// to a processing element and the rest of the networks are distributed
+// in a cyclic manner").
+func RRNetwork(nets []*nn.Network, p *hw.Platform) (*taskgraph.Assignment, error) {
+	accs := accelerators(p)
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("nmp: platform %q has no accelerators", p.Name)
+	}
+	asg := taskgraph.NewAssignment(nets)
+	for t := range nets {
+		d := accs[t%len(accs)]
+		for l := range nets[t].Layers {
+			asg.Device[t][l] = d.ID
+			asg.Prec[t][l] = deployPrec(d)
+		}
+	}
+	return asg, nil
+}
+
+// deployPrec is the non-quantized deployment precision: FP16 where
+// supported (all Xavier accelerators), else the most precise type.
+func deployPrec(d *hw.Device) nn.Precision {
+	if d.Supports(nn.FP16) {
+		return nn.FP16
+	}
+	return d.FullPrecision()
+}
+
+// RRLayer is the fine-grained round-robin policy: consecutive layers
+// cycle over the accelerators ("each layer is assigned to a processing
+// element").
+func RRLayer(nets []*nn.Network, p *hw.Platform) (*taskgraph.Assignment, error) {
+	accs := accelerators(p)
+	if len(accs) == 0 {
+		return nil, fmt.Errorf("nmp: platform %q has no accelerators", p.Name)
+	}
+	asg := taskgraph.NewAssignment(nets)
+	i := 0
+	for t := range nets {
+		for l := range nets[t].Layers {
+			d := accs[i%len(accs)]
+			asg.Device[t][l] = d.ID
+			asg.Prec[t][l] = deployPrec(d)
+			i++
+		}
+	}
+	return asg, nil
+}
+
+// EvaluatePolicy runs a fixed assignment through the same fitness
+// machinery as the search, so baselines report comparable numbers.
+func (mp *Mapper) EvaluatePolicy(asg *taskgraph.Assignment) (*Result, error) {
+	ev, err := mp.Evaluate(asg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Evaluations: 1}
+	return mp.finish(res, asg, ev), nil
+}

@@ -1,0 +1,411 @@
+// Package nmp implements the Network Mapper (paper Sec. 4.3): an
+// offline evolutionary search that assigns every layer of one or more
+// concurrently executing networks to a processing element *and* a
+// precision, minimizing the maximum task latency subject to per-task
+// accuracy-degradation bounds (Eq. 2):
+//
+//	min max_i Latency(T_i)  s.t.  ΔA_1..ΔA_n <= ΔA
+//
+// Candidate fitness uses the Eq. 3 list scheduler over profiled layer
+// times plus the quantization accuracy model evaluated on a sampled
+// validation subset; fitness values are cached per candidate, and new
+// generations form by neighbor-pair crossover and random layer
+// mutation, exactly following the paper's search description.
+//
+// The package also provides the comparison policies of the evaluation:
+// the all-GPU baseline, coarse round-robin over networks (RR-Network),
+// fine round-robin over layers (RR-Layer), the full-precision-only
+// search variant (Ev-Edge-NMP-FP), and generation-matched random
+// search (Fig. 10b).
+package nmp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+	"evedge/internal/quant"
+	"evedge/internal/taskgraph"
+)
+
+// Objective selects what the search minimizes.
+type Objective int
+
+// Objectives ("this procedure can be repeated to optimize for other
+// objectives such as energy as well").
+const (
+	MinLatency Objective = iota
+	MinEnergy
+)
+
+// Config tunes the evolutionary search.
+type Config struct {
+	Population  int
+	Generations int
+	// MutationLayers is the number of layers per task whose mapping is
+	// randomized in each child ("a specified number of layers in each
+	// task is replaced with a random mapping resource and precision").
+	MutationLayers int
+	// SampleFrac is the validation-subset fraction used for accuracy
+	// evaluation (the paper's first search optimization).
+	SampleFrac float64
+	Seed       int64
+	Objective  Objective
+	// FullPrecisionOnly excludes quantized (INT8) execution — the
+	// Ev-Edge-NMP-FP variant, which "exclusively maps to full precision
+	// cores to prevent any accuracy degradation". FP32 and FP16 both
+	// count as full precision on Jetson-class accelerators.
+	FullPrecisionOnly bool
+	// DisableCache turns off fitness caching (ablation).
+	DisableCache bool
+}
+
+// DefaultConfig returns the search settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Population:     24,
+		Generations:    40,
+		MutationLayers: 2,
+		SampleFrac:     0.25,
+		Seed:           1,
+		Objective:      MinLatency,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Population < 2 {
+		return fmt.Errorf("nmp: population must be >= 2, got %d", c.Population)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("nmp: generations must be >= 1, got %d", c.Generations)
+	}
+	if c.MutationLayers < 0 {
+		return fmt.Errorf("nmp: mutation layers must be >= 0, got %d", c.MutationLayers)
+	}
+	if c.SampleFrac <= 0 || c.SampleFrac > 1 {
+		return fmt.Errorf("nmp: sample fraction %f outside (0,1]", c.SampleFrac)
+	}
+	return nil
+}
+
+// Result is the outcome of a search or baseline policy.
+type Result struct {
+	Assignment *taskgraph.Assignment
+	Schedule   *taskgraph.Schedule
+	// LatencyUS is max task latency (the Eq. 2 objective).
+	LatencyUS float64
+	EnergyJ   float64
+	// Deltas holds each task's achieved accuracy degradation.
+	Deltas []float64
+	// Feasible reports whether all deltas are within budget.
+	Feasible bool
+	// FitnessHistory records the best fitness per generation (Fig 10a).
+	FitnessHistory []float64
+	Evaluations    int
+	CacheHits      int
+}
+
+// Mapper runs searches over one profiled workload.
+type Mapper struct {
+	db     *perf.ProfileDB
+	model  *perf.Model
+	acc    []*quant.Model
+	budget []float64
+	cfg    Config
+	seeds  []*taskgraph.Assignment
+}
+
+// AddSeed injects an extra candidate into the initial population —
+// e.g. warm-starting the full search with the NMP-FP result so the
+// superset search never converges below it.
+func (mp *Mapper) AddSeed(asg *taskgraph.Assignment) {
+	mp.seeds = append(mp.seeds, asg.Clone())
+}
+
+// NewMapper builds a mapper. Accuracy budgets default to each
+// network's Table 2 delta.
+func NewMapper(db *perf.ProfileDB, m *perf.Model, cfg Config) (*Mapper, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nets := db.Networks()
+	mp := &Mapper{db: db, model: m, cfg: cfg}
+	for _, net := range nets {
+		mp.acc = append(mp.acc, quant.NewModel(net))
+		mp.budget = append(mp.budget, quant.Table2Delta(net.Name))
+	}
+	return mp, nil
+}
+
+// Budgets returns the per-task accuracy-degradation bounds.
+func (mp *Mapper) Budgets() []float64 { return append([]float64(nil), mp.budget...) }
+
+// SetBudgets overrides the per-task accuracy bounds (the pipeline
+// shrinks them by the accuracy already spent on DSFA merging).
+func (mp *Mapper) SetBudgets(b []float64) error {
+	if len(b) != len(mp.budget) {
+		return fmt.Errorf("nmp: %d budgets for %d tasks", len(b), len(mp.budget))
+	}
+	for i, v := range b {
+		if v <= 0 {
+			return fmt.Errorf("nmp: budget %d must be positive, got %f", i, v)
+		}
+	}
+	mp.budget = append([]float64(nil), b...)
+	return nil
+}
+
+// evaluation is a cached fitness record.
+type evaluation struct {
+	fitness  float64
+	latency  float64
+	energy   float64
+	deltas   []float64
+	feasible bool
+	sched    *taskgraph.Schedule
+}
+
+// Evaluate computes a candidate's fitness: the objective value scaled
+// up steeply when any task violates its accuracy budget.
+func (mp *Mapper) Evaluate(asg *taskgraph.Assignment) (*evaluation, error) {
+	g, err := taskgraph.Build(mp.db, mp.model, asg)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := g.Run(mp.db.Platform())
+	if err != nil {
+		return nil, err
+	}
+	nets := mp.db.Networks()
+	ev := &evaluation{
+		latency:  sched.MakespanUS,
+		energy:   sched.EnergyJ,
+		feasible: true,
+		sched:    sched,
+	}
+	// Deterministic per-candidate sampling seed keeps the cache
+	// consistent ("fitness scores are cached for each new candidate and
+	// reused if the same candidate emerges from different parents").
+	h := hashAssignment(asg)
+	for t := range nets {
+		d, err := mp.acc[t].DeltaSampled(asg.Prec[t], mp.cfg.SampleFrac, mp.cfg.Seed^int64(h)+int64(t))
+		if err != nil {
+			return nil, err
+		}
+		ev.deltas = append(ev.deltas, d)
+		if d > mp.budget[t] {
+			ev.feasible = false
+		}
+	}
+	obj := ev.latency
+	if mp.cfg.Objective == MinEnergy {
+		obj = ev.energy * 1e6 // joules -> comparable magnitude
+	}
+	penalty := 0.0
+	for t, d := range ev.deltas {
+		if d > mp.budget[t] {
+			penalty += (d - mp.budget[t]) / mp.budget[t]
+		}
+	}
+	ev.fitness = obj * (1 + 10*penalty)
+	return ev, nil
+}
+
+func hashAssignment(a *taskgraph.Assignment) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 2)
+	for t := range a.Device {
+		for l := range a.Device[t] {
+			buf[0] = byte(a.Device[t][l])
+			buf[1] = byte(a.Prec[t][l])
+			h.Write(buf)
+		}
+	}
+	return h.Sum64()
+}
+
+// randomCandidate draws a uniformly random feasible-by-construction
+// assignment (device support respected; accuracy feasibility is the
+// search's job).
+func (mp *Mapper) randomCandidate(r *rand.Rand) *taskgraph.Assignment {
+	nets := mp.db.Networks()
+	platform := mp.db.Platform()
+	asg := taskgraph.NewAssignment(nets)
+	for t := range nets {
+		for l := range nets[t].Layers {
+			d := platform.Devices[r.Intn(len(platform.Devices))]
+			asg.Device[t][l] = d.ID
+			asg.Prec[t][l] = mp.randomPrecision(r, d.ID)
+		}
+	}
+	return asg
+}
+
+func (mp *Mapper) randomPrecision(r *rand.Rand, devID int) nn.Precision {
+	d := mp.db.Platform().Devices[devID]
+	ps := d.Precisions()
+	if mp.cfg.FullPrecisionOnly {
+		full := ps[:0:0]
+		for _, p := range ps {
+			if p != nn.INT8 {
+				full = append(full, p)
+			}
+		}
+		if len(full) > 0 {
+			ps = full
+		}
+	}
+	return ps[r.Intn(len(ps))]
+}
+
+// mutate replaces cfg.MutationLayers random layers in each task with a
+// random device and precision.
+func (mp *Mapper) mutate(r *rand.Rand, asg *taskgraph.Assignment) {
+	platform := mp.db.Platform()
+	for t := range asg.Device {
+		for k := 0; k < mp.cfg.MutationLayers; k++ {
+			l := r.Intn(len(asg.Device[t]))
+			d := platform.Devices[r.Intn(len(platform.Devices))]
+			asg.Device[t][l] = d.ID
+			asg.Prec[t][l] = mp.randomPrecision(r, d.ID)
+		}
+	}
+}
+
+// Search runs the evolutionary loop and returns the best feasible
+// candidate found (or the best overall if none was feasible).
+func (mp *Mapper) Search() (*Result, error) {
+	r := rand.New(rand.NewSource(mp.cfg.Seed))
+	cache := make(map[uint64]*evaluation)
+	res := &Result{}
+
+	evalCached := func(asg *taskgraph.Assignment) (*evaluation, error) {
+		if !mp.cfg.DisableCache {
+			if ev, ok := cache[hashAssignment(asg)]; ok {
+				res.CacheHits++
+				return ev, nil
+			}
+		}
+		ev, err := mp.Evaluate(asg)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations++
+		if !mp.cfg.DisableCache {
+			cache[hashAssignment(asg)] = ev
+		}
+		return ev, nil
+	}
+
+	type member struct {
+		asg *taskgraph.Assignment
+		ev  *evaluation
+	}
+	pop := make([]*taskgraph.Assignment, mp.cfg.Population)
+	for i := range pop {
+		pop[i] = mp.randomCandidate(r)
+	}
+	// Seed a few trivial mappings alongside the random candidates so
+	// the search never converges below the obvious baselines (the
+	// all-GPU deployment and the round-robin policies).
+	platform := mp.db.Platform()
+	nets := mp.db.Networks()
+	if g, err := AllGPU(nets, platform, nn.FP16); err == nil && len(pop) > 0 {
+		pop[0] = g
+	}
+	if rr, err := RRNetwork(nets, platform); err == nil && len(pop) > 1 {
+		pop[1] = rr
+	}
+	if rr, err := RRLayer(nets, platform); err == nil && len(pop) > 2 {
+		pop[2] = rr
+	}
+	for i, s := range mp.seeds {
+		if 3+i < len(pop) {
+			pop[3+i] = s.Clone()
+		}
+	}
+
+	var best member
+	for gen := 0; gen < mp.cfg.Generations; gen++ {
+		// Evaluate the whole generation; candidates inherited from the
+		// previous generation (and duplicates emerging from different
+		// parents) resolve through the fitness cache.
+		members := make([]member, len(pop))
+		for i, asg := range pop {
+			ev, err := evalCached(asg)
+			if err != nil {
+				return nil, err
+			}
+			members[i] = member{asg, ev}
+		}
+		sort.SliceStable(members, func(i, j int) bool { return members[i].ev.fitness < members[j].ev.fitness })
+		if best.asg == nil || members[0].ev.fitness < best.ev.fitness {
+			best = member{members[0].asg.Clone(), members[0].ev}
+		}
+		res.FitnessHistory = append(res.FitnessHistory, best.ev.fitness)
+		if gen == mp.cfg.Generations-1 {
+			break
+		}
+
+		// Parents: fitter half. Children: for each neighboring parent
+		// pair, clone one of the two with equal likelihood, then mutate.
+		parents := members[:mp.cfg.Population/2]
+		next := make([]*taskgraph.Assignment, 0, mp.cfg.Population)
+		for _, p := range parents {
+			next = append(next, p.asg)
+		}
+		for len(next) < mp.cfg.Population {
+			i := (len(next) - len(parents)) % len(parents)
+			j := (i + 1) % len(parents)
+			src := parents[i].asg
+			if r.Intn(2) == 1 {
+				src = parents[j].asg
+			}
+			child := src.Clone()
+			mp.mutate(r, child)
+			next = append(next, child)
+		}
+		pop = next
+	}
+	return mp.finish(res, best.asg, best.ev), nil
+}
+
+// RandomSearch draws the same number of candidates as the evolutionary
+// run (population x generations) independently at random and keeps the
+// best — the Fig. 10b comparison.
+func (mp *Mapper) RandomSearch() (*Result, error) {
+	r := rand.New(rand.NewSource(mp.cfg.Seed))
+	res := &Result{}
+	var bestAsg *taskgraph.Assignment
+	var bestEv *evaluation
+	total := mp.cfg.Population * mp.cfg.Generations
+	for i := 0; i < total; i++ {
+		asg := mp.randomCandidate(r)
+		ev, err := mp.Evaluate(asg)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations++
+		if bestEv == nil || ev.fitness < bestEv.fitness {
+			bestAsg, bestEv = asg, ev
+		}
+		if (i+1)%mp.cfg.Population == 0 {
+			res.FitnessHistory = append(res.FitnessHistory, bestEv.fitness)
+		}
+	}
+	return mp.finish(res, bestAsg, bestEv), nil
+}
+
+func (mp *Mapper) finish(res *Result, asg *taskgraph.Assignment, ev *evaluation) *Result {
+	res.Assignment = asg
+	res.Schedule = ev.sched
+	res.LatencyUS = ev.latency
+	res.EnergyJ = ev.energy
+	res.Deltas = append([]float64(nil), ev.deltas...)
+	res.Feasible = ev.feasible
+	return res
+}

@@ -1,0 +1,296 @@
+package nmp
+
+import (
+	"testing"
+
+	"evedge/internal/hw"
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+)
+
+// workload profiles a set of networks on Xavier with sparse execution.
+func workload(t testing.TB, names ...string) (*perf.ProfileDB, *perf.Model) {
+	t.Helper()
+	platform := hw.Xavier()
+	m := perf.NewModel(platform)
+	nets := make([]*nn.Network, len(names))
+	dens := make([]float64, len(names))
+	for i, n := range names {
+		nets[i] = nn.MustByName(n)
+		dens[i] = 0.05
+	}
+	db, err := perf.BuildProfileDB(m, nets, true, dens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, m
+}
+
+func quickCfg(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Population = 10
+	cfg.Generations = 12
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Population: 1, Generations: 1, SampleFrac: 0.5},
+		{Population: 4, Generations: 0, SampleFrac: 0.5},
+		{Population: 4, Generations: 1, SampleFrac: 0},
+		{Population: 4, Generations: 1, SampleFrac: 1.5},
+		{Population: 4, Generations: 1, SampleFrac: 0.5, MutationLayers: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBaselinePolicies(t *testing.T) {
+	db, _ := workload(t, nn.DOTIE, nn.HidalgoDepth, nn.EVFlowNet)
+	nets := db.Networks()
+	platform := db.Platform()
+
+	gpuAsg, err := AllGPU(nets, platform, nn.FP32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gpuAsg.Validate(nets, platform); err != nil {
+		t.Fatal(err)
+	}
+	for t2 := range nets {
+		for _, d := range gpuAsg.Device[t2] {
+			if d != platform.GPUDevice().ID {
+				t.Fatal("AllGPU strayed off the GPU")
+			}
+		}
+	}
+	if _, err := AllGPU(nets, platform, nn.Precision(9)); err == nil {
+		t.Fatal("bad precision accepted")
+	}
+
+	rrn, err := RRNetwork(nets, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rrn.Validate(nets, platform); err != nil {
+		t.Fatal(err)
+	}
+	// Each network is on exactly one device; devices differ across the
+	// first three tasks (GPU, DLA0, DLA1 cycle).
+	devOf := func(t2 int) int {
+		d := rrn.Device[t2][0]
+		for _, x := range rrn.Device[t2] {
+			if x != d {
+				t.Fatalf("RR-Network split task %d across devices", t2)
+			}
+		}
+		return d
+	}
+	if devOf(0) == devOf(1) || devOf(1) == devOf(2) || devOf(0) == devOf(2) {
+		t.Fatal("RR-Network did not cycle devices")
+	}
+
+	rrl, err := RRLayer(nets, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rrl.Validate(nets, platform); err != nil {
+		t.Fatal(err)
+	}
+	// Layers cycle: within Hidalgo (15 layers), all three accelerators
+	// appear.
+	seen := map[int]bool{}
+	for _, d := range rrl.Device[1] {
+		seen[d] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("RR-Layer used %d devices in task 1", len(seen))
+	}
+}
+
+func TestEvaluateRespectsBudgets(t *testing.T) {
+	db, m := workload(t, nn.SpikeFlowNet)
+	mp, err := NewMapper(db, m, quickCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := db.Networks()
+	platform := db.Platform()
+
+	// Full precision everywhere: zero accuracy delta, feasible.
+	fp, _ := AllGPU(nets, platform, nn.FP32)
+	r1, err := mp.EvaluatePolicy(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Feasible || r1.Deltas[0] != 0 {
+		t.Fatalf("FP32 policy should be trivially feasible: %+v", r1)
+	}
+
+	// All-INT8 overshoots the Table 2 budget by construction: the
+	// candidate must be marked infeasible and its fitness inflated.
+	int8asg, _ := AllGPU(nets, platform, nn.INT8)
+	r2, err := mp.EvaluatePolicy(int8asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Feasible {
+		t.Fatal("all-INT8 should violate the accuracy budget")
+	}
+	// INT8 is faster in raw latency...
+	if r2.LatencyUS >= r1.LatencyUS {
+		t.Fatal("INT8 should be faster than FP32")
+	}
+	ev1, _ := mp.Evaluate(fp)
+	ev2, _ := mp.Evaluate(int8asg)
+	// ...but the fitness penalty must make it lose.
+	if ev2.fitness <= ev1.fitness {
+		t.Fatalf("penalty too weak: int8 fitness %f vs fp32 %f", ev2.fitness, ev1.fitness)
+	}
+}
+
+func TestSearchBeatsBaselinesAndStaysFeasible(t *testing.T) {
+	db, m := workload(t, nn.DOTIE, nn.AdaptiveSpikeNet)
+	mp, err := NewMapper(db, m, quickCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := db.Networks()
+	platform := db.Platform()
+
+	res, err := mp.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("search result violates accuracy budgets: %v vs %v", res.Deltas, mp.Budgets())
+	}
+	if len(res.FitnessHistory) != mp.cfg.Generations {
+		t.Fatalf("history length %d", len(res.FitnessHistory))
+	}
+	// Convergence: best fitness never worsens across generations.
+	for i := 1; i < len(res.FitnessHistory); i++ {
+		if res.FitnessHistory[i] > res.FitnessHistory[i-1]+1e-9 {
+			t.Fatalf("fitness regressed at generation %d", i)
+		}
+	}
+
+	rrn, _ := RRNetwork(nets, platform)
+	rrnRes, err := mp.EvaluatePolicy(rrn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyUS >= rrnRes.LatencyUS {
+		t.Fatalf("search (%f us) should beat RR-Network (%f us)", res.LatencyUS, rrnRes.LatencyUS)
+	}
+	if res.CacheHits == 0 {
+		t.Fatal("fitness cache never hit — crossover should revisit candidates")
+	}
+}
+
+func TestSearchDeterministicPerSeed(t *testing.T) {
+	db, m := workload(t, nn.DOTIE, nn.EVFlowNet)
+	run := func(seed int64) float64 {
+		mp, err := NewMapper(db, m, quickCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mp.Search()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LatencyUS
+	}
+	if run(3) != run(3) {
+		t.Fatal("search not deterministic under a fixed seed")
+	}
+}
+
+func TestRandomSearchLosesToEvolutionary(t *testing.T) {
+	// The paper's Fig. 10b: with the same evaluation budget, random
+	// search lands on a worse configuration (1.42x there).
+	db, m := workload(t, nn.FusionFlowNet, nn.HALSIE)
+	cfg := quickCfg(11)
+	mp, err := NewMapper(db, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evo, err := mp.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd, err := mp.RandomSearch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evo.LatencyUS >= rnd.LatencyUS {
+		t.Fatalf("evolutionary (%f) should beat random (%f)", evo.LatencyUS, rnd.LatencyUS)
+	}
+	if rnd.Evaluations != cfg.Population*cfg.Generations {
+		t.Fatalf("random search evaluations=%d", rnd.Evaluations)
+	}
+}
+
+func TestNMPFPVariant(t *testing.T) {
+	db, m := workload(t, nn.DOTIE, nn.HidalgoDepth)
+	cfg := quickCfg(5)
+	cfg.FullPrecisionOnly = true
+	mp, err := NewMapper(db, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mp.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FP-only candidates never use INT8 and are always feasible (no
+	// accuracy loss from FP16 weight storage beyond its tiny penalty,
+	// which stays within every budget).
+	for t2 := range res.Assignment.Prec {
+		for _, p := range res.Assignment.Prec[t2] {
+			if p == nn.INT8 {
+				t.Fatal("NMP-FP candidate used INT8")
+			}
+		}
+	}
+	// The unconstrained search should be at least as fast.
+	cfg2 := quickCfg(5)
+	mp2, _ := NewMapper(db, m, cfg2)
+	full, err := mp2.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.LatencyUS > res.LatencyUS*1.001 {
+		t.Fatalf("mixed-precision search (%f) slower than FP-only (%f)", full.LatencyUS, res.LatencyUS)
+	}
+}
+
+func TestCacheAblation(t *testing.T) {
+	db, m := workload(t, nn.DOTIE, nn.SpikeFlowNet)
+	withCache := quickCfg(9)
+	noCache := quickCfg(9)
+	noCache.DisableCache = true
+	mpC, _ := NewMapper(db, m, withCache)
+	mpN, _ := NewMapper(db, m, noCache)
+	rc, err := mpC.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := mpN.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Evaluations >= rn.Evaluations {
+		t.Fatalf("cache should cut evaluations: %d vs %d", rc.Evaluations, rn.Evaluations)
+	}
+	if rn.CacheHits != 0 {
+		t.Fatal("disabled cache reported hits")
+	}
+}

@@ -1,0 +1,207 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"evedge/internal/events"
+	"evedge/internal/hw"
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+	"evedge/internal/scene"
+	"evedge/internal/sparse"
+	"evedge/internal/taskgraph"
+)
+
+// MultiTaskConfig describes a streaming run of several concurrently
+// executing networks sharing one platform — the deployment scenario of
+// the paper's Sec. 6 multi-task evaluation, but with live frame
+// streams instead of a single static schedule.
+type MultiTaskConfig struct {
+	Nets     []*nn.Network
+	Platform *hw.Platform
+	// Assignment maps every layer to a device and precision (from the
+	// Network Mapper or a round-robin baseline).
+	Assignment *taskgraph.Assignment
+	Scale      scene.Scale
+	DurUS      int64
+	Seed       int64
+	// Streams optionally overrides the per-task scene generation.
+	Streams []*events.Stream
+}
+
+// TaskReport summarizes one task of a multi-task run.
+type TaskReport struct {
+	Network       string
+	RawFrames     int
+	MeanLatencyUS float64
+	P99LatencyUS  float64
+}
+
+// MultiTaskReport summarizes a streaming multi-task run.
+type MultiTaskReport struct {
+	Tasks      []TaskReport
+	MakespanUS float64
+	EnergyJ    float64
+	// MaxMeanLatencyUS is the slowest task's mean latency — the
+	// streaming analogue of the Eq. 2 objective.
+	MaxMeanLatencyUS float64
+	// DeviceBusyUS records per-device busy time.
+	DeviceBusyUS map[string]float64
+}
+
+// invocationJob is one task's inference becoming ready at a known time.
+type invocationJob struct {
+	task    int
+	frame   *sparse.Frame
+	readyUS float64
+}
+
+// RunMultiTask streams every task's frames through the shared platform
+// under the given assignment. Each frame triggers one inference whose
+// layers execute on their assigned devices through per-device FIFO
+// queues (Eq. 3 semantics, now with cross-task contention): tasks
+// interleave wherever their layers land on different devices and queue
+// behind each other wherever they collide.
+func RunMultiTask(cfg MultiTaskConfig) (*MultiTaskReport, error) {
+	if len(cfg.Nets) == 0 {
+		return nil, fmt.Errorf("pipeline: no networks")
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = hw.Xavier()
+	}
+	if cfg.DurUS <= 0 {
+		cfg.DurUS = 1_000_000
+	}
+	if cfg.Assignment == nil {
+		return nil, fmt.Errorf("pipeline: no assignment")
+	}
+	if err := cfg.Assignment.Validate(cfg.Nets, cfg.Platform); err != nil {
+		return nil, err
+	}
+	if cfg.Streams != nil && len(cfg.Streams) != len(cfg.Nets) {
+		return nil, fmt.Errorf("pipeline: %d streams for %d networks", len(cfg.Streams), len(cfg.Nets))
+	}
+
+	model := perf.NewModel(cfg.Platform)
+	// Convert every task's stream into timed frames.
+	var jobs []invocationJob
+	rep := &MultiTaskReport{
+		Tasks:        make([]TaskReport, len(cfg.Nets)),
+		DeviceBusyUS: map[string]float64{},
+	}
+	for t, net := range cfg.Nets {
+		stream := (*events.Stream)(nil)
+		if cfg.Streams != nil {
+			stream = cfg.Streams[t]
+		}
+		if stream == nil {
+			seq, err := scene.NewSequence(net.Input.Preset, cfg.Scale, cfg.Seed+int64(t))
+			if err != nil {
+				return nil, err
+			}
+			stream, err = seq.Generate(cfg.DurUS)
+			if err != nil {
+				return nil, err
+			}
+		}
+		frames, _, err := ConvertStream(net, stream, cfg.DurUS)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: task %d (%s): %w", t, net.Name, err)
+		}
+		rep.Tasks[t].Network = net.Name
+		rep.Tasks[t].RawFrames = len(frames)
+		for _, f := range frames {
+			jobs = append(jobs, invocationJob{task: t, frame: f, readyUS: float64(f.T1)})
+		}
+	}
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].readyUS < jobs[j].readyUS })
+
+	engine := hw.NewEngine(cfg.Platform, false)
+	umBusy := 0.0
+	latencies := make([][]float64, len(cfg.Nets))
+	for _, job := range jobs {
+		end := scheduleInvocation(engine, model, cfg, job, &umBusy)
+		latencies[job.task] = append(latencies[job.task], end-job.readyUS)
+	}
+
+	var makespan float64
+	for t := range cfg.Nets {
+		ls := latencies[t]
+		sort.Float64s(ls)
+		var sum float64
+		for _, l := range ls {
+			sum += l
+		}
+		if len(ls) > 0 {
+			rep.Tasks[t].MeanLatencyUS = sum / float64(len(ls))
+			rep.Tasks[t].P99LatencyUS = ls[int(float64(len(ls))*0.99)]
+		}
+		if rep.Tasks[t].MeanLatencyUS > rep.MaxMeanLatencyUS {
+			rep.MaxMeanLatencyUS = rep.Tasks[t].MeanLatencyUS
+		}
+	}
+	makespan = engine.Makespan()
+	if umBusy > makespan {
+		makespan = umBusy
+	}
+	horizon := math.Max(makespan, float64(cfg.DurUS))
+	rep.MakespanUS = makespan
+	rep.EnergyJ = engine.EnergyJoules(horizon)
+	for _, d := range cfg.Platform.Devices {
+		rep.DeviceBusyUS[d.Name] = engine.BusyTime(d)
+	}
+	return rep, nil
+}
+
+// scheduleInvocation pushes one inference through the shared queues:
+// layer i runs on its assigned device after its producers (plus
+// transfers) and whatever else occupies that device's queue.
+func scheduleInvocation(engine *hw.Engine, model *perf.Model, cfg MultiTaskConfig, job invocationJob, umBusy *float64) float64 {
+	net := cfg.Nets[job.task]
+	platform := cfg.Platform
+	density := job.frame.Density()
+	end := make([]float64, len(net.Layers))
+	var last float64
+	for i, l := range net.Layers {
+		devID := cfg.Assignment.Device[job.task][i]
+		dev := platform.Devices[devID]
+		prec := cfg.Assignment.Prec[job.task][i]
+		inDen := density
+		if len(net.Preds[i]) > 0 {
+			inDen = 0
+			for _, p := range net.Preds[i] {
+				if d := net.Layers[p].ActDensity; d > inDen {
+					inDen = d
+				}
+			}
+		}
+		dur, err := model.LayerTimeUS(l, dev, prec, perf.ExecOpts{InputDensity: inDen})
+		if err != nil {
+			dur = math.Inf(1)
+		}
+		if sp, err := model.LayerTimeUS(l, dev, prec, perf.ExecOpts{Sparse: true, InputDensity: inDen}); err == nil && sp < dur {
+			dur = sp
+		}
+		ready := job.readyUS
+		for _, p := range net.Preds[i] {
+			pready := end[p]
+			if cfg.Assignment.Device[job.task][p] != devID {
+				c := model.CommUS(net.Layers[p], platform.Devices[cfg.Assignment.Device[job.task][p]], dev, cfg.Assignment.Prec[job.task][p])
+				cs := math.Max(pready, *umBusy)
+				*umBusy = cs + c
+				pready = *umBusy
+			}
+			if pready > ready {
+				ready = pready
+			}
+		}
+		_, e := engine.Submit(dev, ready, dur, fmt.Sprintf("%s/%s", net.Name, l.Name))
+		end[i] = e
+		if e > last {
+			last = e
+		}
+	}
+	return last
+}

@@ -1,0 +1,207 @@
+package pipeline
+
+import (
+	"testing"
+
+	"evedge/internal/events"
+	"evedge/internal/hw"
+	"evedge/internal/nmp"
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+	"evedge/internal/scene"
+	"evedge/internal/taskgraph"
+)
+
+func multiNets(names ...string) []*nn.Network {
+	nets := make([]*nn.Network, len(names))
+	for i, n := range names {
+		nets[i] = nn.MustByName(n)
+	}
+	return nets
+}
+
+func multiAssignment(t *testing.T, nets []*nn.Network, platform *hw.Platform, policy string) *taskgraph.Assignment {
+	t.Helper()
+	var asg *taskgraph.Assignment
+	var err error
+	switch policy {
+	case "gpu":
+		asg, err = nmp.AllGPU(nets, platform, nn.FP16)
+	case "rrn":
+		asg, err = nmp.RRNetwork(nets, platform)
+	case "nmp":
+		model := perf.NewModel(platform)
+		db, err2 := perf.BuildProfileDB(model, nets, true, nil)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		cfg := nmp.DefaultConfig()
+		cfg.Population = 10
+		cfg.Generations = 10
+		cfg.Seed = 13
+		mp, err2 := nmp.NewMapper(db, model, cfg)
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		res, err2 := mp.Search()
+		if err2 != nil {
+			t.Fatal(err2)
+		}
+		return res.Assignment
+	default:
+		t.Fatalf("unknown policy %q", policy)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return asg
+}
+
+func TestRunMultiTaskValidation(t *testing.T) {
+	if _, err := RunMultiTask(MultiTaskConfig{}); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+	nets := multiNets(nn.DOTIE)
+	if _, err := RunMultiTask(MultiTaskConfig{Nets: nets}); err == nil {
+		t.Fatal("missing assignment accepted")
+	}
+	platform := hw.Xavier()
+	asg := multiAssignment(t, nets, platform, "gpu")
+	// Mismatched stream count rejected.
+	if _, err := RunMultiTask(MultiTaskConfig{
+		Nets: nets, Platform: platform, Assignment: asg,
+		Streams: make([]*events.Stream, 3),
+		Scale:   scene.Half, DurUS: 200_000, Seed: 1,
+	}); err == nil {
+		t.Fatal("stream count mismatch accepted")
+	}
+	// Valid config runs.
+	if _, err := RunMultiTask(MultiTaskConfig{
+		Nets: nets, Platform: platform, Assignment: asg,
+		Scale: scene.Half, DurUS: 200_000, Seed: 1,
+	}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestRunMultiTaskSharedContention(t *testing.T) {
+	platform := hw.Xavier()
+	nets := multiNets(nn.DOTIE, nn.HidalgoDepth)
+	gpuOnly := multiAssignment(t, nets, platform, "gpu")
+	rep, err := RunMultiTask(MultiTaskConfig{
+		Nets: nets, Platform: platform, Assignment: gpuOnly,
+		Scale: scene.Half, DurUS: 500_000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tasks) != 2 {
+		t.Fatalf("tasks=%d", len(rep.Tasks))
+	}
+	for _, tr := range rep.Tasks {
+		if tr.RawFrames == 0 || tr.MeanLatencyUS <= 0 {
+			t.Fatalf("degenerate task report %+v", tr)
+		}
+		if tr.P99LatencyUS < tr.MeanLatencyUS {
+			t.Fatalf("%s: p99 %f below mean %f", tr.Network, tr.P99LatencyUS, tr.MeanLatencyUS)
+		}
+	}
+	if rep.EnergyJ <= 0 || rep.MakespanUS <= 0 {
+		t.Fatalf("degenerate report %+v", rep)
+	}
+	// Everything on the GPU: only the GPU accumulates busy time.
+	if rep.DeviceBusyUS["GPU"] <= 0 {
+		t.Fatal("GPU idle under all-GPU mapping")
+	}
+	if rep.DeviceBusyUS["DLA0"] != 0 || rep.DeviceBusyUS["CPU"] != 0 {
+		t.Fatalf("non-GPU devices busy under all-GPU mapping: %+v", rep.DeviceBusyUS)
+	}
+
+	// Contention sanity: DOTIE alone on the GPU must be faster than
+	// DOTIE sharing the GPU with the depth network.
+	solo, err := RunMultiTask(MultiTaskConfig{
+		Nets:       multiNets(nn.DOTIE),
+		Platform:   hw.Xavier(),
+		Assignment: multiAssignment(t, multiNets(nn.DOTIE), platform, "gpu"),
+		Scale:      scene.Half, DurUS: 500_000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Tasks[0].MeanLatencyUS > rep.Tasks[0].MeanLatencyUS {
+		t.Fatalf("contention should not speed DOTIE up: solo %f vs shared %f",
+			solo.Tasks[0].MeanLatencyUS, rep.Tasks[0].MeanLatencyUS)
+	}
+}
+
+func TestRunMultiTaskSpreadBeatsPileup(t *testing.T) {
+	platform := hw.Xavier()
+	nets := multiNets(nn.EVFlowNet, nn.HidalgoDepth)
+	gpuOnly := multiAssignment(t, nets, platform, "gpu")
+	spread := multiAssignment(t, nets, platform, "rrn")
+
+	run := func(asg *taskgraph.Assignment) *MultiTaskReport {
+		rep, err := RunMultiTask(MultiTaskConfig{
+			Nets: nets, Platform: platform, Assignment: asg,
+			Scale: scene.Half, DurUS: 600_000, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	piled := run(gpuOnly)
+	balanced := run(spread)
+	// Spreading the two networks across accelerators must reduce the
+	// worst task's latency versus piling both on the GPU... unless the
+	// GPU is so fast that queueing never occurs; require no regression
+	// beyond noise and that multiple devices actually worked.
+	if balanced.MaxMeanLatencyUS > piled.MaxMeanLatencyUS*1.5 {
+		t.Fatalf("spreading regressed badly: %f vs %f",
+			balanced.MaxMeanLatencyUS, piled.MaxMeanLatencyUS)
+	}
+	busy := 0
+	for _, b := range balanced.DeviceBusyUS {
+		if b > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("RR-Network used %d devices", busy)
+	}
+}
+
+func TestRunMultiTaskNMPAssignment(t *testing.T) {
+	platform := hw.Xavier()
+	nets := multiNets(nn.DOTIE, nn.EVFlowNet)
+	asg := multiAssignment(t, nets, platform, "nmp")
+	rep, err := RunMultiTask(MultiTaskConfig{
+		Nets: nets, Platform: platform, Assignment: asg,
+		Scale: scene.Half, DurUS: 500_000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxMeanLatencyUS <= 0 {
+		t.Fatal("degenerate NMP multitask run")
+	}
+}
+
+func TestRunMultiTaskDeterminism(t *testing.T) {
+	platform := hw.Xavier()
+	nets := multiNets(nn.DOTIE, nn.DOTIE)
+	asg := multiAssignment(t, nets, platform, "rrn")
+	run := func() float64 {
+		rep, err := RunMultiTask(MultiTaskConfig{
+			Nets: nets, Platform: platform, Assignment: asg,
+			Scale: scene.Half, DurUS: 300_000, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.MaxMeanLatencyUS
+	}
+	if run() != run() {
+		t.Fatal("multi-task run not deterministic")
+	}
+}

@@ -1,0 +1,135 @@
+package sparse
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary codec for sparse frames, so converted streams can be stored
+// and replayed without re-running E2SF. Layout (little-endian):
+//
+//	magic   [4]byte "EVSF"
+//	version uint16
+//	h, w    uint16
+//	t0, t1  int64
+//	nnz     uint32
+//	entries: y uint16, x uint16, pos float32, neg float32
+const (
+	frameMagic   = "EVSF"
+	frameVersion = 1
+)
+
+// WriteFrame serializes one sparse frame.
+func WriteFrame(w io.Writer, f *Frame) error {
+	if f.H > math.MaxUint16 || f.W > math.MaxUint16 {
+		return fmt.Errorf("sparse: frame %dx%d too large for codec", f.H, f.W)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(frameMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 2+2+2+8+8+4)
+	binary.LittleEndian.PutUint16(hdr[0:], frameVersion)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(f.H))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(f.W))
+	binary.LittleEndian.PutUint64(hdr[6:], uint64(f.T0))
+	binary.LittleEndian.PutUint64(hdr[14:], uint64(f.T1))
+	binary.LittleEndian.PutUint32(hdr[22:], uint32(f.NNZ()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	rec := make([]byte, 2+2+4+4)
+	for i := range f.Ys {
+		binary.LittleEndian.PutUint16(rec[0:], uint16(f.Ys[i]))
+		binary.LittleEndian.PutUint16(rec[2:], uint16(f.Xs[i]))
+		binary.LittleEndian.PutUint32(rec[4:], math.Float32bits(f.Pos[i]))
+		binary.LittleEndian.PutUint32(rec[8:], math.Float32bits(f.Neg[i]))
+		if _, err := bw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrame parses one sparse frame written by WriteFrame. It reads
+// exactly one frame's bytes from r (no read-ahead), so frames can be
+// concatenated; wrap r in a bufio.Reader externally for throughput.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("sparse: reading magic: %w", err)
+	}
+	if string(magic) != frameMagic {
+		return nil, fmt.Errorf("sparse: bad frame magic %q", magic)
+	}
+	hdr := make([]byte, 2+2+2+8+8+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("sparse: reading frame header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:]); v != frameVersion {
+		return nil, fmt.Errorf("sparse: unsupported frame version %d", v)
+	}
+	f := NewFrame(
+		int(binary.LittleEndian.Uint16(hdr[2:])),
+		int(binary.LittleEndian.Uint16(hdr[4:])),
+		int64(binary.LittleEndian.Uint64(hdr[6:])),
+		int64(binary.LittleEndian.Uint64(hdr[14:])),
+	)
+	nnz := binary.LittleEndian.Uint32(hdr[22:])
+	if nnz > 0 {
+		f.Ys = make([]int32, nnz)
+		f.Xs = make([]int32, nnz)
+		f.Pos = make([]float32, nnz)
+		f.Neg = make([]float32, nnz)
+	}
+	rec := make([]byte, 2+2+4+4)
+	for i := uint32(0); i < nnz; i++ {
+		if _, err := io.ReadFull(r, rec); err != nil {
+			return nil, fmt.Errorf("sparse: reading frame entry %d: %w", i, err)
+		}
+		f.Ys[i] = int32(binary.LittleEndian.Uint16(rec[0:]))
+		f.Xs[i] = int32(binary.LittleEndian.Uint16(rec[2:]))
+		f.Pos[i] = math.Float32frombits(binary.LittleEndian.Uint32(rec[4:]))
+		f.Neg[i] = math.Float32frombits(binary.LittleEndian.Uint32(rec[8:]))
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("sparse: decoded frame invalid: %w", err)
+	}
+	return f, nil
+}
+
+// WriteFrames serializes a sequence of frames with a count prefix.
+func WriteFrames(w io.Writer, frames []*Frame) error {
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(frames)))
+	if _, err := w.Write(cnt[:]); err != nil {
+		return err
+	}
+	for _, f := range frames {
+		if err := WriteFrame(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrames parses a sequence written by WriteFrames.
+func ReadFrames(r io.Reader) ([]*Frame, error) {
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("sparse: reading frame count: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(cnt[:])
+	out := make([]*Frame, 0, n)
+	for i := uint32(0); i < n; i++ {
+		f, err := ReadFrame(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

@@ -1,0 +1,363 @@
+package sparse
+
+import "fmt"
+
+// Filter is a 2D convolution kernel bank: OutC filters over InC input
+// channels with a square K x K window. Weights are laid out
+// [outc][inc][ky][kx]; Bias has one entry per output channel (may be
+// nil).
+type Filter struct {
+	OutC, InC, K int
+	Stride, Pad  int
+	Weights      []float32
+	Bias         []float32
+	Deconv       bool // transposed convolution (upsampling) semantics
+	DeconvOutPad int
+}
+
+// NewFilter allocates a zero-weight filter bank.
+func NewFilter(outC, inC, k, stride, pad int) *Filter {
+	if outC <= 0 || inC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("sparse: invalid filter %d/%d k=%d s=%d p=%d", outC, inC, k, stride, pad))
+	}
+	return &Filter{
+		OutC: outC, InC: inC, K: k, Stride: stride, Pad: pad,
+		Weights: make([]float32, outC*inC*k*k),
+	}
+}
+
+// W returns the weight for (outc, inc, ky, kx).
+func (f *Filter) W(oc, ic, ky, kx int) float32 {
+	return f.Weights[((oc*f.InC+ic)*f.K+ky)*f.K+kx]
+}
+
+// SetW stores a weight.
+func (f *Filter) SetW(oc, ic, ky, kx int, v float32) {
+	f.Weights[((oc*f.InC+ic)*f.K+ky)*f.K+kx] = v
+}
+
+// OutShape returns the output spatial size for an h x w input.
+func (f *Filter) OutShape(h, w int) (oh, ow int) {
+	if f.Deconv {
+		return (h-1)*f.Stride - 2*f.Pad + f.K + f.DeconvOutPad,
+			(w-1)*f.Stride - 2*f.Pad + f.K + f.DeconvOutPad
+	}
+	return (h+2*f.Pad-f.K)/f.Stride + 1, (w+2*f.Pad-f.K)/f.Stride + 1
+}
+
+// MACs returns the dense multiply-accumulate count for an h x w input:
+// OutC * OH * OW * InC * K * K. This is the fixed cost the baseline
+// pays regardless of how many events the frame holds.
+func (f *Filter) MACs(h, w int) int64 {
+	oh, ow := f.OutShape(h, w)
+	return int64(f.OutC) * int64(oh) * int64(ow) * int64(f.InC) * int64(f.K) * int64(f.K)
+}
+
+// Conv2D computes the dense direct convolution of in with f.
+func Conv2D(in *Tensor, f *Filter) (*Tensor, error) {
+	if in.C != f.InC {
+		return nil, fmt.Errorf("sparse: conv input channels %d != filter %d", in.C, f.InC)
+	}
+	if f.Deconv {
+		return deconv2D(in, f)
+	}
+	oh, ow := f.OutShape(in.H, in.W)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("sparse: conv output %dx%d is empty", oh, ow)
+	}
+	out := NewTensor(f.OutC, oh, ow)
+	for oc := 0; oc < f.OutC; oc++ {
+		var bias float32
+		if f.Bias != nil {
+			bias = f.Bias[oc]
+		}
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				sum := bias
+				for ic := 0; ic < f.InC; ic++ {
+					for ky := 0; ky < f.K; ky++ {
+						iy := oy*f.Stride + ky - f.Pad
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < f.K; kx++ {
+							ix := ox*f.Stride + kx - f.Pad
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							sum += f.W(oc, ic, ky, kx) * in.At(ic, iy, ix)
+						}
+					}
+				}
+				out.Set(oc, oy, ox, sum)
+			}
+		}
+	}
+	return out, nil
+}
+
+// deconv2D computes a transposed convolution by scattering each input
+// site through the kernel.
+func deconv2D(in *Tensor, f *Filter) (*Tensor, error) {
+	oh, ow := f.OutShape(in.H, in.W)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("sparse: deconv output %dx%d is empty", oh, ow)
+	}
+	out := NewTensor(f.OutC, oh, ow)
+	if f.Bias != nil {
+		for oc := 0; oc < f.OutC; oc++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					out.Set(oc, y, x, f.Bias[oc])
+				}
+			}
+		}
+	}
+	for ic := 0; ic < f.InC; ic++ {
+		for iy := 0; iy < in.H; iy++ {
+			for ix := 0; ix < in.W; ix++ {
+				v := in.At(ic, iy, ix)
+				if v == 0 {
+					continue
+				}
+				for oc := 0; oc < f.OutC; oc++ {
+					for ky := 0; ky < f.K; ky++ {
+						oy := iy*f.Stride + ky - f.Pad
+						if oy < 0 || oy >= oh {
+							continue
+						}
+						for kx := 0; kx < f.K; kx++ {
+							ox := ix*f.Stride + kx - f.Pad
+							if ox < 0 || ox >= ow {
+								continue
+							}
+							out.Add(oc, oy, ox, f.W(oc, ic, ky, kx)*v)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Im2colConv2D computes the same dense convolution via im2col + GEMM,
+// the formulation GPU libraries use; it cross-checks Conv2D and backs
+// the GEMM-oriented perf model.
+func Im2colConv2D(in *Tensor, f *Filter) (*Tensor, error) {
+	if in.C != f.InC {
+		return nil, fmt.Errorf("sparse: conv input channels %d != filter %d", in.C, f.InC)
+	}
+	if f.Deconv {
+		return deconv2D(in, f) // no GEMM path for deconv; direct scatter
+	}
+	oh, ow := f.OutShape(in.H, in.W)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("sparse: conv output %dx%d is empty", oh, ow)
+	}
+	kk := f.InC * f.K * f.K
+	cols := NewMat(kk, oh*ow)
+	for ic := 0; ic < f.InC; ic++ {
+		for ky := 0; ky < f.K; ky++ {
+			for kx := 0; kx < f.K; kx++ {
+				row := (ic*f.K+ky)*f.K + kx
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*f.Stride + ky - f.Pad
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*f.Stride + kx - f.Pad
+						var v float32
+						if iy >= 0 && iy < in.H && ix >= 0 && ix < in.W {
+							v = in.At(ic, iy, ix)
+						}
+						cols.Set(row, oy*ow+ox, v)
+					}
+				}
+			}
+		}
+	}
+	wmat := &Mat{Rows: f.OutC, Cols: kk, Data: f.Weights}
+	prod := MatMul(wmat, cols)
+	out := &Tensor{C: f.OutC, H: oh, W: ow, Data: prod.Data}
+	if f.Bias != nil {
+		for oc := 0; oc < f.OutC; oc++ {
+			for i := oc * oh * ow; i < (oc+1)*oh*ow; i++ {
+				out.Data[i] += f.Bias[oc]
+			}
+		}
+	}
+	return out, nil
+}
+
+// SparseConv2D computes the convolution touching only active input
+// sites: each nonzero input value is scattered through the kernel into
+// the affected output positions (gather-scatter / "rulebook" style).
+// The arithmetic cost is proportional to nnz(in) * OutC * K * K rather
+// than to the full output volume, which is the efficiency E2SF unlocks.
+// The result is numerically identical to Conv2D minus the bias at
+// positions with no contributing inputs (bias is applied everywhere,
+// matching dense semantics).
+func SparseConv2D(in *Tensor, f *Filter) (*Tensor, error) {
+	if in.C != f.InC {
+		return nil, fmt.Errorf("sparse: conv input channels %d != filter %d", in.C, f.InC)
+	}
+	if f.Deconv {
+		return deconv2D(in, f)
+	}
+	oh, ow := f.OutShape(in.H, in.W)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("sparse: conv output %dx%d is empty", oh, ow)
+	}
+	out := NewTensor(f.OutC, oh, ow)
+	if f.Bias != nil {
+		for oc := 0; oc < f.OutC; oc++ {
+			base := oc * oh * ow
+			for i := 0; i < oh*ow; i++ {
+				out.Data[base+i] = f.Bias[oc]
+			}
+		}
+	}
+	for ic := 0; ic < in.C; ic++ {
+		for iy := 0; iy < in.H; iy++ {
+			for ix := 0; ix < in.W; ix++ {
+				v := in.At(ic, iy, ix)
+				if v == 0 {
+					continue
+				}
+				// Input (iy, ix) contributes to outputs (oy, ox) where
+				// oy*S + ky - P == iy for some ky in [0, K).
+				for ky := 0; ky < f.K; ky++ {
+					num := iy + f.Pad - ky
+					if num < 0 || num%f.Stride != 0 {
+						continue
+					}
+					oy := num / f.Stride
+					if oy >= oh {
+						continue
+					}
+					for kx := 0; kx < f.K; kx++ {
+						numx := ix + f.Pad - kx
+						if numx < 0 || numx%f.Stride != 0 {
+							continue
+						}
+						ox := numx / f.Stride
+						if ox >= ow {
+							continue
+						}
+						for oc := 0; oc < f.OutC; oc++ {
+							out.Add(oc, oy, ox, f.W(oc, ic, ky, kx)*v)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SubmanifoldConv2D computes a submanifold sparse convolution: outputs
+// are produced only at sites that are active in the input, preventing
+// the active set from dilating layer after layer. Requires stride 1
+// and equal input/output spatial size (K odd, Pad == K/2).
+func SubmanifoldConv2D(in *Tensor, f *Filter) (*Tensor, error) {
+	if in.C != f.InC {
+		return nil, fmt.Errorf("sparse: conv input channels %d != filter %d", in.C, f.InC)
+	}
+	if f.Stride != 1 || f.K%2 == 0 || f.Pad != f.K/2 {
+		return nil, fmt.Errorf("sparse: submanifold conv needs stride 1, odd K, pad K/2 (got s=%d k=%d p=%d)",
+			f.Stride, f.K, f.Pad)
+	}
+	out := NewTensor(f.OutC, in.H, in.W)
+	sites := in.ActiveSites()
+	half := f.K / 2
+	for _, s := range sites {
+		oy, ox := int(s.Y), int(s.X)
+		for oc := 0; oc < f.OutC; oc++ {
+			var sum float32
+			if f.Bias != nil {
+				sum = f.Bias[oc]
+			}
+			for ic := 0; ic < f.InC; ic++ {
+				for ky := 0; ky < f.K; ky++ {
+					iy := oy + ky - half
+					if iy < 0 || iy >= in.H {
+						continue
+					}
+					for kx := 0; kx < f.K; kx++ {
+						ix := ox + kx - half
+						if ix < 0 || ix >= in.W {
+							continue
+						}
+						sum += f.W(oc, ic, ky, kx) * in.At(ic, iy, ix)
+					}
+				}
+			}
+			out.Set(oc, oy, ox, sum)
+		}
+	}
+	return out, nil
+}
+
+// SparseConvMACs estimates the multiply-accumulate count of the sparse
+// path for a frame of the given active-site count: each active input
+// site scatters through OutC * K * K weights per input channel.
+func SparseConvMACs(activeSites int, f *Filter) int64 {
+	return int64(activeSites) * int64(f.InC) * int64(f.OutC) * int64(f.K) * int64(f.K)
+}
+
+// MaxPool2D computes a max pooling with a k x k window and the given
+// stride.
+func MaxPool2D(in *Tensor, k, stride int) (*Tensor, error) {
+	if k <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("sparse: invalid pool k=%d stride=%d", k, stride)
+	}
+	oh := (in.H-k)/stride + 1
+	ow := (in.W-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("sparse: pool output %dx%d is empty", oh, ow)
+	}
+	out := NewTensor(in.C, oh, ow)
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := in.At(c, oy*stride, ox*stride)
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						if v := in.At(c, oy*stride+ky, ox*stride+kx); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(c, oy, ox, best)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AvgPool2D computes average pooling with a k x k window and stride.
+func AvgPool2D(in *Tensor, k, stride int) (*Tensor, error) {
+	if k <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("sparse: invalid pool k=%d stride=%d", k, stride)
+	}
+	oh := (in.H-k)/stride + 1
+	ow := (in.W-k)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("sparse: pool output %dx%d is empty", oh, ow)
+	}
+	out := NewTensor(in.C, oh, ow)
+	inv := 1 / float32(k*k)
+	for c := 0; c < in.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var sum float32
+				for ky := 0; ky < k; ky++ {
+					for kx := 0; kx < k; kx++ {
+						sum += in.At(c, oy*stride+ky, ox*stride+kx)
+					}
+				}
+				out.Set(c, oy, ox, sum*inv)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix of float32 values.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Vals       []float32
+}
+
+// COOEntry is one (row, col, value) triple used to build CSR matrices.
+type COOEntry struct {
+	Row, Col int32
+	Val      float32
+}
+
+// NewCSR builds a CSR matrix from unordered COO entries; duplicate
+// coordinates are summed and explicit zeros dropped.
+func NewCSR(rows, cols int, entries []COOEntry) (*CSR, error) {
+	for _, e := range entries {
+		if e.Row < 0 || int(e.Row) >= rows || e.Col < 0 || int(e.Col) >= cols {
+			return nil, fmt.Errorf("sparse: COO entry (%d,%d) outside %dx%d", e.Row, e.Col, rows, cols)
+		}
+	}
+	sorted := append([]COOEntry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < len(sorted); {
+		j := i
+		var sum float32
+		for j < len(sorted) && sorted[j].Row == sorted[i].Row && sorted[j].Col == sorted[i].Col {
+			sum += sorted[j].Val
+			j++
+		}
+		if sum != 0 {
+			m.ColIdx = append(m.ColIdx, sorted[i].Col)
+			m.Vals = append(m.Vals, sum)
+			m.RowPtr[sorted[i].Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m, nil
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// At returns element (i, j) with a binary search within the row.
+func (m *CSR) At(i, j int) float32 {
+	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
+	row := m.ColIdx[lo:hi]
+	k := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	if k < len(row) && row[k] == int32(j) {
+		return m.Vals[int(lo)+k]
+	}
+	return 0
+}
+
+// SpMV computes y = m * x for a dense vector x.
+func (m *CSR) SpMV(x []float32) ([]float32, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("sparse: SpMV vector length %d != cols %d", len(x), m.Cols)
+	}
+	y := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var sum float32
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+	return y, nil
+}
+
+// SpMM computes m * d for a dense matrix d.
+func (m *CSR) SpMM(d *Mat) (*Mat, error) {
+	if d.Rows != m.Cols {
+		return nil, fmt.Errorf("sparse: SpMM shape mismatch %dx%d x %dx%d", m.Rows, m.Cols, d.Rows, d.Cols)
+	}
+	out := NewMat(m.Rows, d.Cols)
+	for i := 0; i < m.Rows; i++ {
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			v := m.Vals[k]
+			drow := d.Data[int(m.ColIdx[k])*d.Cols : (int(m.ColIdx[k])+1)*d.Cols]
+			for j, dv := range drow {
+				orow[j] += v * dv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Dense expands the CSR matrix to a dense Mat.
+func (m *CSR) Dense() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			out.Set(i, int(m.ColIdx[k]), m.Vals[k])
+		}
+	}
+	return out
+}
+
+// Transpose returns the CSR transpose (CSC reinterpretation done
+// eagerly).
+func (m *CSR) Transpose() *CSR {
+	entries := make([]COOEntry, 0, m.NNZ())
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			entries = append(entries, COOEntry{Row: m.ColIdx[k], Col: int32(i), Val: m.Vals[k]})
+		}
+	}
+	t, err := NewCSR(m.Cols, m.Rows, entries)
+	if err != nil {
+		panic(err) // entries are in-bounds by construction
+	}
+	return t
+}

@@ -1,0 +1,298 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Frame is a two-channel sparse event frame in coordinate (COO-like)
+// form, exactly as produced by the paper's Event2Sparse Frame
+// converter: row indices, column indices, and the accumulated positive
+// and negative polarity counts stored as separate channels. Only
+// pixels with at least one event appear.
+//
+// Entries are kept sorted by (Y, X) so frames can be merged with a
+// linear pass.
+type Frame struct {
+	H, W int
+	Ys   []int32
+	Xs   []int32
+	Pos  []float32 // accumulated positive-polarity events per pixel
+	Neg  []float32 // accumulated negative-polarity events per pixel
+
+	// T0 and T1 bound the time interval (microseconds) whose events
+	// were accumulated into the frame. DSFA uses T0 as the frame's
+	// generation time when checking the merge-delay threshold.
+	T0, T1 int64
+}
+
+// NewFrame returns an empty sparse frame with the given geometry and
+// time bounds.
+func NewFrame(h, w int, t0, t1 int64) *Frame {
+	return &Frame{H: h, W: w, T0: t0, T1: t1}
+}
+
+// NNZ returns the number of stored (active) pixels.
+func (f *Frame) NNZ() int { return len(f.Ys) }
+
+// Density returns NNZ / (H*W): the fraction of active pixels, i.e. the
+// spatial density the paper plots in Figures 1 and 3.
+func (f *Frame) Density() float64 {
+	if f.H*f.W == 0 {
+		return 0
+	}
+	return float64(f.NNZ()) / float64(f.H*f.W)
+}
+
+// EventCount returns the total number of events accumulated into the
+// frame (sum of positive and negative counts).
+func (f *Frame) EventCount() float64 {
+	var s float64
+	for i := range f.Pos {
+		s += float64(f.Pos[i]) + float64(f.Neg[i])
+	}
+	return s
+}
+
+// Validate checks the structural invariants: coordinates in bounds,
+// entries sorted by (Y, X) with no duplicates, and no all-zero entries.
+func (f *Frame) Validate() error {
+	if len(f.Ys) != len(f.Xs) || len(f.Ys) != len(f.Pos) || len(f.Ys) != len(f.Neg) {
+		return fmt.Errorf("sparse: frame channel lengths differ: %d %d %d %d",
+			len(f.Ys), len(f.Xs), len(f.Pos), len(f.Neg))
+	}
+	for i := range f.Ys {
+		if f.Ys[i] < 0 || int(f.Ys[i]) >= f.H || f.Xs[i] < 0 || int(f.Xs[i]) >= f.W {
+			return fmt.Errorf("sparse: frame entry %d at (%d,%d) outside %dx%d",
+				i, f.Ys[i], f.Xs[i], f.H, f.W)
+		}
+		if f.Pos[i] == 0 && f.Neg[i] == 0 {
+			return fmt.Errorf("sparse: frame entry %d is all-zero", i)
+		}
+		if i > 0 {
+			prev, cur := f.key(i-1), f.key(i)
+			if cur <= prev {
+				return fmt.Errorf("sparse: frame entries not strictly sorted at %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *Frame) key(i int) int64 { return int64(f.Ys[i])*int64(f.W) + int64(f.Xs[i]) }
+
+// Set inserts or overwrites the entry at (y, x). It is O(n) in the
+// worst case and intended for construction paths that are not already
+// sorted; bulk construction should use FrameBuilder.
+func (f *Frame) Set(y, x int32, pos, neg float32) {
+	k := int64(y)*int64(f.W) + int64(x)
+	i := sort.Search(len(f.Ys), func(i int) bool { return f.key(i) >= k })
+	if i < len(f.Ys) && f.key(i) == k {
+		f.Pos[i], f.Neg[i] = pos, neg
+		return
+	}
+	f.Ys = append(f.Ys, 0)
+	f.Xs = append(f.Xs, 0)
+	f.Pos = append(f.Pos, 0)
+	f.Neg = append(f.Neg, 0)
+	copy(f.Ys[i+1:], f.Ys[i:])
+	copy(f.Xs[i+1:], f.Xs[i:])
+	copy(f.Pos[i+1:], f.Pos[i:])
+	copy(f.Neg[i+1:], f.Neg[i:])
+	f.Ys[i], f.Xs[i], f.Pos[i], f.Neg[i] = y, x, pos, neg
+}
+
+// Get returns the (pos, neg) accumulation at (y, x), zeroes if absent.
+func (f *Frame) Get(y, x int32) (pos, neg float32) {
+	k := int64(y)*int64(f.W) + int64(x)
+	i := sort.Search(len(f.Ys), func(i int) bool { return f.key(i) >= k })
+	if i < len(f.Ys) && f.key(i) == k {
+		return f.Pos[i], f.Neg[i]
+	}
+	return 0, 0
+}
+
+// Clone returns a deep copy of the frame.
+func (f *Frame) Clone() *Frame {
+	out := &Frame{H: f.H, W: f.W, T0: f.T0, T1: f.T1}
+	out.Ys = append([]int32(nil), f.Ys...)
+	out.Xs = append([]int32(nil), f.Xs...)
+	out.Pos = append([]float32(nil), f.Pos...)
+	out.Neg = append([]float32(nil), f.Neg...)
+	return out
+}
+
+// Dense expands the frame to a dense 2 x H x W tensor (channel 0 =
+// positive, channel 1 = negative) — the "event frame" representation
+// the baselines feed to dense kernels.
+func (f *Frame) Dense() *Tensor {
+	t := NewTensor(2, f.H, f.W)
+	for i := range f.Ys {
+		t.Set(0, int(f.Ys[i]), int(f.Xs[i]), f.Pos[i])
+		t.Set(1, int(f.Ys[i]), int(f.Xs[i]), f.Neg[i])
+	}
+	return t
+}
+
+// FromDense converts a dense 2 x H x W tensor into a sparse frame,
+// keeping pixels where either channel is nonzero. This models the
+// encode step whose overhead E2SF avoids; its cost is proportional to
+// H*W (a full scan), which the perf model charges to the baseline.
+func FromDense(t *Tensor, t0, t1 int64) (*Frame, error) {
+	if t.C != 2 {
+		return nil, fmt.Errorf("sparse: FromDense needs 2 channels, got %d", t.C)
+	}
+	f := NewFrame(t.H, t.W, t0, t1)
+	for y := 0; y < t.H; y++ {
+		for x := 0; x < t.W; x++ {
+			p, n := t.At(0, y, x), t.At(1, y, x)
+			if p != 0 || n != 0 {
+				f.Ys = append(f.Ys, int32(y))
+				f.Xs = append(f.Xs, int32(x))
+				f.Pos = append(f.Pos, p)
+				f.Neg = append(f.Neg, n)
+			}
+		}
+	}
+	return f, nil
+}
+
+// MergeAdd returns a new frame whose per-pixel accumulations are the
+// elementwise sums of the inputs — the DSFA cAdd combine mode. Time
+// bounds become the union. Panics on geometry mismatch.
+func MergeAdd(frames ...*Frame) *Frame {
+	return mergeScaled(frames, 1)
+}
+
+// MergeAverage returns the elementwise mean of the inputs — the DSFA
+// cAverage combine mode.
+func MergeAverage(frames ...*Frame) *Frame {
+	if len(frames) == 0 {
+		panic("sparse: MergeAverage of no frames")
+	}
+	return mergeScaled(frames, 1/float32(len(frames)))
+}
+
+func mergeScaled(frames []*Frame, scale float32) *Frame {
+	if len(frames) == 0 {
+		panic("sparse: merge of no frames")
+	}
+	h, w := frames[0].H, frames[0].W
+	t0, t1 := frames[0].T0, frames[0].T1
+	for _, f := range frames[1:] {
+		if f.H != h || f.W != w {
+			panic(fmt.Sprintf("sparse: merge geometry mismatch %dx%d vs %dx%d", f.H, f.W, h, w))
+		}
+		if f.T0 < t0 {
+			t0 = f.T0
+		}
+		if f.T1 > t1 {
+			t1 = f.T1
+		}
+	}
+	// k-way linear merge over sorted entries.
+	out := NewFrame(h, w, t0, t1)
+	idx := make([]int, len(frames))
+	for {
+		best := int64(-1)
+		for fi, f := range frames {
+			if idx[fi] < f.NNZ() {
+				if k := f.key(idx[fi]); best == -1 || k < best {
+					best = k
+				}
+			}
+		}
+		if best == -1 {
+			break
+		}
+		var pos, neg float32
+		for fi, f := range frames {
+			if idx[fi] < f.NNZ() && f.key(idx[fi]) == best {
+				pos += f.Pos[idx[fi]]
+				neg += f.Neg[idx[fi]]
+				idx[fi]++
+			}
+		}
+		out.Ys = append(out.Ys, int32(best/int64(w)))
+		out.Xs = append(out.Xs, int32(best%int64(w)))
+		out.Pos = append(out.Pos, pos*scale)
+		out.Neg = append(out.Neg, neg*scale)
+	}
+	return out
+}
+
+// DensityChange returns |d(a) - d(b)| / max(d(a), eps): the relative
+// spatial-density change DSFA compares against its MdTh threshold.
+func DensityChange(a, b *Frame) float64 {
+	da, db := a.Density(), b.Density()
+	if da == 0 && db == 0 {
+		return 0
+	}
+	ref := da
+	if ref == 0 {
+		ref = 1e-9
+	}
+	d := (db - da) / ref
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// FrameBuilder accumulates per-pixel polarity counts using a map and
+// emits a sorted Frame. It is the construction path used by E2SF.
+type FrameBuilder struct {
+	h, w   int
+	t0, t1 int64
+	acc    map[int64][2]float32
+}
+
+// NewFrameBuilder returns a builder for an h x w frame spanning
+// [t0, t1).
+func NewFrameBuilder(h, w int, t0, t1 int64) *FrameBuilder {
+	return &FrameBuilder{h: h, w: w, t0: t0, t1: t1, acc: make(map[int64][2]float32)}
+}
+
+// AddEvent accumulates one event of the given polarity sign (true =
+// positive) at (y, x).
+func (b *FrameBuilder) AddEvent(y, x int32, positive bool) {
+	k := int64(y)*int64(b.w) + int64(x)
+	v := b.acc[k]
+	if positive {
+		v[0]++
+	} else {
+		v[1]++
+	}
+	b.acc[k] = v
+}
+
+// Count returns the number of distinct active pixels so far.
+func (b *FrameBuilder) Count() int { return len(b.acc) }
+
+// Build emits the sorted sparse frame and resets the builder. Empty
+// builders yield frames with nil channel slices, matching NewFrame and
+// the codec's decoding of zero-entry frames.
+func (b *FrameBuilder) Build() *Frame {
+	if len(b.acc) == 0 {
+		return NewFrame(b.h, b.w, b.t0, b.t1)
+	}
+	keys := make([]int64, 0, len(b.acc))
+	for k := range b.acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	f := NewFrame(b.h, b.w, b.t0, b.t1)
+	f.Ys = make([]int32, len(keys))
+	f.Xs = make([]int32, len(keys))
+	f.Pos = make([]float32, len(keys))
+	f.Neg = make([]float32, len(keys))
+	for i, k := range keys {
+		v := b.acc[k]
+		f.Ys[i] = int32(k / int64(b.w))
+		f.Xs[i] = int32(k % int64(b.w))
+		f.Pos[i] = v[0]
+		f.Neg[i] = v[1]
+	}
+	b.acc = make(map[int64][2]float32)
+	return f
+}

@@ -1,0 +1,54 @@
+package taskgraph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the mapped multi-task graph in Graphviz format: compute
+// nodes clustered per task and colored per device, transfer nodes as
+// diamonds on the unified-memory queue. Feed to `dot -Tsvg` to get the
+// paper's Fig. 7(a)-style picture of a candidate.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph evedge {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n")
+	colors := []string{"lightblue", "lightgreen", "khaki", "salmon", "plum", "lightgray"}
+	// Cluster compute nodes per task.
+	for t, net := range g.Networks {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", t, net.Name)
+		for _, id := range g.taskNodes[t] {
+			n := g.Nodes[id]
+			color := colors[n.Dev%len(colors)]
+			fmt.Fprintf(&b, "    n%d [label=\"%s\\n%v %.0fus\", style=filled, fillcolor=%s];\n",
+				n.ID, net.Layers[n.Ref.Layer].Name, n.Prec, n.DurUS, color)
+		}
+		b.WriteString("  }\n")
+	}
+	// Transfer nodes and all edges.
+	for _, n := range g.Nodes {
+		if n.Kind == CommNode {
+			fmt.Fprintf(&b, "  n%d [label=\"xfer %.0fus\", shape=diamond, style=filled, fillcolor=white];\n",
+				n.ID, n.DurUS)
+		}
+		for _, p := range n.Preds {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", p, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// MappingTable renders a per-task assignment summary: one line per
+// layer with device and precision, for tooling output.
+func (g *Graph) MappingTable() string {
+	var b strings.Builder
+	for t, net := range g.Networks {
+		fmt.Fprintf(&b, "%s:\n", net.Name)
+		for _, id := range g.taskNodes[t] {
+			n := g.Nodes[id]
+			fmt.Fprintf(&b, "  %-14s dev=%d prec=%v %8.1fus\n",
+				net.Layers[n.Ref.Layer].Name, n.Dev, n.Prec, n.DurUS)
+		}
+	}
+	return b.String()
+}

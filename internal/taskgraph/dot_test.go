@@ -1,0 +1,43 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+
+	"evedge/internal/nn"
+)
+
+func TestDOTAndMappingTable(t *testing.T) {
+	db, m, nets := setup(t, nn.SpikeFlowNet, nn.DOTIE)
+	asg := uniform(nets, 1, nn.FP16)
+	// Split one layer off to force a transfer node.
+	asg.Device[0][6] = 2
+	g, err := Build(db, m, asg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph evedge",
+		"cluster_0", "cluster_1",
+		"SpikeFlowNet", "DOTIE",
+		"shape=diamond", // the transfer node
+		"->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// One node statement per graph node.
+	if got := strings.Count(dot, "n0 ->") + strings.Count(dot, "label="); got < len(g.Nodes) {
+		t.Errorf("DOT seems incomplete: %d statements for %d nodes", got, len(g.Nodes))
+	}
+
+	table := g.MappingTable()
+	if !strings.Contains(table, "SpikeFlowNet:") || !strings.Contains(table, "enc1") {
+		t.Fatalf("mapping table incomplete:\n%s", table)
+	}
+	if !strings.Contains(table, "dev=2") {
+		t.Fatal("mapping table missing the moved layer")
+	}
+}
