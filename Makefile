@@ -1,0 +1,27 @@
+GO      ?= go
+BIN     := bin
+CMDS    := evedge evserve evload evbench evmap evprof evtrace
+
+.PHONY: build test lint bench serve clean
+
+build:
+	@mkdir -p $(BIN)
+	@for c in $(CMDS); do $(GO) build -o $(BIN)/$$c ./cmd/$$c || exit 1; done
+	@echo "built: $(addprefix $(BIN)/,$(CMDS))"
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+serve: build
+	./$(BIN)/evserve -addr :7733
+
+clean:
+	rm -rf $(BIN)

@@ -5,12 +5,15 @@
 // Usage:
 //
 //	evedge [-net SpikeFlowNet] [-level 0..3] [-dur us] [-seed N] [-full]
+//	       [-json]
 //
 // Levels: 0 = all-GPU baseline, 1 = +E2SF, 2 = +E2SF+DSFA,
-// 3 = full Ev-Edge (+NMP).
+// 3 = full Ev-Edge (+NMP). -json emits the report as machine-readable
+// JSON for CI and load-generator consumption.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +21,22 @@ import (
 
 	evedge "evedge"
 )
+
+// jsonReport is the machine-readable run summary: the pipeline report
+// nested under its own key so the untagged report fields cannot
+// collide with the meta fields.
+type jsonReport struct {
+	Network          string                 `json:"network"`
+	Type             string                 `json:"type"`
+	Task             string                 `json:"task"`
+	Sequence         string                 `json:"sequence"`
+	Level            string                 `json:"level"`
+	DurationUS       int64                  `json:"duration_us"`
+	Seed             int64                  `json:"seed"`
+	Metric           string                 `json:"metric"`
+	BaselineAccuracy float64                `json:"baseline_accuracy"`
+	Report           *evedge.PipelineReport `json:"report"`
+}
 
 func main() {
 	var (
@@ -27,6 +46,7 @@ func main() {
 		seed    = flag.Int64("seed", 7, "random seed")
 		full    = flag.Bool("full", false, "full DAVIS346 resolution (default: half, faster)")
 		list    = flag.Bool("list", false, "list network names and exit")
+		asJSON  = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
 
@@ -57,6 +77,27 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evedge:", err)
 		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{
+			Network:          net.Name,
+			Type:             net.TypeDesc,
+			Task:             net.Task.String(),
+			Sequence:         string(net.Input.Preset),
+			Level:            rep.Level.String(),
+			DurationUS:       *dur,
+			Seed:             *seed,
+			Metric:           net.Metric.Name,
+			BaselineAccuracy: net.BaselineAccuracy,
+			Report:           rep,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "evedge:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("network:        %s (%s, %s)\n", net.Name, net.TypeDesc, net.Task)

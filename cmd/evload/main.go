@@ -1,0 +1,239 @@
+// Command evload replays synthetic event-camera sequences against a
+// running evserve instance and reports per-session and aggregate
+// latency/throughput — the closed-loop "how many cameras can one
+// Xavier serve" experiment.
+//
+// Usage:
+//
+//	evload [-addr http://localhost:7733] [-sessions 4] [-nets a,b,...]
+//	       [-level 2] [-dur us] [-chunk us] [-rate eps] [-speed x]
+//	       [-wire evar|json] [-seed N] [-json]
+//
+// Each concurrent session streams its network's scene preset in
+// chunk-sized pieces. -rate subsamples events to approximate a target
+// events/second; -speed paces replay relative to sensor time (1 =
+// real time, 0 = as fast as possible).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	evedge "evedge"
+)
+
+type sessionReport struct {
+	Session       string  `json:"session"`
+	Network       string  `json:"network"`
+	Events        int     `json:"events"`
+	Chunks        int     `json:"chunks"`
+	FramesIn      uint64  `json:"frames_in"`
+	FramesDropped uint64  `json:"frames_dropped"`
+	Invocations   uint64  `json:"invocations"`
+	MergeRatio    float64 `json:"merge_ratio"`
+	ThroughputFPS float64 `json:"throughput_fps"`
+	SimP50MS      float64 `json:"sim_p50_ms"`
+	SimP99MS      float64 `json:"sim_p99_ms"`
+	WallP50MS     float64 `json:"wall_p50_ms"`
+	WallP99MS     float64 `json:"wall_p99_ms"`
+	Err           string  `json:"error,omitempty"`
+}
+
+type loadReport struct {
+	Sessions     []sessionReport `json:"sessions"`
+	TotalEvents  int             `json:"total_events"`
+	WallSeconds  float64         `json:"wall_seconds"`
+	EventsPerSec float64         `json:"events_per_sec"`
+	MaxSimP99MS  float64         `json:"max_sim_p99_ms"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:7733", "evserve base URL")
+		sessions = flag.Int("sessions", 4, "concurrent sessions")
+		netsFlag = flag.String("nets", "DOTIE,HALSIE,SpikeFlowNet,HidalgoDepth",
+			"comma-separated networks, cycled over sessions")
+		level   = flag.Int("level", 2, "optimization level 0-3")
+		dur     = flag.Int64("dur", 1_000_000, "sensor-time duration per session (us)")
+		chunk   = flag.Int64("chunk", 25_000, "chunk duration per POST (us)")
+		rate    = flag.Float64("rate", 0, "subsample to ~N events/s (0 = native rate)")
+		speed   = flag.Float64("speed", 0, "replay speed vs sensor time (1 = real time, 0 = flat out)")
+		wire    = flag.String("wire", "evar", "wire format: evar (binary) or json")
+		seed    = flag.Int64("seed", 42, "base random seed")
+		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+	if *wire != "evar" && *wire != "json" {
+		fmt.Fprintf(os.Stderr, "evload: unknown wire format %q\n", *wire)
+		os.Exit(1)
+	}
+
+	names := strings.Split(*netsFlag, ",")
+	cl := evedge.NewServeClient(*addr, nil)
+	if _, err := cl.Health(); err != nil {
+		fmt.Fprintf(os.Stderr, "evload: server not reachable: %v\n", err)
+		os.Exit(1)
+	}
+
+	reports := make([]sessionReport, *sessions)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := strings.TrimSpace(names[i%len(names)])
+			reports[i] = runSession(cl, name, *level, *dur, *chunk, *rate, *speed, *wire, *seed+int64(i))
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	rep := loadReport{Sessions: reports, WallSeconds: wall}
+	failed := false
+	for _, r := range reports {
+		if r.Err != "" {
+			failed = true
+			continue
+		}
+		rep.TotalEvents += r.Events
+		if r.SimP99MS > rep.MaxSimP99MS {
+			rep.MaxSimP99MS = r.SimP99MS
+		}
+	}
+	if wall > 0 {
+		rep.EventsPerSec = float64(rep.TotalEvents) / wall
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "evload:", err)
+			os.Exit(1)
+		}
+	} else {
+		printReport(rep)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runSession streams one session end to end and collapses it into a
+// report row.
+func runSession(cl *evedge.ServeClient, name string, level int, dur, chunkUS int64, rate, speed float64, wire string, seed int64) sessionReport {
+	rep := sessionReport{Network: name}
+	fail := func(err error) sessionReport {
+		rep.Err = err.Error()
+		return rep
+	}
+	net, err := evedge.LoadNetwork(name)
+	if err != nil {
+		return fail(err)
+	}
+	stream, err := evedge.GenerateSequence(net.Input.Preset, evedge.HalfScale, seed, dur)
+	if err != nil {
+		return fail(err)
+	}
+	if rate > 0 {
+		stream = subsample(stream, rate, dur)
+	}
+
+	snap, err := cl.CreateSession(evedge.ServeSessionConfig{Network: name, Level: level})
+	if err != nil {
+		return fail(err)
+	}
+	rep.Session = snap.ID
+
+	var wallUS []float64
+	for t0 := int64(0); t0 < dur; t0 += chunkUS {
+		c := stream.Slice(t0, t0+chunkUS)
+		req := time.Now()
+		var err error
+		if wire == "json" {
+			_, err = cl.SendEventsJSON(snap.ID, c)
+		} else {
+			_, err = cl.SendEvents(snap.ID, c)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		wallUS = append(wallUS, float64(time.Since(req).Microseconds()))
+		rep.Events += c.Len()
+		rep.Chunks++
+		if speed > 0 {
+			if lag := time.Duration(float64(chunkUS)/speed)*time.Microsecond - time.Since(req); lag > 0 {
+				time.Sleep(lag)
+			}
+		}
+	}
+
+	fin, err := cl.CloseSession(snap.ID)
+	if err != nil {
+		return fail(err)
+	}
+	rep.FramesIn = fin.FramesIn
+	rep.FramesDropped = fin.FramesDropped
+	rep.Invocations = fin.Invocations
+	rep.MergeRatio = fin.MergeRatio
+	rep.ThroughputFPS = fin.ThroughputFPS
+	rep.SimP50MS = fin.Latency.P50US / 1000
+	rep.SimP99MS = fin.Latency.P99US / 1000
+	sort.Float64s(wallUS)
+	rep.WallP50MS = pick(wallUS, 0.50) / 1000
+	rep.WallP99MS = pick(wallUS, 0.99) / 1000
+	return rep
+}
+
+// subsample thins the stream to approximately targetEPS events/s.
+func subsample(s *evedge.Stream, targetEPS float64, durUS int64) *evedge.Stream {
+	native := float64(s.Len()) / (float64(durUS) * 1e-6)
+	if native <= targetEPS || native == 0 {
+		return s
+	}
+	keepEvery := native / targetEPS
+	out := &evedge.Stream{Width: s.Width, Height: s.Height}
+	next := 0.0
+	for i, e := range s.Events {
+		if float64(i) >= next {
+			out.Events = append(out.Events, e)
+			next += keepEvery
+		}
+	}
+	return out
+}
+
+// pick reads a quantile from a sorted sample.
+func pick(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func printReport(rep loadReport) {
+	fmt.Printf("%-6s %-18s %9s %8s %7s %7s %9s %9s %9s %9s\n",
+		"sess", "network", "events", "frames", "drops", "invoc", "fps", "sim p50", "sim p99", "wall p99")
+	for _, r := range rep.Sessions {
+		if r.Err != "" {
+			fmt.Printf("%-6s %-18s ERROR: %s\n", r.Session, r.Network, r.Err)
+			continue
+		}
+		fmt.Printf("%-6s %-18s %9d %8d %7d %7d %9.1f %7.2fms %7.2fms %7.2fms\n",
+			r.Session, r.Network, r.Events, r.FramesIn, r.FramesDropped, r.Invocations,
+			r.ThroughputFPS, r.SimP50MS, r.SimP99MS, r.WallP99MS)
+	}
+	fmt.Printf("\ntotal: %d events in %.2fs (%.0f events/s), worst sim p99 %.2f ms\n",
+		rep.TotalEvents, rep.WallSeconds, rep.EventsPerSec, rep.MaxSimP99MS)
+}

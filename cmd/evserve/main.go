@@ -1,0 +1,88 @@
+// Command evserve runs the multi-tenant streaming inference server: a
+// long-lived HTTP service that accepts AER event streams into
+// per-client sessions and multiplexes them onto one shared simulated
+// Jetson Xavier AGX through the Ev-Edge pipeline.
+//
+// Usage:
+//
+//	evserve [-addr :7733] [-workers 4] [-queue 64] [-drop drop-oldest]
+//	        [-mapper rr|nmp]
+//
+// API:
+//
+//	POST   /v1/sessions              {"network":"DOTIE","level":2}
+//	POST   /v1/sessions/{id}/events  EVAR binary or JSON chunk
+//	GET    /v1/sessions[/{id}]       session stats
+//	POST   /v1/sessions/{id}/close   flush + final stats
+//	DELETE /v1/sessions/{id}         same as close
+//	GET    /healthz                  liveness + session counts
+//	GET    /metrics                  Prometheus text exposition
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	evedge "evedge"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7733", "listen address")
+		workers = flag.Int("workers", 4, "worker pool size")
+		queue   = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
+		drop    = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
+		mapper  = flag.String("mapper", "rr", "session placement policy: rr (round-robin) or nmp (evolutionary search)")
+	)
+	flag.Parse()
+
+	cfg := evedge.DefaultServeConfig()
+	cfg.Workers = *workers
+	cfg.QueueCap = *queue
+	cfg.Mapper = evedge.MapperPolicy(*mapper)
+	switch *drop {
+	case "drop-oldest", "oldest":
+		cfg.DropPolicy = evedge.DropOldest
+	case "drop-newest", "newest":
+		cfg.DropPolicy = evedge.DropNewest
+	default:
+		fmt.Fprintf(os.Stderr, "evserve: unknown drop policy %q\n", *drop)
+		os.Exit(1)
+	}
+
+	srv, err := evedge.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evserve:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("evserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	log.Printf("evserve: listening on %s (workers=%d, queue=%d, mapper=%s)",
+		*addr, cfg.Workers, cfg.QueueCap, cfg.Mapper)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "evserve:", err)
+		os.Exit(1)
+	}
+	<-done
+}

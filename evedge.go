@@ -25,6 +25,9 @@
 package evedge
 
 import (
+	"io"
+	"net/http"
+
 	"evedge/internal/events"
 	"evedge/internal/experiments"
 	"evedge/internal/hw"
@@ -33,6 +36,7 @@ import (
 	"evedge/internal/perf"
 	"evedge/internal/pipeline"
 	"evedge/internal/scene"
+	"evedge/internal/serve"
 )
 
 // Core type aliases: the implementation lives in internal packages;
@@ -169,3 +173,54 @@ func FullExperimentConfig() ExperimentConfig { return experiments.DefaultConfig(
 
 // QuickExperimentConfig returns reduced settings for fast iteration.
 func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// Serving aliases: the multi-tenant streaming inference server
+// (cmd/evserve) and its client (cmd/evload).
+type (
+	// ServeConfig tunes the streaming inference server.
+	ServeConfig = serve.Config
+	// Server multiplexes client sessions onto one shared platform.
+	Server = serve.Server
+	// ServeClient talks to a running evserve instance.
+	ServeClient = serve.Client
+	// ServeSessionConfig is a session creation request.
+	ServeSessionConfig = serve.SessionConfig
+	// SessionSnapshot is the observable state of a serving session.
+	SessionSnapshot = serve.SessionSnapshot
+	// IngestResult acknowledges one ingested event chunk.
+	IngestResult = serve.IngestResult
+	// ServeHealth is the /healthz payload.
+	ServeHealth = serve.Health
+	// DropPolicy selects what a full session ingest queue sheds.
+	DropPolicy = serve.DropPolicy
+	// MapperPolicy selects how sessions are placed on the platform.
+	MapperPolicy = serve.MapperPolicy
+)
+
+// Session placement policies and queue drop policies.
+const (
+	MapperNMP  = serve.MapperNMP
+	MapperRR   = serve.MapperRR
+	DropOldest = serve.DropOldest
+	DropNewest = serve.DropNewest
+)
+
+// DefaultServeConfig returns the server defaults (Xavier platform,
+// round-robin placement, 4 workers).
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// NewServer starts the worker pool and returns the streaming server;
+// mount NewServer(...).Handler() on an HTTP listener and Close it on
+// shutdown.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewServeClient returns a client for the server at base (e.g.
+// "http://localhost:7733"). A nil http.Client uses a 30 s timeout.
+func NewServeClient(base string, hc *http.Client) *ServeClient { return serve.NewClient(base, hc) }
+
+// EncodeEvents serializes a stream in the EVAR binary wire format —
+// the same format the server's ingest endpoint accepts.
+func EncodeEvents(w io.Writer, s *Stream) error { return events.WriteBinary(w, s) }
+
+// DecodeEvents parses a stream from the EVAR binary wire format.
+func DecodeEvents(r io.Reader) (*Stream, error) { return events.ReadBinary(r) }

@@ -1,0 +1,3 @@
+module evedge
+
+go 1.24

@@ -1,0 +1,140 @@
+package events
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// validHeader builds an EVAR header for a w x h sensor with the given
+// record count and version.
+func validHeader(version uint16, w, h int, count uint64) []byte {
+	b := []byte("EVAR")
+	hdr := make([]byte, 2+2+2+8)
+	binary.LittleEndian.PutUint16(hdr[0:], version)
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(w))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(h))
+	binary.LittleEndian.PutUint64(hdr[6:], count)
+	return append(b, hdr...)
+}
+
+// record serializes one 13-byte EVAR record.
+func record(e Event) []byte {
+	rec := make([]byte, 13)
+	binary.LittleEndian.PutUint16(rec[0:], e.X)
+	binary.LittleEndian.PutUint16(rec[2:], e.Y)
+	binary.LittleEndian.PutUint64(rec[4:], uint64(e.TS))
+	rec[12] = byte(e.Pol)
+	return rec
+}
+
+func TestReadBinaryTruncatedMagic(t *testing.T) {
+	_, err := ReadBinary(bytes.NewReader([]byte("EV")))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("truncated magic: got %v", err)
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	_, err := ReadBinary(bytes.NewReader([]byte("NOPE\x01\x00\x00\x00")))
+	if err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Fatalf("bad magic: got %v", err)
+	}
+}
+
+func TestReadBinaryTruncatedHeader(t *testing.T) {
+	// Valid magic, then only half the header.
+	buf := append([]byte("EVAR"), make([]byte, 5)...)
+	_, err := ReadBinary(bytes.NewReader(buf))
+	if err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("truncated header: got %v", err)
+	}
+}
+
+func TestReadBinaryVersionMismatch(t *testing.T) {
+	buf := validHeader(99, 8, 8, 0)
+	_, err := ReadBinary(bytes.NewReader(buf))
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("version mismatch: got %v", err)
+	}
+}
+
+func TestReadBinaryCountZeroRunsToEOF(t *testing.T) {
+	// count=0 is the append-friendly mode: records run to EOF and the
+	// count check is skipped.
+	buf := validHeader(1, 16, 12, 0)
+	want := []Event{
+		{X: 1, Y: 2, TS: 100, Pol: On},
+		{X: 3, Y: 4, TS: 200, Pol: Off},
+		{X: 5, Y: 6, TS: 300, Pol: On},
+	}
+	for _, e := range want {
+		buf = append(buf, record(e)...)
+	}
+	s, err := ReadBinary(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if s.Width != 16 || s.Height != 12 {
+		t.Fatalf("geometry %dx%d, want 16x12", s.Width, s.Height)
+	}
+	if len(s.Events) != len(want) {
+		t.Fatalf("read %d events, want %d", len(s.Events), len(want))
+	}
+	for i, e := range want {
+		if s.Events[i] != e {
+			t.Fatalf("event %d = %v, want %v", i, s.Events[i], e)
+		}
+	}
+}
+
+func TestReadBinaryCountZeroEmptyRoundTrip(t *testing.T) {
+	// A count=0 header with no records decodes to an empty stream.
+	s, err := ReadBinary(bytes.NewReader(validHeader(1, 4, 4, 0)))
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("read %d events from empty body", s.Len())
+	}
+	// And writing it back yields a decodable stream again.
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil || back.Len() != 0 || back.Width != 4 {
+		t.Fatalf("round trip: %v, %+v", err, back)
+	}
+}
+
+func TestReadBinaryTruncatedRecord(t *testing.T) {
+	buf := validHeader(1, 8, 8, 0)
+	buf = append(buf, record(Event{X: 1, Y: 1, TS: 10, Pol: On})...)
+	buf = append(buf, 0x01, 0x02, 0x03) // 3 bytes of a 13-byte record
+	_, err := ReadBinary(bytes.NewReader(buf))
+	if err == nil || !strings.Contains(err.Error(), "record") {
+		t.Fatalf("truncated record: got %v", err)
+	}
+}
+
+func TestReadBinaryCountMismatch(t *testing.T) {
+	// Header promises 5 records, body carries 2.
+	buf := validHeader(1, 8, 8, 5)
+	buf = append(buf, record(Event{X: 1, Y: 1, TS: 10, Pol: On})...)
+	buf = append(buf, record(Event{X: 2, Y: 2, TS: 20, Pol: Off})...)
+	_, err := ReadBinary(bytes.NewReader(buf))
+	if err == nil || !strings.Contains(err.Error(), "header count 5 but read 2") {
+		t.Fatalf("count mismatch: got %v", err)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("")); err == nil {
+		t.Fatal("empty text accepted")
+	}
+	if _, err := ReadText(strings.NewReader("10 10\n5 x y z\n")); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+}

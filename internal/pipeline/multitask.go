@@ -120,9 +120,24 @@ func RunMultiTask(cfg MultiTaskConfig) (*MultiTaskReport, error) {
 
 	engine := hw.NewEngine(cfg.Platform, false)
 	umBusy := 0.0
+	plans := make([]*ExecPlan, len(cfg.Nets))
+	for t := range cfg.Nets {
+		p, err := PlanFromAssignment(cfg.Assignment, t, true)
+		if err != nil {
+			return nil, err
+		}
+		plans[t] = p
+	}
 	latencies := make([][]float64, len(cfg.Nets))
 	for _, job := range jobs {
-		end := scheduleInvocation(engine, model, cfg, job, &umBusy)
+		net := cfg.Nets[job.task]
+		inv := &Invocation{
+			Frames:  []*sparse.Frame{job.frame},
+			ReadyUS: job.readyUS,
+			Raw:     1,
+			PerRaw:  []RawRef{{job.readyUS, 1}},
+		}
+		end := ScheduleOnEngine(engine, model, net, plans[job.task], inv, &umBusy, net.Name)
 		latencies[job.task] = append(latencies[job.task], end-job.readyUS)
 	}
 
@@ -153,55 +168,4 @@ func RunMultiTask(cfg MultiTaskConfig) (*MultiTaskReport, error) {
 		rep.DeviceBusyUS[d.Name] = engine.BusyTime(d)
 	}
 	return rep, nil
-}
-
-// scheduleInvocation pushes one inference through the shared queues:
-// layer i runs on its assigned device after its producers (plus
-// transfers) and whatever else occupies that device's queue.
-func scheduleInvocation(engine *hw.Engine, model *perf.Model, cfg MultiTaskConfig, job invocationJob, umBusy *float64) float64 {
-	net := cfg.Nets[job.task]
-	platform := cfg.Platform
-	density := job.frame.Density()
-	end := make([]float64, len(net.Layers))
-	var last float64
-	for i, l := range net.Layers {
-		devID := cfg.Assignment.Device[job.task][i]
-		dev := platform.Devices[devID]
-		prec := cfg.Assignment.Prec[job.task][i]
-		inDen := density
-		if len(net.Preds[i]) > 0 {
-			inDen = 0
-			for _, p := range net.Preds[i] {
-				if d := net.Layers[p].ActDensity; d > inDen {
-					inDen = d
-				}
-			}
-		}
-		dur, err := model.LayerTimeUS(l, dev, prec, perf.ExecOpts{InputDensity: inDen})
-		if err != nil {
-			dur = math.Inf(1)
-		}
-		if sp, err := model.LayerTimeUS(l, dev, prec, perf.ExecOpts{Sparse: true, InputDensity: inDen}); err == nil && sp < dur {
-			dur = sp
-		}
-		ready := job.readyUS
-		for _, p := range net.Preds[i] {
-			pready := end[p]
-			if cfg.Assignment.Device[job.task][p] != devID {
-				c := model.CommUS(net.Layers[p], platform.Devices[cfg.Assignment.Device[job.task][p]], dev, cfg.Assignment.Prec[job.task][p])
-				cs := math.Max(pready, *umBusy)
-				*umBusy = cs + c
-				pready = *umBusy
-			}
-			if pready > ready {
-				ready = pready
-			}
-		}
-		_, e := engine.Submit(dev, ready, dur, fmt.Sprintf("%s/%s", net.Name, l.Name))
-		end[i] = e
-		if e > last {
-			last = e
-		}
-	}
-	return last
 }

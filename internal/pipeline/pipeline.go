@@ -131,20 +131,6 @@ func TunedDSFA(net *nn.Network) dsfa.Config {
 	return cfg
 }
 
-// item is one inference input flowing through the simulated executor.
-type item struct {
-	frames  []*sparse.Frame // batch members
-	readyUS float64         // when the newest member finished forming
-	raw     int             // raw frames represented
-	// perRaw lists (readiness, count) pairs for latency attribution.
-	perRaw []rawRef
-}
-
-type rawRef struct {
-	readyUS float64
-	n       int
-}
-
 // Run executes the streaming simulation and returns the report.
 func Run(cfg Config) (*Report, error) {
 	if cfg.Net == nil {
@@ -306,40 +292,21 @@ func medianRatePerUS(stream *events.Stream, durUS int64) float64 {
 	return float64(counts[len(counts)/2]) / win
 }
 
-// plan is the per-layer execution decision.
-type plan struct {
-	dev    []int
-	prec   []nn.Precision
-	sparse bool
-	// framingOps charges the baseline's dense event-frame construction
-	// to the first layer of every invocation.
-	framingOps int64
-}
-
 // buildPlan decides mapping, precision and representation per level,
 // returning the NMP result (LevelNMP) and the DSFA merge accuracy
 // penalty (LevelDSFA and up).
-func buildPlan(cfg Config, model *perf.Model, frames []*sparse.Frame) (*plan, *nmp.Result, float64, error) {
+func buildPlan(cfg Config, model *perf.Model, frames []*sparse.Frame) (*ExecPlan, *nmp.Result, float64, error) {
 	net := cfg.Net
-	gpu := cfg.Platform.GPUDevice()
-	if gpu == nil {
-		return nil, nil, 0, fmt.Errorf("pipeline: platform has no GPU")
-	}
-	p := &plan{
-		dev:    make([]int, len(net.Layers)),
-		prec:   make([]nn.Precision, len(net.Layers)),
-		sparse: cfg.Level >= LevelE2SF,
-	}
 	// The all-GPU implementation deploys at half precision, TensorRT's
 	// best practice on Xavier; Ev-Edge's precision gains come from
 	// INT8, not from beating an artificially slow FP32 baseline.
-	for i := range net.Layers {
-		p.dev[i] = gpu.ID
-		p.prec[i] = nn.FP16
+	p, err := DefaultPlan(net, cfg.Platform, cfg.Level >= LevelE2SF)
+	if err != nil {
+		return nil, nil, 0, err
 	}
 	if cfg.Level == LevelBaseline {
 		// Dense event-frame construction: full tensor stores per frame.
-		p.framingOps = int64(2 * frames[0].H * frames[0].W)
+		p.FramingOps = int64(2 * frames[0].H * frames[0].W)
 	}
 
 	mergePenalty := 0.0
@@ -394,8 +361,8 @@ func buildPlan(cfg Config, model *perf.Model, frames []*sparse.Frame) (*plan, *n
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	copy(p.dev, res.Assignment.Device[0])
-	copy(p.prec, res.Assignment.Prec[0])
+	copy(p.Device, res.Assignment.Device[0])
+	copy(p.Prec, res.Assignment.Prec[0])
 	return p, res, mergePenalty, nil
 }
 
@@ -418,67 +385,65 @@ type execResult struct {
 	dropped      int
 }
 
-// runExecutor simulates the streaming executor. Below LevelDSFA every
-// frame is one invocation served FIFO. At LevelDSFA and above, frames
-// enter the aggregator as they are produced and a batch is dispatched
-// whenever the hardware becomes available — so during bursts (or on
-// slow mappings) frames accumulate and merge, which is exactly the
+// runExecutor simulates the streaming executor by driving the Stepper
+// the same way a live server would. Below LevelDSFA every frame is one
+// invocation served FIFO. At LevelDSFA and above, frames enter the
+// aggregator as they are produced and a batch is dispatched whenever
+// the hardware becomes available — so during bursts (or on slow
+// mappings) frames accumulate and merge, which is exactly the
 // backlog-clearing behaviour of the paper's Sec. 4.2.
-func runExecutor(model *perf.Model, cfg Config, p *plan, frames []*sparse.Frame) *execResult {
+func runExecutor(model *perf.Model, cfg Config, p *ExecPlan, frames []*sparse.Frame) *execResult {
 	res := &execResult{busyPerDev: map[int]float64{}, mergeRatio: 1}
-	serve := func(it item, startAfter float64) float64 {
-		start := math.Max(startAfter, it.readyUS)
-		dur, busy := invocationTime(model, cfg.Net, p, it)
+	serve := func(inv *Invocation, startAfter float64) float64 {
+		start := math.Max(startAfter, inv.ReadyUS)
+		dur, busy := InvocationCost(model, cfg.Net, p, inv)
 		end := start + dur
 		for dev, b := range busy {
 			res.busyPerDev[dev] += b
 		}
-		for _, rr := range it.perRaw {
-			for k := 0; k < rr.n; k++ {
-				res.latencies = append(res.latencies, end-rr.readyUS)
+		for _, rr := range inv.PerRaw {
+			for k := 0; k < rr.N; k++ {
+				res.latencies = append(res.latencies, end-rr.ReadyUS)
 			}
 		}
 		res.invocations++
-		res.batchedUnits += len(it.frames)
+		res.batchedUnits += len(inv.Frames)
 		return end
+	}
+
+	st, err := NewStepper(cfg.Level, dsfaConfig(cfg))
+	if err != nil {
+		// dsfaConfig only returns validated tunings; fail loud.
+		panic(err)
 	}
 
 	if cfg.Level < LevelDSFA {
 		var t float64
 		for _, f := range frames {
-			t = serve(item{
-				frames:  []*sparse.Frame{f},
-				readyUS: float64(f.T1),
-				raw:     1,
-				perRaw:  []rawRef{{float64(f.T1), 1}},
-			}, t)
+			st.Push(f)
+			t = serve(st.Next(t), t)
 		}
 		res.makespan = t
 		return res
 	}
 
-	agg, err := dsfa.New(dsfaConfig(cfg))
-	if err != nil {
-		// dsfaConfig only returns validated tunings; fail loud.
-		panic(err)
-	}
 	var t float64
 	idx := 0
 	for {
 		// Deliver frames that have formed by the time the hardware
 		// frees up.
 		for idx < len(frames) && float64(frames[idx].T1) <= t {
-			agg.Push(frames[idx])
+			st.Push(frames[idx])
 			idx++
 		}
 		// The hardware is available: dispatch ready (full or stale)
 		// buckets; open buckets keep filling to preserve merging.
-		batch := agg.DispatchReady(int64(t))
-		if batch == nil {
+		inv := st.Next(t)
+		if inv == nil {
 			if idx >= len(frames) {
 				// End of stream: flush whatever remains.
-				batch = agg.Dispatch()
-				if batch == nil {
+				inv = st.Flush()
+				if inv == nil {
 					break
 				}
 			} else {
@@ -487,95 +452,11 @@ func runExecutor(model *perf.Model, cfg Config, p *plan, frames []*sparse.Frame)
 				continue
 			}
 		}
-		it := item{}
-		for _, m := range batch.Merged {
-			it.frames = append(it.frames, m.Frames...)
-			it.raw += m.NumMerged
-			it.perRaw = append(it.perRaw, rawRef{float64(m.T1), m.NumMerged})
-			if float64(m.T1) > it.readyUS {
-				it.readyUS = float64(m.T1)
-			}
-		}
-		t = serve(it, t)
+		t = serve(inv, t)
 	}
-	st := agg.Stats()
-	res.mergeRatio = st.MergeRatio()
-	res.dropped = st.DroppedFrames
+	stats := st.Stats()
+	res.mergeRatio = stats.MergeRatio()
+	res.dropped = stats.DroppedFrames
 	res.makespan = t
 	return res
-}
-
-// invocationTime prices one batched inference by list-scheduling the
-// single-task layer graph (Eq. 3 semantics, same as the Network
-// Mapper's estimator): per-layer times at the planned device and
-// precision with runtime kernel selection (the faster of dense and
-// sparse when the level enables sparsity), transfer nodes on device
-// changes, and parallel branches overlapping across devices.
-func invocationTime(model *perf.Model, net *nn.Network, p *plan, it item) (float64, map[int]float64) {
-	batch := len(it.frames)
-	if batch == 0 {
-		return 0, nil
-	}
-	density := 0.0
-	for _, f := range it.frames {
-		density += f.Density()
-	}
-	density /= float64(batch)
-
-	busy := map[int]float64{}
-	platform := model.Platform()
-	devFree := make([]float64, len(platform.Devices))
-	umFree := 0.0
-	end := make([]float64, len(net.Layers))
-	var makespan float64
-	for i, l := range net.Layers {
-		dev := platform.Devices[p.dev[i]]
-		inDen := density
-		if len(net.Preds[i]) > 0 {
-			inDen = 0
-			for _, pr := range net.Preds[i] {
-				if d := net.Layers[pr].ActDensity; d > inDen {
-					inDen = d
-				}
-			}
-		}
-		opts := perf.ExecOpts{Batch: batch, InputDensity: inDen}
-		if len(net.Preds[i]) == 0 {
-			opts.FramingOverheadOps = p.framingOps * int64(batch)
-		}
-		dur, err := model.LayerTimeUS(l, dev, p.prec[i], opts)
-		if err != nil {
-			// Planned mapping is validated; treat as infinite cost.
-			dur = math.Inf(1)
-		}
-		if p.sparse {
-			sOpts := opts
-			sOpts.Sparse = true
-			if sp, err := model.LayerTimeUS(l, dev, p.prec[i], sOpts); err == nil && sp < dur {
-				dur = sp
-			}
-		}
-		// Ready when all producers (plus their transfers) complete.
-		ready := 0.0
-		for _, pr := range net.Preds[i] {
-			pready := end[pr]
-			if p.dev[pr] != p.dev[i] {
-				c := model.CommUS(net.Layers[pr], platform.Devices[p.dev[pr]], dev, p.prec[pr])
-				cs := math.Max(pready, umFree)
-				umFree = cs + c
-				pready = umFree
-			}
-			if pready > ready {
-				ready = pready
-			}
-		}
-		start := math.Max(ready, devFree[p.dev[i]])
-		end[i] = start + dur
-		devFree[p.dev[i]] = end[i]
-		busy[dev.ID] += dur
-		if end[i] > makespan {
-			makespan = end[i]
-		}
-	}
-	return makespan, busy
 }

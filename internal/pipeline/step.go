@@ -1,0 +1,328 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"evedge/internal/dsfa"
+	"evedge/internal/hw"
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+	"evedge/internal/sparse"
+	"evedge/internal/taskgraph"
+)
+
+// ExecPlan is the resolved per-layer execution decision for one
+// network: device and precision per layer, whether the sparse kernel
+// path is enabled, and any framing overhead charged to the first
+// layer. Run builds one per streaming run; the serving layer builds
+// one per session from the shared mapper assignment.
+type ExecPlan struct {
+	Device []int
+	Prec   []nn.Precision
+	Sparse bool
+	// FramingOps charges the baseline's dense event-frame construction
+	// (element stores per frame) to the first layer of every invocation.
+	FramingOps int64
+}
+
+// DefaultPlan maps every layer to the GPU at FP16 — the all-GPU
+// deployment every optimization level starts from.
+func DefaultPlan(net *nn.Network, p *hw.Platform, sparse bool) (*ExecPlan, error) {
+	gpu := p.GPUDevice()
+	if gpu == nil {
+		return nil, fmt.Errorf("pipeline: platform has no GPU")
+	}
+	plan := &ExecPlan{
+		Device: make([]int, len(net.Layers)),
+		Prec:   make([]nn.Precision, len(net.Layers)),
+		Sparse: sparse,
+	}
+	for i := range net.Layers {
+		plan.Device[i] = gpu.ID
+		plan.Prec[i] = nn.FP16
+	}
+	return plan, nil
+}
+
+// PlanFromAssignment extracts task t's slice of a multi-task mapper
+// assignment as a single-network execution plan.
+func PlanFromAssignment(asg *taskgraph.Assignment, task int, sparse bool) (*ExecPlan, error) {
+	if asg == nil || task < 0 || task >= len(asg.Device) {
+		return nil, fmt.Errorf("pipeline: assignment has no task %d", task)
+	}
+	return &ExecPlan{
+		Device: append([]int(nil), asg.Device[task]...),
+		Prec:   append([]nn.Precision(nil), asg.Prec[task]...),
+		Sparse: sparse,
+	}, nil
+}
+
+// RawRef attributes a batch member back to the raw frames it
+// represents: ReadyUS is when those frames finished forming, N how
+// many of them there are.
+type RawRef struct {
+	ReadyUS float64
+	N       int
+}
+
+// Invocation is one batched inference input flowing through the
+// executor: the batch members, when the newest one finished forming,
+// and the per-raw-frame latency attribution.
+type Invocation struct {
+	Frames  []*sparse.Frame
+	ReadyUS float64
+	Raw     int
+	PerRaw  []RawRef
+}
+
+// invFromBatch converts a DSFA dispatch batch into an invocation.
+func invFromBatch(b *dsfa.Batch) *Invocation {
+	inv := &Invocation{}
+	for _, m := range b.Merged {
+		inv.Frames = append(inv.Frames, m.Frames...)
+		inv.Raw += m.NumMerged
+		inv.PerRaw = append(inv.PerRaw, RawRef{float64(m.T1), m.NumMerged})
+		if float64(m.T1) > inv.ReadyUS {
+			inv.ReadyUS = float64(m.T1)
+		}
+	}
+	return inv
+}
+
+// singleFrameInv wraps one raw frame as its own invocation (the
+// below-LevelDSFA path: one inference per frame).
+func singleFrameInv(f *sparse.Frame) *Invocation {
+	return &Invocation{
+		Frames:  []*sparse.Frame{f},
+		ReadyUS: float64(f.T1),
+		Raw:     1,
+		PerRaw:  []RawRef{{float64(f.T1), 1}},
+	}
+}
+
+// Stepper turns a stream of sparse frames into inference invocations
+// one step at a time — the per-frame execution unit factored out of
+// Run so a long-lived server can drive the pipeline incrementally
+// instead of batch-only. Below LevelDSFA every pushed frame becomes
+// one FIFO invocation; at LevelDSFA and above frames enter the
+// Dynamic Sparse Frame Aggregator and invocations are formed whenever
+// the hardware reports itself available (Next) or the stream ends
+// (Flush).
+type Stepper struct {
+	level Level
+	agg   *dsfa.Aggregator // nil below LevelDSFA
+	fifo  []*sparse.Frame
+}
+
+// NewStepper builds a stepper for the level. The DSFA config is only
+// consulted at LevelDSFA and above; pass the zero value otherwise.
+func NewStepper(level Level, cfg dsfa.Config) (*Stepper, error) {
+	s := &Stepper{level: level}
+	if level >= LevelDSFA {
+		agg, err := dsfa.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.agg = agg
+	}
+	return s, nil
+}
+
+// Push inserts a raw sparse frame produced by E2SF.
+func (s *Stepper) Push(f *sparse.Frame) {
+	if s.agg == nil {
+		s.fifo = append(s.fifo, f)
+		return
+	}
+	s.agg.Push(f)
+}
+
+// Next returns the next invocation ready at hardware-available time
+// nowUS, or nil when nothing is ready yet. At LevelDSFA and above this
+// is the paper's hardware-became-available dispatch: full or stale
+// buckets drain, open buckets keep filling.
+func (s *Stepper) Next(nowUS float64) *Invocation {
+	if s.agg == nil {
+		if len(s.fifo) == 0 {
+			return nil
+		}
+		f := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		return singleFrameInv(f)
+	}
+	b := s.agg.DispatchReady(int64(nowUS))
+	if b == nil {
+		return nil
+	}
+	return invFromBatch(b)
+}
+
+// Flush drains everything still buffered — open buckets included — as
+// one final invocation, or nil if nothing is pending. Use at end of
+// stream or session close.
+func (s *Stepper) Flush() *Invocation {
+	if s.agg == nil {
+		if len(s.fifo) == 0 {
+			return nil
+		}
+		f := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		return singleFrameInv(f)
+	}
+	b := s.agg.Dispatch()
+	if b == nil {
+		return nil
+	}
+	return invFromBatch(b)
+}
+
+// Pending returns raw frames buffered but not yet dispatched.
+func (s *Stepper) Pending() int {
+	if s.agg == nil {
+		return len(s.fifo)
+	}
+	return s.agg.PendingFrames()
+}
+
+// Stats returns the aggregator counters (zero below LevelDSFA).
+func (s *Stepper) Stats() dsfa.Stats {
+	if s.agg == nil {
+		return dsfa.Stats{}
+	}
+	return s.agg.Stats()
+}
+
+// batchDensity is the mean spatial density across the batch members.
+func batchDensity(inv *Invocation) float64 {
+	if len(inv.Frames) == 0 {
+		return 0
+	}
+	var d float64
+	for _, f := range inv.Frames {
+		d += f.Density()
+	}
+	return d / float64(len(inv.Frames))
+}
+
+// layerDur prices one layer of an invocation under the plan: the
+// dense kernel, or the faster of dense and sparse when the plan
+// enables the sparse path.
+func layerDur(model *perf.Model, net *nn.Network, p *ExecPlan, i int, dev *hw.Device, batch int, density float64) float64 {
+	l := net.Layers[i]
+	inDen := density
+	if len(net.Preds[i]) > 0 {
+		inDen = 0
+		for _, pr := range net.Preds[i] {
+			if d := net.Layers[pr].ActDensity; d > inDen {
+				inDen = d
+			}
+		}
+	}
+	opts := perf.ExecOpts{Batch: batch, InputDensity: inDen}
+	if len(net.Preds[i]) == 0 {
+		opts.FramingOverheadOps = p.FramingOps * int64(batch)
+	}
+	dur, err := model.LayerTimeUS(l, dev, p.Prec[i], opts)
+	if err != nil {
+		// Planned mappings are validated; treat as infinite cost.
+		dur = math.Inf(1)
+	}
+	if p.Sparse {
+		sOpts := opts
+		sOpts.Sparse = true
+		if sp, err := model.LayerTimeUS(l, dev, p.Prec[i], sOpts); err == nil && sp < dur {
+			dur = sp
+		}
+	}
+	return dur
+}
+
+// InvocationCost prices one batched inference by list-scheduling the
+// single-task layer graph on otherwise-idle devices (Eq. 3 semantics,
+// same as the Network Mapper's estimator): per-layer times at the
+// planned device and precision with runtime kernel selection, transfer
+// nodes on device changes, and parallel branches overlapping across
+// devices. It returns the invocation makespan and per-device busy
+// time.
+func InvocationCost(model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invocation) (float64, map[int]float64) {
+	batch := len(inv.Frames)
+	if batch == 0 {
+		return 0, nil
+	}
+	density := batchDensity(inv)
+
+	busy := map[int]float64{}
+	platform := model.Platform()
+	devFree := make([]float64, len(platform.Devices))
+	umFree := 0.0
+	end := make([]float64, len(net.Layers))
+	var makespan float64
+	for i := range net.Layers {
+		dev := platform.Devices[p.Device[i]]
+		dur := layerDur(model, net, p, i, dev, batch, density)
+		// Ready when all producers (plus their transfers) complete.
+		ready := 0.0
+		for _, pr := range net.Preds[i] {
+			pready := end[pr]
+			if p.Device[pr] != p.Device[i] {
+				c := model.CommUS(net.Layers[pr], platform.Devices[p.Device[pr]], dev, p.Prec[pr])
+				cs := math.Max(pready, umFree)
+				umFree = cs + c
+				pready = umFree
+			}
+			if pready > ready {
+				ready = pready
+			}
+		}
+		start := math.Max(ready, devFree[p.Device[i]])
+		end[i] = start + dur
+		devFree[p.Device[i]] = end[i]
+		busy[dev.ID] += dur
+		if end[i] > makespan {
+			makespan = end[i]
+		}
+	}
+	return makespan, busy
+}
+
+// ScheduleOnEngine pushes one batched inference through the shared
+// per-device FIFO queues of a live engine — Eq. 3 semantics with
+// cross-task contention: layers start no earlier than their producers
+// (plus unified-memory transfers, serialized through umBusy) and queue
+// behind whatever other tasks occupy their device. It returns the
+// invocation completion time. The multi-task runner and the serving
+// layer both schedule through this.
+func ScheduleOnEngine(engine *hw.Engine, model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invocation, umBusy *float64, tag string) float64 {
+	batch := len(inv.Frames)
+	if batch == 0 {
+		return 0
+	}
+	density := batchDensity(inv)
+	platform := engine.Platform()
+	end := make([]float64, len(net.Layers))
+	var last float64
+	for i, l := range net.Layers {
+		dev := platform.Devices[p.Device[i]]
+		dur := layerDur(model, net, p, i, dev, batch, density)
+		ready := inv.ReadyUS
+		for _, pr := range net.Preds[i] {
+			pready := end[pr]
+			if p.Device[pr] != p.Device[i] {
+				c := model.CommUS(net.Layers[pr], platform.Devices[p.Device[pr]], dev, p.Prec[pr])
+				cs := math.Max(pready, *umBusy)
+				*umBusy = cs + c
+				pready = *umBusy
+			}
+			if pready > ready {
+				ready = pready
+			}
+		}
+		_, e := engine.Submit(dev, ready, dur, fmt.Sprintf("%s/%s", tag, l.Name))
+		end[i] = e
+		if e > last {
+			last = e
+		}
+	}
+	return last
+}

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"evedge/internal/events"
+)
+
+// Client talks to an evserve instance. It is safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://localhost:7733"). A nil http.Client uses a 30 s timeout.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// do issues one request and decodes the JSON response into out,
+// surfacing the server's error payload on non-2xx statuses.
+func (c *Client) do(method, path, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession opens a session and returns its initial snapshot.
+func (c *Client) CreateSession(cfg SessionConfig) (*SessionSnapshot, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var snap SessionSnapshot
+	if err := c.do(http.MethodPost, "/v1/sessions", "application/json", bytes.NewReader(b), &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// SendEvents streams one chunk in the EVAR binary wire format.
+func (c *Client) SendEvents(id string, chunk *events.Stream) (*IngestResult, error) {
+	var buf bytes.Buffer
+	if err := events.WriteBinary(&buf, chunk); err != nil {
+		return nil, err
+	}
+	var res IngestResult
+	if err := c.do(http.MethodPost, "/v1/sessions/"+id+"/events", "application/octet-stream", &buf, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// SendEventsJSON streams one chunk in the JSON wire format.
+func (c *Client) SendEventsJSON(id string, chunk *events.Stream) (*IngestResult, error) {
+	b, err := json.Marshal(ChunkFromStream(chunk))
+	if err != nil {
+		return nil, err
+	}
+	var res IngestResult
+	if err := c.do(http.MethodPost, "/v1/sessions/"+id+"/events", "application/json", bytes.NewReader(b), &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Session fetches a session snapshot.
+func (c *Client) Session(id string) (*SessionSnapshot, error) {
+	var snap SessionSnapshot
+	if err := c.do(http.MethodGet, "/v1/sessions/"+id, "", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Sessions lists all sessions.
+func (c *Client) Sessions() ([]SessionSnapshot, error) {
+	var snaps []SessionSnapshot
+	if err := c.do(http.MethodGet, "/v1/sessions", "", nil, &snaps); err != nil {
+		return nil, err
+	}
+	return snaps, nil
+}
+
+// CloseSession closes a session and returns its final snapshot.
+func (c *Client) CloseSession(id string) (*SessionSnapshot, error) {
+	var snap SessionSnapshot
+	if err := c.do(http.MethodPost, "/v1/sessions/"+id+"/close", "", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health() (*Health, error) {
+	var h Health
+	if err := c.do(http.MethodGet, "/healthz", "", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("serve: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// latencyRecorder keeps bounded-memory latency statistics: exact
+// count/sum/max over the session lifetime plus a sliding window of
+// recent observations for quantiles. 4096 samples bound the memory of
+// a long-lived session while keeping p99 meaningful (≈41 samples past
+// the 99th percentile).
+type latencyRecorder struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int
+	count uint64
+	sum   float64
+	max   float64
+}
+
+const latencyWindow = 4096
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{ring: make([]float64, 0, latencyWindow)}
+}
+
+func (r *latencyRecorder) observe(v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.sum += v
+	if v > r.max {
+		r.max = v
+	}
+	if len(r.ring) < latencyWindow {
+		r.ring = append(r.ring, v)
+	} else {
+		r.ring[r.next] = v
+		r.next = (r.next + 1) % latencyWindow
+	}
+}
+
+// LatencySummary is a snapshot of the recorder. Quantiles come from
+// the retained window; Count/Mean/Max cover the whole lifetime.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+func (r *latencyRecorder) snapshot() LatencySummary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := LatencySummary{Count: r.count, MaxUS: r.max}
+	if r.count > 0 {
+		s.MeanUS = r.sum / float64(r.count)
+	}
+	if len(r.ring) == 0 {
+		return s
+	}
+	win := append([]float64(nil), r.ring...)
+	sort.Float64s(win)
+	s.P50US = quantile(win, 0.50)
+	s.P99US = quantile(win, 0.99)
+	return s
+}
+
+// quantile reads the q-quantile from a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// promWriter accumulates Prometheus text-exposition output with
+// per-metric HELP/TYPE headers emitted once.
+type promWriter struct {
+	b      strings.Builder
+	headed map[string]bool
+}
+
+func newPromWriter() *promWriter {
+	return &promWriter{headed: map[string]bool{}}
+}
+
+// counter and gauge emit one sample; labels is a pre-rendered
+// `name="value",...` string (empty for unlabelled metrics).
+func (w *promWriter) counter(name, help, labels string, v float64) {
+	w.sample(name, "counter", help, labels, v)
+}
+
+func (w *promWriter) gauge(name, help, labels string, v float64) {
+	w.sample(name, "gauge", help, labels, v)
+}
+
+func (w *promWriter) sample(name, typ, help, labels string, v float64) {
+	if !w.headed[name] {
+		w.headed[name] = true
+		fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	if labels != "" {
+		fmt.Fprintf(&w.b, "%s{%s} %g\n", name, labels, v)
+	} else {
+		fmt.Fprintf(&w.b, "%s %g\n", name, v)
+	}
+}
+
+func (w *promWriter) String() string { return w.b.String() }
+
+// promLabels renders label pairs in the given order.
+func promLabels(kv ...string) string {
+	var parts []string
+	for i := 0; i+1 < len(kv); i += 2 {
+		parts = append(parts, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"evedge/internal/sparse"
+)
+
+// DropPolicy selects what a full ingest queue discards.
+type DropPolicy int
+
+// Drop policies. DropOldest mirrors DSFA's backlog semantics (the
+// inference queue "discards the earliest entries on overflow"): stale
+// frames are worth less than fresh ones to a perception pipeline.
+// DropNewest refuses new work instead, the classic load-shedding
+// answer when completed work must never be wasted.
+const (
+	DropOldest DropPolicy = iota
+	DropNewest
+)
+
+// String names the policy.
+func (p DropPolicy) String() string {
+	if p == DropNewest {
+		return "drop-newest"
+	}
+	return "drop-oldest"
+}
+
+// ParseDropPolicy parses a policy name.
+func ParseDropPolicy(s string) (DropPolicy, error) {
+	switch s {
+	case "", "drop-oldest", "oldest":
+		return DropOldest, nil
+	case "drop-newest", "newest":
+		return DropNewest, nil
+	}
+	return 0, fmt.Errorf("serve: unknown drop policy %q", s)
+}
+
+// frameQueue is the bounded per-session ingest queue sitting between
+// the HTTP ingest path and the worker pool. It is the session's
+// explicit backpressure point: pushes never block, overflow drops per
+// the policy, and every drop is counted so clients can observe the
+// shedding in /metrics and ingest responses.
+type frameQueue struct {
+	mu      sync.Mutex
+	buf     []*sparse.Frame
+	cap     int
+	policy  DropPolicy
+	pushed  uint64
+	dropped uint64
+}
+
+func newFrameQueue(capacity int, policy DropPolicy) *frameQueue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &frameQueue{cap: capacity, policy: policy}
+}
+
+// push enqueues a frame, shedding per the policy when full. It returns
+// how many frames were dropped by this push (0 or 1).
+func (q *frameQueue) push(f *sparse.Frame) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pushed++
+	if len(q.buf) >= q.cap {
+		q.dropped++
+		if q.policy == DropNewest {
+			return 1
+		}
+		// Drop-oldest: evict the head to admit the fresh frame.
+		copy(q.buf, q.buf[1:])
+		q.buf = q.buf[:len(q.buf)-1]
+		q.buf = append(q.buf, f)
+		return 1
+	}
+	q.buf = append(q.buf, f)
+	return 0
+}
+
+// drain removes and returns up to max frames (all when max <= 0).
+func (q *frameQueue) drain(max int) []*sparse.Frame {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.buf)
+	if max > 0 && n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*sparse.Frame, n)
+	copy(out, q.buf)
+	rest := copy(q.buf, q.buf[n:])
+	q.buf = q.buf[:rest]
+	return out
+}
+
+// len returns the queued frame count.
+func (q *frameQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
+}
+
+// stats returns total pushed and dropped frame counts.
+func (q *frameQueue) stats() (pushed, dropped uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pushed, q.dropped
+}

@@ -1,0 +1,531 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"evedge/internal/events"
+	"evedge/internal/nn"
+	"evedge/internal/pipeline"
+	"evedge/internal/scene"
+	"evedge/internal/sparse"
+)
+
+// genStream renders a preset sequence at half scale.
+func genStream(t *testing.T, p scene.Preset, seed, durUS int64) *events.Stream {
+	t.Helper()
+	seq, err := scene.NewSequence(p, scene.Half, seed)
+	if err != nil {
+		t.Fatalf("NewSequence: %v", err)
+	}
+	s, err := seq.Generate(durUS)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return s
+}
+
+// chunks splits a stream into consecutive chunkUS-long pieces.
+func chunks(s *events.Stream, durUS, chunkUS int64) []*events.Stream {
+	var out []*events.Stream
+	for t0 := int64(0); t0 < durUS; t0 += chunkUS {
+		out = append(out, s.Slice(t0, t0+chunkUS))
+	}
+	return out
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client, func()) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	cl := NewClient(hs.URL, hs.Client())
+	return srv, cl, func() {
+		hs.Close()
+		srv.Close()
+	}
+}
+
+func TestFrameQueueDropOldest(t *testing.T) {
+	q := newFrameQueue(2, DropOldest)
+	f := func(id int64) *sparse.Frame { return sparse.NewFrame(4, 4, id, id+1) }
+	if d := q.push(f(0)); d != 0 {
+		t.Fatalf("push 0 dropped %d", d)
+	}
+	q.push(f(1))
+	if d := q.push(f(2)); d != 1 {
+		t.Fatalf("overflow push dropped %d, want 1", d)
+	}
+	got := q.drain(0)
+	if len(got) != 2 || got[0].T0 != 1 || got[1].T0 != 2 {
+		t.Fatalf("drop-oldest kept %v, want frames 1,2", []int64{got[0].T0, got[1].T0})
+	}
+	pushed, dropped := q.stats()
+	if pushed != 3 || dropped != 1 {
+		t.Fatalf("stats = %d pushed %d dropped, want 3/1", pushed, dropped)
+	}
+}
+
+func TestFrameQueueDropNewest(t *testing.T) {
+	q := newFrameQueue(2, DropNewest)
+	f := func(id int64) *sparse.Frame { return sparse.NewFrame(4, 4, id, id+1) }
+	q.push(f(0))
+	q.push(f(1))
+	if d := q.push(f(2)); d != 1 {
+		t.Fatalf("overflow push dropped %d, want 1", d)
+	}
+	got := q.drain(0)
+	if len(got) != 2 || got[0].T0 != 0 || got[1].T0 != 1 {
+		t.Fatalf("drop-newest kept wrong frames")
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after drain")
+	}
+}
+
+// TestIngestConverterMatchesOffline feeds a stream chunk-by-chunk and
+// checks the incremental frames agree with the offline ConvertStream
+// on every completed window (time framing).
+func TestIngestConverterMatchesOffline(t *testing.T) {
+	net := nn.MustByName(nn.DOTIE) // FrameByTime, 5 ms windows
+	const dur = 200_000
+	stream := genStream(t, net.Input.Preset, 3, dur)
+
+	offline, _, err := pipeline.ConvertStream(net, stream, dur)
+	if err != nil {
+		t.Fatalf("ConvertStream: %v", err)
+	}
+
+	conv := &ingestConverter{spec: net.Input}
+	var inc []*sparse.Frame
+	for _, c := range chunks(stream, dur, 17_000) {
+		fs, err := conv.ingest(c)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		inc = append(inc, fs...)
+	}
+	if len(inc) == 0 {
+		t.Fatal("incremental conversion produced no frames")
+	}
+	if len(inc) > len(offline) {
+		t.Fatalf("incremental produced %d frames, offline %d", len(inc), len(offline))
+	}
+	for i, f := range inc {
+		o := offline[i]
+		if f.T0 != o.T0 || f.T1 != o.T1 || f.NNZ() != o.NNZ() {
+			t.Fatalf("frame %d: incremental {%d,%d,nnz=%d} != offline {%d,%d,nnz=%d}",
+				i, f.T0, f.T1, f.NNZ(), o.T0, o.T1, o.NNZ())
+		}
+	}
+	// The tail gap is at most the frames of one incomplete window.
+	if len(offline)-len(inc) > net.Input.NumBins {
+		t.Fatalf("incremental trails offline by %d frames", len(offline)-len(inc))
+	}
+}
+
+// TestIngestConverterCountFraming checks count-based framing emits
+// frames incrementally and the close flush emits the partial tail.
+func TestIngestConverterCountFraming(t *testing.T) {
+	net := nn.MustByName(nn.SpikeFlowNet) // FrameByCount
+	const dur = 150_000
+	stream := genStream(t, net.Input.Preset, 5, dur)
+
+	conv := &ingestConverter{spec: net.Input}
+	total := 0
+	var frames []*sparse.Frame
+	for _, c := range chunks(stream, dur, 25_000) {
+		fs, err := conv.ingest(c)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		frames = append(frames, fs...)
+		total += c.Len()
+	}
+	tail, err := conv.flush()
+	if err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	frames = append(frames, tail...)
+	if len(frames) < 2 {
+		t.Fatalf("count framing produced %d frames", len(frames))
+	}
+	var evs float64
+	for i, f := range frames {
+		evs += f.EventCount()
+		if i > 0 && f.T0 != frames[i-1].T1 {
+			t.Fatalf("frame %d not contiguous: T0=%d, prev T1=%d", i, f.T0, frames[i-1].T1)
+		}
+	}
+	if int(evs+0.5) != total {
+		t.Fatalf("frames hold %.0f events, ingested %d", evs, total)
+	}
+}
+
+// TestIngestConverterLargeEpoch feeds a stream whose timestamps start
+// far from zero: windowing must anchor at the stream's own epoch
+// instead of walking empty windows up from t=0.
+func TestIngestConverterLargeEpoch(t *testing.T) {
+	net := nn.MustByName(nn.DOTIE)
+	const epoch = int64(1_700_000_000_000_000) // wall-clock-like microseconds
+	conv := &ingestConverter{spec: net.Input}
+	chunk := events.NewStream(64, 64)
+	for i := int64(0); i < 200; i++ {
+		chunk.Append(events.Event{X: uint16(i % 64), Y: uint16(i % 48), TS: epoch + i*60, Pol: events.On})
+	}
+	done := make(chan struct{})
+	var frames []*sparse.Frame
+	var err error
+	go func() {
+		frames, err = conv.ingest(chunk)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ingest of large-epoch stream did not return (unbounded window walk)")
+	}
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	// 200 events over ~12 ms cover two 5 ms windows -> 2*NumBins frames.
+	if len(frames) != 2*net.Input.NumBins {
+		t.Fatalf("got %d frames, want %d", len(frames), 2*net.Input.NumBins)
+	}
+	if frames[0].T0 < epoch-net.Input.WindowUS || frames[0].T0 > epoch {
+		t.Fatalf("first frame T0=%d not anchored near epoch %d", frames[0].T0, epoch)
+	}
+	if got := conv.span(); got != 199*60 {
+		t.Fatalf("span = %d, want %d", got, 199*60)
+	}
+}
+
+// TestClosedSessionEviction bounds the retained closed-session set.
+func TestClosedSessionEviction(t *testing.T) {
+	srv, err := New(Config{Workers: 1, MaxClosed: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+	var ids []string
+	for i := 0; i < 4; i++ {
+		sess, err := srv.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1})
+		if err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+		ids = append(ids, sess.ID)
+		if _, err := srv.CloseSession(sess.ID); err != nil {
+			t.Fatalf("CloseSession: %v", err)
+		}
+	}
+	if _, ok := srv.Session(ids[0]); ok {
+		t.Fatalf("oldest closed session %s not evicted", ids[0])
+	}
+	if _, ok := srv.Session(ids[3]); !ok {
+		t.Fatalf("recent closed session %s evicted", ids[3])
+	}
+	if _, err := srv.CloseSession(ids[0]); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("closing evicted session: got %v, want ErrNoSession", err)
+	}
+}
+
+// TestSessionLifecycle covers create -> stream -> stats -> close over
+// HTTP with the EVAR binary wire format.
+func TestSessionLifecycle(t *testing.T) {
+	_, cl, stop := newTestServer(t, Config{Workers: 2})
+	defer stop()
+
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 2})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if snap.ID == "" || snap.State != "active" || snap.Network != nn.DOTIE {
+		t.Fatalf("bad create snapshot: %+v", snap)
+	}
+
+	const dur = 200_000
+	net := nn.MustByName(nn.DOTIE)
+	stream := genStream(t, net.Input.Preset, 11, dur)
+	var sent int
+	for _, c := range chunks(stream, dur, 20_000) {
+		res, err := cl.SendEvents(snap.ID, c)
+		if err != nil {
+			t.Fatalf("SendEvents: %v", err)
+		}
+		if res.Events != c.Len() {
+			t.Fatalf("ingest ack %d events, sent %d", res.Events, c.Len())
+		}
+		sent += res.Events
+	}
+
+	mid, err := cl.Session(snap.ID)
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if mid.EventsIn != uint64(sent) || mid.FramesIn == 0 {
+		t.Fatalf("mid-stream snapshot: %+v", mid)
+	}
+
+	fin, err := cl.CloseSession(snap.ID)
+	if err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if fin.State != "closed" {
+		t.Fatalf("final state %q", fin.State)
+	}
+	if fin.Invocations == 0 || fin.RawFramesDone == 0 {
+		t.Fatalf("nothing executed: %+v", fin)
+	}
+	if fin.ThroughputFPS <= 0 || fin.Latency.Count == 0 || fin.Latency.P99US <= 0 {
+		t.Fatalf("no latency/throughput: %+v", fin)
+	}
+
+	// Streaming into a closed session must fail.
+	if _, err := cl.SendEvents(snap.ID, stream.Slice(0, 1000)); err == nil {
+		t.Fatal("ingest into closed session succeeded")
+	}
+	// Closing again is idempotent and still returns the snapshot.
+	again, err := cl.CloseSession(snap.ID)
+	if err != nil || again.State != "closed" {
+		t.Fatalf("re-close: %v, %+v", err, again)
+	}
+}
+
+// TestBackpressureDrops floods a tiny ingest queue without letting
+// workers drain it and checks the shed counters.
+func TestBackpressureDrops(t *testing.T) {
+	srv, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	sess, err := srv.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1, QueueCap: 4})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	// Direct ingest never schedules a worker, so the queue cannot
+	// drain: every frame past the cap must be shed.
+	const dur = 200_000
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 7, dur)
+	res, err := sess.ingest(stream)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if res.Frames <= 4 {
+		t.Fatalf("test needs more frames than the queue cap, got %d", res.Frames)
+	}
+	if res.Dropped != res.Frames-4 {
+		t.Fatalf("dropped %d of %d frames, want %d", res.Dropped, res.Frames, res.Frames-4)
+	}
+	if res.QueueLen != 4 {
+		t.Fatalf("queue len %d, want 4", res.QueueLen)
+	}
+	snap := sess.snapshot()
+	if snap.FramesDropped != uint64(res.Dropped) {
+		t.Fatalf("snapshot drops %d, want %d", snap.FramesDropped, res.Dropped)
+	}
+	// Drop-oldest: the queue holds the newest frames.
+	kept := sess.queue.drain(0)
+	last := kept[len(kept)-1]
+	if last.T1 < dur/2 {
+		t.Fatalf("drop-oldest kept stale frames (last T1=%d)", last.T1)
+	}
+}
+
+// TestConcurrentSessionsSharedPlatform streams four sessions in
+// parallel onto one platform and checks they all make progress and
+// collectively spread over more than one device (RR placement).
+func TestConcurrentSessionsSharedPlatform(t *testing.T) {
+	srv, cl, stop := newTestServer(t, Config{Workers: 4})
+	defer stop()
+
+	nets := []string{nn.DOTIE, nn.HALSIE, nn.DOTIE, nn.HidalgoDepth}
+	const dur = 150_000
+	ids := make([]string, len(nets))
+	for i, name := range nets {
+		snap, err := cl.CreateSession(SessionConfig{Network: name, Level: 2})
+		if err != nil {
+			t.Fatalf("CreateSession %s: %v", name, err)
+		}
+		ids[i] = snap.ID
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(nets))
+	for i, name := range nets {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			stream := genStream(t, nn.MustByName(name).Input.Preset, int64(20+i), dur)
+			for _, c := range chunks(stream, dur, 25_000) {
+				if _, err := cl.SendEvents(ids[i], c); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("streaming: %v", err)
+	}
+
+	devices := map[string]bool{}
+	for _, id := range ids {
+		fin, err := cl.CloseSession(id)
+		if err != nil {
+			t.Fatalf("CloseSession %s: %v", id, err)
+		}
+		if fin.RawFramesDone == 0 || fin.ThroughputFPS <= 0 {
+			t.Fatalf("session %s made no progress: %+v", id, fin)
+		}
+		for _, d := range fin.Devices {
+			devices[d] = true
+		}
+	}
+	if len(devices) < 2 {
+		t.Fatalf("four RR sessions used %d device(s), want >= 2", len(devices))
+	}
+
+	// The shared engine saw cross-session work.
+	busy := 0.0
+	srv.engMu.Lock()
+	for _, d := range srv.cfg.Platform.Devices {
+		busy += srv.engine.BusyTime(d)
+	}
+	srv.engMu.Unlock()
+	if busy <= 0 {
+		t.Fatal("shared engine recorded no busy time")
+	}
+}
+
+// TestJSONIngestAndWireErrors covers the JSON wire format and the
+// ingest error paths.
+func TestJSONIngestAndWireErrors(t *testing.T) {
+	_, cl, stop := newTestServer(t, Config{Workers: 1})
+	defer stop()
+
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 3})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	const dur = 60_000
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 9, dur)
+	res, err := cl.SendEventsJSON(snap.ID, stream.Slice(0, 30_000))
+	if err != nil {
+		t.Fatalf("SendEventsJSON: %v", err)
+	}
+	if res.Events != stream.Slice(0, 30_000).Len() {
+		t.Fatalf("JSON ingest ack %d events", res.Events)
+	}
+
+	// Out-of-order chunk (before the watermark) is rejected.
+	if _, err := cl.SendEventsJSON(snap.ID, stream.Slice(0, 10_000)); err == nil {
+		t.Fatal("out-of-order chunk accepted")
+	}
+
+	// Unknown session.
+	if _, err := cl.SendEvents("nope", stream.Slice(30_000, 40_000)); err == nil {
+		t.Fatal("ingest into unknown session succeeded")
+	}
+
+	// Garbage binary body.
+	resp, err := http.Post(cl.base+"/v1/sessions/"+snap.ID+"/events",
+		"application/octet-stream", bytes.NewReader([]byte("not EVAR at all")))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown network at create.
+	if _, err := cl.CreateSession(SessionConfig{Network: "NoSuchNet"}); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+// TestHealthAndMetrics checks the operational endpoints.
+func TestHealthAndMetrics(t *testing.T) {
+	_, cl, stop := newTestServer(t, Config{Workers: 1})
+	defer stop()
+
+	h, err := cl.Health()
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "ok" || h.Workers != 1 {
+		t.Fatalf("health: %+v", h)
+	}
+
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 2})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 13, 60_000)
+	if _, err := cl.SendEvents(snap.ID, stream); err != nil {
+		t.Fatalf("SendEvents: %v", err)
+	}
+	if _, err := cl.CloseSession(snap.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	for _, want := range []string{
+		"evserve_sessions_total 1",
+		"evserve_session_events_total",
+		"evserve_session_frames_dropped_total",
+		"evserve_device_busy_us",
+		`session="` + snap.ID + `"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestMapperNMPPolicy runs the server under the evolutionary placement
+// policy with a tiny search budget.
+func TestMapperNMPPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("NMP search in -short mode")
+	}
+	cfg := Config{Workers: 1, Mapper: MapperNMP}
+	cfg.NMP = serveNMPConfig()
+	cfg.NMP.Population = 4
+	cfg.NMP.Generations = 2
+	_, cl, stop := newTestServer(t, cfg)
+	defer stop()
+
+	a, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 3})
+	if err != nil {
+		t.Fatalf("CreateSession under NMP: %v", err)
+	}
+	b, err := cl.CreateSession(SessionConfig{Network: nn.HALSIE, Level: 3})
+	if err != nil {
+		t.Fatalf("second CreateSession under NMP: %v", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 17, 50_000)
+	if _, err := cl.SendEvents(a.ID, stream); err != nil {
+		t.Fatalf("SendEvents: %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		if _, err := cl.CloseSession(id); err != nil {
+			t.Fatalf("CloseSession %s: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,712 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evedge/internal/events"
+	"evedge/internal/hw"
+	"evedge/internal/nmp"
+	"evedge/internal/nn"
+	"evedge/internal/perf"
+	"evedge/internal/pipeline"
+	"evedge/internal/quant"
+	"evedge/internal/sparse"
+	"evedge/internal/taskgraph"
+)
+
+// MapperPolicy selects how active sessions are placed on the platform.
+type MapperPolicy string
+
+// Placement policies: the Network Mapper's evolutionary search, or the
+// coarse round-robin baseline (network i on accelerator i mod N).
+const (
+	MapperNMP MapperPolicy = "nmp"
+	MapperRR  MapperPolicy = "rr"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Platform is the shared heterogeneous platform model; nil uses the
+	// Xavier AGX model.
+	Platform *hw.Platform
+	// Workers sizes the worker pool draining session queues (default 4).
+	Workers int
+	// QueueCap is the default per-session ingest queue bound in frames
+	// (default 64).
+	QueueCap int
+	// DropPolicy is the default shedding policy for full queues.
+	DropPolicy DropPolicy
+	// Mapper places active sessions' layers on devices: MapperRR
+	// (default) or MapperNMP. The policy re-runs on every session
+	// create and close.
+	Mapper MapperPolicy
+	// NMP tunes the MapperNMP search; the zero value uses a reduced
+	// population/generation count so session creation stays fast.
+	NMP nmp.Config
+	// DrainBatch caps frames a worker drains per pass so one flooding
+	// session cannot monopolize a worker (default 32).
+	DrainBatch int
+	// MaxBodyBytes bounds one ingest request body (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxClosed bounds how many closed sessions are retained for stats
+	// and /metrics before the oldest are evicted (default 64), keeping
+	// a long-lived server's memory and scrape size bounded.
+	MaxClosed int
+}
+
+// ErrNoSession reports an unknown session ID.
+var ErrNoSession = errors.New("serve: no such session")
+
+// DefaultConfig returns the server defaults.
+func DefaultConfig() Config {
+	return Config{
+		Workers:    4,
+		QueueCap:   64,
+		Mapper:     MapperRR,
+		DrainBatch: 32,
+	}
+}
+
+// serveNMPConfig is the reduced search used when MapperNMP is selected
+// without explicit settings: small enough to run at session-create
+// latency, large enough to beat round-robin placements.
+func serveNMPConfig() nmp.Config {
+	cfg := nmp.DefaultConfig()
+	cfg.Population = 12
+	cfg.Generations = 8
+	return cfg
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status         string  `json:"status"`
+	UptimeS        float64 `json:"uptime_s"`
+	SessionsActive int     `json:"sessions_active"`
+	SessionsTotal  int     `json:"sessions_total"`
+	Workers        int     `json:"workers"`
+	Platform       string  `json:"platform"`
+	Mapper         string  `json:"mapper"`
+}
+
+// Server multiplexes client sessions onto one shared platform. The
+// ingest path (HTTP) converts events to frames and enqueues them; the
+// worker pool drains queues through each session's Stepper and
+// schedules invocations on the shared engine with cross-session
+// contention — the serving analogue of the paper's multi-task runs.
+type Server struct {
+	cfg   Config
+	model *perf.Model
+	mux   *http.ServeMux
+	start time.Time
+
+	// engMu serializes the shared discrete-event engine (the hardware).
+	engMu  sync.Mutex
+	engine *hw.Engine
+	umBusy float64
+
+	// sessMu guards the session table and placement bookkeeping. The
+	// placement search itself runs outside it (see rebalance).
+	sessMu      sync.Mutex
+	sessions    map[string]*Session
+	order       []string // active sessions in creation order (placement)
+	closedOrder []string // retained closed sessions, oldest first
+	// placeGen increments whenever the active set changes; rebalance
+	// uses it to detect that a concurrently computed placement is stale.
+	placeGen uint64
+
+	runq    chan *Session
+	stopped chan struct{}
+	stop    sync.Once
+	wg      sync.WaitGroup
+	nextID  atomic.Uint64
+}
+
+// New validates cfg, starts the worker pool and returns the server.
+// Call Close to stop the workers.
+func New(cfg Config) (*Server, error) {
+	def := DefaultConfig()
+	if cfg.Platform == nil {
+		cfg.Platform = hw.Xavier()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = def.Workers
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = def.QueueCap
+	}
+	if cfg.DrainBatch <= 0 {
+		cfg.DrainBatch = def.DrainBatch
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.MaxClosed <= 0 {
+		cfg.MaxClosed = 64
+	}
+	switch cfg.Mapper {
+	case "":
+		cfg.Mapper = MapperRR
+	case MapperRR, MapperNMP:
+	default:
+		return nil, fmt.Errorf("serve: unknown mapper policy %q", cfg.Mapper)
+	}
+	if cfg.Platform.GPUDevice() == nil {
+		return nil, fmt.Errorf("serve: platform %q has no GPU", cfg.Platform.Name)
+	}
+	s := &Server{
+		cfg:      cfg,
+		model:    perf.NewModel(cfg.Platform),
+		engine:   hw.NewEngine(cfg.Platform, false),
+		sessions: map[string]*Session{},
+		runq:     make(chan *Session, 1024),
+		stopped:  make(chan struct{}),
+		start:    time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/close", s.handleClose)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler (mountable under httptest or a
+// real listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool. In-flight work finishes; queued frames
+// of never-closed sessions are abandoned.
+func (s *Server) Close() {
+	s.stop.Do(func() { close(s.stopped) })
+	s.wg.Wait()
+}
+
+// worker drains scheduled sessions until the server stops.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopped:
+			return
+		case sess := <-s.runq:
+			s.drainSession(sess)
+		}
+	}
+}
+
+// schedule puts the session on the run queue at most once.
+func (s *Server) schedule(sess *Session) {
+	if !sess.scheduled.CompareAndSwap(false, true) {
+		return
+	}
+	select {
+	case s.runq <- sess:
+	case <-s.stopped:
+	}
+}
+
+// drainSession drains the session's ingest queue in bounded batches.
+// Clearing the scheduled flag before draining guarantees no lost
+// wakeup: a push that lands after the flag clears re-enqueues the
+// session.
+func (s *Server) drainSession(sess *Session) {
+	sess.scheduled.Store(false)
+	for {
+		frames := sess.queue.drain(s.cfg.DrainBatch)
+		if len(frames) == 0 {
+			return
+		}
+		s.execute(sess, frames, false)
+	}
+}
+
+// execute pushes frames through the session's stepper and schedules
+// every ready invocation on the shared engine. flush drains open
+// aggregator buckets too (session close).
+func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	// A worker can lose the race with CloseSession: it drained frames
+	// before the close but acquires the session lock after the final
+	// flush ran. Serving those frames in flush mode keeps them from
+	// being stranded in open aggregator buckets forever.
+	if sess.closed {
+		flush = true
+	}
+	for _, f := range frames {
+		sess.stepper.Push(f)
+	}
+	for {
+		inv := sess.stepper.Next(sess.clockUS)
+		if inv == nil {
+			if !flush {
+				return
+			}
+			inv = sess.stepper.Flush()
+			if inv == nil {
+				return
+			}
+		}
+		// Shift the invocation into the engine's virtual timeline, then
+		// attribute latencies back in session stream time.
+		ginv := *inv
+		ginv.ReadyUS += sess.epochUS
+		engEnd := func() float64 {
+			s.engMu.Lock()
+			defer s.engMu.Unlock()
+			return pipeline.ScheduleOnEngine(s.engine, s.model, sess.Net, sess.plan, &ginv, &s.umBusy, sess.ID)
+		}()
+		end := engEnd - sess.epochUS
+		for _, rr := range inv.PerRaw {
+			lat := end - rr.ReadyUS
+			for k := 0; k < rr.N; k++ {
+				sess.lat.observe(lat)
+			}
+		}
+		for _, d := range sess.plan.Device {
+			sess.usedDevs[d] = true
+		}
+		sess.invocs++
+		sess.batched += uint64(len(inv.Frames))
+		sess.rawDone += uint64(inv.Raw)
+		if end > sess.clockUS {
+			sess.clockUS = end
+		}
+	}
+}
+
+// CreateSession registers a session programmatically (the HTTP create
+// handler goes through here too) and rebalances placement.
+func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
+	net, err := nn.ByName(cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Level < 0 || cfg.Level > int(pipeline.LevelNMP) {
+		return nil, fmt.Errorf("serve: level %d outside 0-%d", cfg.Level, int(pipeline.LevelNMP))
+	}
+	policy, err := ParseDropPolicy(cfg.DropPolicy)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DropPolicy == "" {
+		policy = s.cfg.DropPolicy
+	}
+	queueCap := cfg.QueueCap
+	if queueCap <= 0 {
+		queueCap = s.cfg.QueueCap
+	}
+	level := pipeline.Level(cfg.Level)
+	plan, err := pipeline.DefaultPlan(net, s.cfg.Platform, level >= pipeline.LevelE2SF)
+	if err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("s%d", s.nextID.Add(1))
+	sess, err := newSession(id, net, level, queueCap, policy, plan)
+	if err != nil {
+		return nil, err
+	}
+	s.engMu.Lock()
+	sess.epochUS = s.engine.Makespan()
+	s.engMu.Unlock()
+	s.sessMu.Lock()
+	s.sessions[id] = sess
+	s.order = append(s.order, id)
+	s.placeGen++
+	s.sessMu.Unlock()
+	if err := s.rebalance(); err != nil {
+		// Placement failure must not leak a half-created session.
+		s.sessMu.Lock()
+		delete(s.sessions, id)
+		s.removeFromOrderLocked(id)
+		s.placeGen++
+		s.sessMu.Unlock()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// removeFromOrderLocked drops one ID from the active placement order.
+func (s *Server) removeFromOrderLocked(id string) {
+	for i := range s.order {
+		if s.order[i] == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// CloseSession flushes and closes a session, rebalances the remaining
+// ones, and returns the final snapshot.
+func (s *Server) CloseSession(id string) (*SessionSnapshot, error) {
+	s.sessMu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		s.sessMu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	sess.mu.Lock()
+	alreadyClosed := sess.closed
+	sess.closed = true
+	var tail []*sparse.Frame
+	var err error
+	if !alreadyClosed {
+		tail, err = sess.conv.flush()
+	}
+	sess.mu.Unlock()
+	if !alreadyClosed {
+		s.removeFromOrderLocked(id)
+		s.placeGen++
+		// Retain a bounded closed-session history for stats; evict the
+		// oldest so a long-lived server's memory and /metrics stay flat.
+		s.closedOrder = append(s.closedOrder, id)
+		for len(s.closedOrder) > s.cfg.MaxClosed {
+			delete(s.sessions, s.closedOrder[0])
+			s.closedOrder = s.closedOrder[1:]
+		}
+	}
+	s.sessMu.Unlock()
+	if !alreadyClosed {
+		// Drain whatever ingest left behind, then flush the aggregator —
+		// even when the converter flush or the rebalance fails, so a
+		// failed close never strands queued frames behind a session that
+		// now rejects ingest.
+		tail = append(sess.queue.drain(0), tail...)
+		s.execute(sess, tail, true)
+		if rerr := s.rebalance(); rerr != nil && err == nil {
+			err = rerr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	snap := sess.snapshot()
+	return &snap, nil
+}
+
+// Session returns a session by ID.
+func (s *Server) Session(id string) (*Session, bool) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// rebalance recomputes the placement of all active sessions under the
+// configured policy and installs the per-session plans. The placement
+// computation (which for MapperNMP is an evolutionary search taking
+// real time) runs outside sessMu so ingest, stats and health traffic
+// are never stalled behind it; a generation check detects a
+// concurrently changed session set and retries.
+func (s *Server) rebalance() error {
+	for {
+		s.sessMu.Lock()
+		gen := s.placeGen
+		active := make([]*Session, 0, len(s.order))
+		for _, id := range s.order {
+			active = append(active, s.sessions[id])
+		}
+		s.sessMu.Unlock()
+		if len(active) == 0 {
+			return nil
+		}
+		nets := make([]*nn.Network, len(active))
+		for i, sess := range active {
+			nets[i] = sess.Net
+		}
+		var asg *taskgraph.Assignment
+		var err error
+		if s.cfg.Mapper == MapperNMP {
+			asg, err = s.searchAssignment(nets)
+		} else {
+			asg, err = nmp.RRNetwork(nets, s.cfg.Platform)
+		}
+		if err != nil {
+			return err
+		}
+		s.sessMu.Lock()
+		if gen != s.placeGen {
+			// The active set changed while we searched; recompute.
+			s.sessMu.Unlock()
+			continue
+		}
+		for i, sess := range active {
+			plan, perr := pipeline.PlanFromAssignment(asg, i, sess.Level >= pipeline.LevelE2SF)
+			if perr != nil {
+				s.sessMu.Unlock()
+				return perr
+			}
+			sess.mu.Lock()
+			plan.FramingOps = sess.plan.FramingOps
+			sess.plan = plan
+			sess.mu.Unlock()
+		}
+		s.sessMu.Unlock()
+		return nil
+	}
+}
+
+// searchAssignment runs the Network Mapper over the active workload
+// with per-task Table 2 accuracy budgets.
+func (s *Server) searchAssignment(nets []*nn.Network) (*taskgraph.Assignment, error) {
+	db, err := perf.BuildProfileDB(s.model, nets, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	ncfg := s.cfg.NMP
+	if ncfg.Population == 0 {
+		ncfg = serveNMPConfig()
+	}
+	mapper, err := nmp.NewMapper(db, s.model, ncfg)
+	if err != nil {
+		return nil, err
+	}
+	budgets := make([]float64, len(nets))
+	for i, net := range nets {
+		budgets[i] = quant.Table2Delta(net.Name)
+	}
+	if err := mapper.SetBudgets(budgets); err != nil {
+		return nil, err
+	}
+	res, err := mapper.Search()
+	if err != nil {
+		return nil, err
+	}
+	return res.Assignment, nil
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg SessionConfig
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding session config: %w", err))
+		return
+	}
+	sess, err := s.CreateSession(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.snapshot())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.sessMu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.sessMu.Unlock()
+	snaps := make([]SessionSnapshot, len(all))
+	for i, sess := range all {
+		snaps[i] = sess.snapshot()
+	}
+	// Creation order: IDs are "s<counter>", so shorter IDs come first
+	// and equal lengths compare lexicographically (s2 before s10).
+	sort.Slice(snaps, func(i, j int) bool {
+		a, b := snaps[i].ID, snaps[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	writeJSON(w, http.StatusOK, snaps)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.snapshot())
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.CloseSession(r.PathValue("id"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrNoSession) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	chunk, err := decodeChunk(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := sess.ingest(chunk)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if res.Frames > 0 {
+		s.schedule(sess)
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.sessMu.Lock()
+	active := len(s.order)
+	s.sessMu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:         "ok",
+		UptimeS:        time.Since(s.start).Seconds(),
+		SessionsActive: active,
+		SessionsTotal:  int(s.nextID.Load()),
+		Workers:        s.cfg.Workers,
+		Platform:       s.cfg.Platform.Name,
+		Mapper:         string(s.cfg.Mapper),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.sessMu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	active := len(s.order)
+	s.sessMu.Unlock()
+
+	pw := newPromWriter()
+	pw.gauge("evserve_uptime_seconds", "Server uptime.", "", time.Since(s.start).Seconds())
+	pw.gauge("evserve_sessions_active", "Sessions currently accepting events.", "", float64(active))
+	pw.gauge("evserve_sessions_total", "Sessions created since start.", "", float64(s.nextID.Load()))
+	s.engMu.Lock()
+	makespan := s.engine.Makespan()
+	busy := make([]float64, len(s.cfg.Platform.Devices))
+	for i, d := range s.cfg.Platform.Devices {
+		busy[i] = s.engine.BusyTime(d)
+	}
+	s.engMu.Unlock()
+	pw.gauge("evserve_engine_makespan_us", "Virtual time the last device queue drains.", "", makespan)
+	for i, d := range s.cfg.Platform.Devices {
+		pw.counter("evserve_device_busy_us", "Accumulated busy time per device.",
+			promLabels("device", d.Name), busy[i])
+	}
+	for _, sess := range all {
+		snap := sess.snapshot()
+		lbl := promLabels("session", snap.ID, "network", snap.Network)
+		pw.counter("evserve_session_events_total", "Events ingested.", lbl, float64(snap.EventsIn))
+		pw.counter("evserve_session_frames_total", "Sparse frames produced by E2SF.", lbl, float64(snap.FramesIn))
+		pw.counter("evserve_session_frames_dropped_total", "Frames shed by the bounded ingest queue.", lbl, float64(snap.FramesDropped))
+		pw.counter("evserve_session_frames_dropped_dsfa_total", "Raw frames shed by the DSFA inference queue.", lbl, float64(snap.FramesDroppedDSFA))
+		pw.counter("evserve_session_invocations_total", "Inference launches after DSFA merging.", lbl, float64(snap.Invocations))
+		pw.counter("evserve_session_raw_frames_done_total", "Raw frames whose inference completed.", lbl, float64(snap.RawFramesDone))
+		pw.gauge("evserve_session_queue_len", "Frames waiting in the ingest queue.", lbl, float64(snap.QueueLen))
+		pw.gauge("evserve_session_throughput_fps", "Raw frames served per stream-second.", lbl, snap.ThroughputFPS)
+		for q, v := range map[string]float64{"0.5": snap.Latency.P50US, "0.99": snap.Latency.P99US} {
+			pw.gauge("evserve_session_latency_us", "Per-raw-frame latency (virtual us).",
+				promLabels("session", snap.ID, "network", snap.Network, "quantile", q), v)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(pw.String()))
+}
+
+// decodeChunk parses an ingest body: JSON when the media type says
+// so (parameters like charset are tolerated), EVAR binary otherwise.
+func decodeChunk(contentType string, body io.Reader) (*events.Stream, error) {
+	mt, _, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		mt = ""
+	}
+	if mt == "application/json" {
+		var c ChunkJSON
+		if err := json.NewDecoder(body).Decode(&c); err != nil {
+			return nil, fmt.Errorf("decoding JSON chunk: %w", err)
+		}
+		return c.Stream()
+	}
+	return events.ReadBinary(body)
+}
+
+// EventJSON is one AER event on the JSON wire format: p is 1 (ON) or
+// -1/0 (OFF), matching the text codec's convention.
+type EventJSON struct {
+	X  uint16 `json:"x"`
+	Y  uint16 `json:"y"`
+	TS int64  `json:"ts"`
+	P  int8   `json:"p"`
+}
+
+// ChunkJSON is the JSON ingest payload.
+type ChunkJSON struct {
+	Width  int         `json:"width"`
+	Height int         `json:"height"`
+	Events []EventJSON `json:"events"`
+}
+
+// Stream converts the JSON chunk to an event stream.
+func (c *ChunkJSON) Stream() (*events.Stream, error) {
+	if c.Width <= 0 || c.Height <= 0 {
+		return nil, fmt.Errorf("serve: JSON chunk has no sensor geometry")
+	}
+	s := events.NewStream(c.Width, c.Height)
+	s.Events = make([]events.Event, len(c.Events))
+	for i, e := range c.Events {
+		pol := events.Off
+		if e.P == 1 {
+			pol = events.On
+		}
+		s.Events[i] = events.Event{X: e.X, Y: e.Y, TS: e.TS, Pol: pol}
+	}
+	return s, nil
+}
+
+// ChunkFromStream converts an event stream to the JSON wire format.
+func ChunkFromStream(s *events.Stream) *ChunkJSON {
+	c := &ChunkJSON{Width: s.Width, Height: s.Height, Events: make([]EventJSON, len(s.Events))}
+	for i, e := range s.Events {
+		p := int8(-1)
+		if e.Pol == events.On {
+			p = 1
+		}
+		c.Events[i] = EventJSON{X: e.X, Y: e.Y, TS: e.TS, P: p}
+	}
+	return c
+}

@@ -1,0 +1,388 @@
+// Package serve is the multi-tenant streaming inference layer over the
+// Ev-Edge pipeline: an HTTP server that accepts AER event streams into
+// per-client sessions, converts them incrementally through E2SF,
+// buffers them in bounded ingest queues with explicit load shedding,
+// and multiplexes all sessions onto one shared heterogeneous platform
+// through a worker pool and the Network Mapper's assignment (with
+// round-robin fallback). It turns the paper's one-shot offline
+// experiments into a long-lived serving path: how many event cameras
+// can one Xavier sustain, and at what tail latency.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evedge/internal/e2sf"
+	"evedge/internal/events"
+	"evedge/internal/nn"
+	"evedge/internal/pipeline"
+	"evedge/internal/sparse"
+)
+
+// SessionConfig is the client-supplied session creation request.
+type SessionConfig struct {
+	// Network is the zoo network the session runs (see nn.AllNames).
+	Network string `json:"network"`
+	// Level is the cumulative optimization level 0-3.
+	Level int `json:"level"`
+	// QueueCap bounds the ingest queue in frames (0 = server default).
+	QueueCap int `json:"queue_cap,omitempty"`
+	// DropPolicy is "drop-oldest" (default, DSFA backlog semantics) or
+	// "drop-newest".
+	DropPolicy string `json:"drop_policy,omitempty"`
+}
+
+// IngestResult tells the client what one event chunk became.
+type IngestResult struct {
+	Events   int `json:"events"`
+	Frames   int `json:"frames"`
+	Dropped  int `json:"dropped"`
+	QueueLen int `json:"queue_len"`
+}
+
+// SessionSnapshot is the observable state of a session.
+type SessionSnapshot struct {
+	ID            string    `json:"id"`
+	Network       string    `json:"network"`
+	Task          string    `json:"task"`
+	Level         string    `json:"level"`
+	State         string    `json:"state"`
+	CreatedAt     time.Time `json:"created_at"`
+	EventsIn      uint64    `json:"events_in"`
+	FramesIn      uint64    `json:"frames_in"`
+	FramesDropped uint64    `json:"frames_dropped"`
+	// FramesDroppedDSFA counts raw frames the aggregator's bounded
+	// inference queue shed, on top of the ingest-queue drops above.
+	FramesDroppedDSFA uint64         `json:"frames_dropped_dsfa"`
+	QueueLen          int            `json:"queue_len"`
+	QueueCap          int            `json:"queue_cap"`
+	DropPolicy        string         `json:"drop_policy"`
+	Invocations       uint64         `json:"invocations"`
+	BatchedUnits      uint64         `json:"batched_units"`
+	RawFramesDone     uint64         `json:"raw_frames_done"`
+	MergeRatio        float64        `json:"merge_ratio"`
+	StreamTimeUS      int64          `json:"stream_time_us"`
+	ThroughputFPS     float64        `json:"throughput_fps"`
+	Latency           LatencySummary `json:"latency"`
+	Devices           []string       `json:"devices"`
+}
+
+// Session is one client's stream bound to a network and an
+// optimization level. The HTTP ingest path converts event chunks to
+// sparse frames and pushes them into the bounded queue; workers drain
+// the queue through the pipeline Stepper onto the shared engine.
+type Session struct {
+	ID    string
+	Net   *nn.Network
+	Level pipeline.Level
+
+	queue *frameQueue
+	lat   *latencyRecorder
+
+	// scheduled marks the session as sitting in the worker run queue,
+	// so concurrent ingests enqueue it at most once.
+	scheduled atomic.Bool
+
+	mu       sync.Mutex
+	conv     *ingestConverter
+	stepper  *pipeline.Stepper
+	plan     *pipeline.ExecPlan
+	usedDevs map[int]bool // devices invocations actually ran on
+	created  time.Time
+	closed   bool
+	eventsIn uint64
+	framesIn uint64
+	invocs   uint64
+	batched  uint64
+	rawDone  uint64
+	// epochUS maps session stream time onto the shared engine's
+	// monotonic virtual time: a session created on a long-lived server
+	// starts at the engine's current horizon, not at virtual zero
+	// (which would queue its frames behind all history).
+	epochUS float64
+	// clockUS is the session's virtual hardware-available time: the
+	// later of the last invocation's completion and the stream
+	// watermark. DSFA staleness and dispatch decisions use it the same
+	// way the offline executor uses its loop clock.
+	clockUS float64
+}
+
+func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, policy DropPolicy, plan *pipeline.ExecPlan) (*Session, error) {
+	stepper, err := pipeline.NewStepper(level, pipeline.TunedDSFA(net))
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		ID:       id,
+		Net:      net,
+		Level:    level,
+		queue:    newFrameQueue(queueCap, policy),
+		lat:      newLatencyRecorder(),
+		conv:     &ingestConverter{spec: net.Input},
+		stepper:  stepper,
+		plan:     plan,
+		usedDevs: map[int]bool{},
+		created:  time.Now(),
+	}, nil
+}
+
+// ingest converts one event chunk into frames and queues them,
+// shedding per the drop policy. The chunk's events must be sorted and
+// must not precede what the session has already consumed.
+func (s *Session) ingest(chunk *events.Stream) (IngestResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res IngestResult
+	if s.closed {
+		return res, fmt.Errorf("serve: session %s is closed", s.ID)
+	}
+	frames, err := s.conv.ingest(chunk)
+	if err != nil {
+		return res, err
+	}
+	s.eventsIn += uint64(chunk.Len())
+	s.framesIn += uint64(len(frames))
+	if s.Level == pipeline.LevelBaseline && s.plan.FramingOps == 0 && len(frames) > 0 {
+		// Dense event-frame construction: full tensor stores per frame.
+		s.plan.FramingOps = int64(2 * frames[0].H * frames[0].W)
+	}
+	if wm := chunk.TEnd(); float64(wm) > s.clockUS {
+		s.clockUS = float64(wm)
+	}
+	res.Events = chunk.Len()
+	res.Frames = len(frames)
+	for _, f := range frames {
+		res.Dropped += s.queue.push(f)
+	}
+	res.QueueLen = s.queue.len()
+	return res, nil
+}
+
+// snapshot captures the session's observable state.
+func (s *Session) snapshot() SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := SessionSnapshot{
+		ID:            s.ID,
+		Network:       s.Net.Name,
+		Task:          s.Net.Task.String(),
+		Level:         s.Level.String(),
+		State:         "active",
+		CreatedAt:     s.created,
+		EventsIn:      s.eventsIn,
+		FramesIn:      s.framesIn,
+		QueueLen:      s.queue.len(),
+		QueueCap:      s.queue.cap,
+		DropPolicy:    s.queue.policy.String(),
+		Invocations:   s.invocs,
+		BatchedUnits:  s.batched,
+		RawFramesDone: s.rawDone,
+		StreamTimeUS:  s.conv.span(),
+		Latency:       s.lat.snapshot(),
+	}
+	if s.closed {
+		snap.State = "closed"
+	}
+	_, snap.FramesDropped = s.queue.stats()
+	snap.FramesDroppedDSFA = uint64(s.stepper.Stats().DroppedFrames)
+	if s.invocs > 0 {
+		snap.MergeRatio = float64(s.rawDone) / float64(s.invocs)
+	}
+	if span := s.conv.span(); span > 0 {
+		snap.ThroughputFPS = float64(s.rawDone) / (float64(span) * 1e-6)
+	}
+	snap.Devices = s.planDevicesLocked()
+	return snap
+}
+
+// planDevicesLocked lists the distinct device IDs the session executed
+// on (or, before the first invocation, the ones its plan would use).
+func (s *Session) planDevicesLocked() []string {
+	seen := s.usedDevs
+	if len(seen) == 0 {
+		seen = map[int]bool{}
+		for _, d := range s.plan.Device {
+			seen[d] = true
+		}
+	}
+	ids := make([]int, 0, len(seen))
+	for d := range seen {
+		ids = append(ids, d)
+	}
+	sort.Ints(ids)
+	out := make([]string, len(ids))
+	for i, d := range ids {
+		out[i] = fmt.Sprintf("dev%d", d)
+	}
+	return out
+}
+
+// ingestConverter is the incremental Event2Sparse Frame state of one
+// session: buffered not-yet-framed events plus the framing cursor.
+// Time framing emits one grouped frame set per completed accumulation
+// window; count framing emits a frame every N events, with N
+// calibrated once from the first chunk's event rate (as a deployment
+// tunes it on representative data).
+type ingestConverter struct {
+	spec      nn.InputSpec
+	e2        *e2sf.Converter
+	buf       *events.Stream
+	anchored  bool  // startTS/winStart initialized from the first events
+	startTS   int64 // first timestamp seen (stream epoch)
+	watermark int64 // latest timestamp consumed
+	winStart  int64 // next window start (time framing)
+	frStart   int64 // next frame start (count framing)
+	count     int   // events per frame (count framing), 0 = uncalibrated
+}
+
+// span is the stream time the session has covered so far.
+func (c *ingestConverter) span() int64 { return c.watermark - c.startTS }
+
+func (c *ingestConverter) ingest(chunk *events.Stream) ([]*sparse.Frame, error) {
+	if chunk.Width <= 0 || chunk.Height <= 0 {
+		return nil, fmt.Errorf("serve: chunk has no sensor geometry")
+	}
+	if !chunk.Sorted() {
+		return nil, fmt.Errorf("serve: chunk events are not time-sorted")
+	}
+	if c.e2 == nil {
+		conv, err := e2sf.New(e2sf.Config{
+			Width: chunk.Width, Height: chunk.Height, NumBins: c.spec.NumBins,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.e2 = conv
+		c.buf = events.NewStream(chunk.Width, chunk.Height)
+	}
+	if chunk.Width != c.buf.Width || chunk.Height != c.buf.Height {
+		return nil, fmt.Errorf("serve: chunk geometry %dx%d != session %dx%d",
+			chunk.Width, chunk.Height, c.buf.Width, c.buf.Height)
+	}
+	if chunk.Len() > 0 && chunk.TStart() < c.watermark {
+		return nil, fmt.Errorf("serve: chunk starts at %dus, before session watermark %dus",
+			chunk.TStart(), c.watermark)
+	}
+	c.buf.Events = append(c.buf.Events, chunk.Events...)
+	if chunk.Len() > 0 {
+		if !c.anchored {
+			c.anchored = true
+			// First events: anchor windowing at the stream's own epoch
+			// (aligned down to a window boundary) — client timestamps
+			// need not start near zero, and walking windows up from 0
+			// would loop per-window all the way to the first timestamp.
+			c.startTS = chunk.TStart()
+			if c.spec.WindowUS > 0 {
+				c.winStart = c.startTS - c.startTS%c.spec.WindowUS
+			}
+		}
+		c.watermark = chunk.TEnd()
+	}
+	if c.spec.Framing == nn.FrameByCount {
+		return c.convertByCount(false)
+	}
+	return c.convertWindows()
+}
+
+// convertWindows frames every accumulation window fully covered by the
+// watermark, exactly as the offline ConvertStream does.
+func (c *ingestConverter) convertWindows() ([]*sparse.Frame, error) {
+	var out []*sparse.Frame
+	for c.winStart+c.spec.WindowUS <= c.watermark {
+		t1 := c.winStart + c.spec.WindowUS
+		frames, _, err := c.e2.Convert(c.buf, c.winStart, t1)
+		if err != nil {
+			return nil, err
+		}
+		grouped, err := e2sf.GroupBins(frames, c.spec.GroupK)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, grouped...)
+		c.winStart = t1
+	}
+	c.trim(c.winStart)
+	return out, nil
+}
+
+// convertByCount frames every complete run of `count` buffered events;
+// when flush is true the trailing partial frame is emitted too.
+func (c *ingestConverter) convertByCount(flush bool) ([]*sparse.Frame, error) {
+	if c.count == 0 {
+		// Calibrate the event count per frame from the observed rate so
+		// the mean framing period matches the spec's target. Wait for at
+		// least one framing period of data first — a tiny or
+		// zero-duration first chunk would lock in a wildly wrong count
+		// for the session's whole lifetime.
+		if !flush && (c.buf.Duration() < c.spec.FramePeriodUS || c.buf.Len() < 2) {
+			return nil, nil
+		}
+		d := c.buf.Duration()
+		if d > 0 {
+			rate := float64(c.buf.Len()) / float64(d)
+			c.count = int(rate * float64(c.spec.FramePeriodUS))
+		} else {
+			// Flushing a degenerate buffer: one frame takes everything.
+			c.count = c.buf.Len()
+		}
+		if c.count < 1 {
+			c.count = 1
+		}
+		c.frStart = c.buf.TStart()
+	}
+	var out []*sparse.Frame
+	emit := func(run *events.Stream) error {
+		// Convert over the run's own span (duplicate timestamps at the
+		// previous frame's boundary must not be sliced away), then chain
+		// T0 to the previous frame's end.
+		t1 := run.TEnd() + 1
+		frames, _, err := c.e2.ConvertByCount(run, run.TStart(), t1, run.Len())
+		if err != nil {
+			return err
+		}
+		for _, f := range frames {
+			f.T0 = c.frStart
+			c.frStart = f.T1
+		}
+		out = append(out, frames...)
+		return nil
+	}
+	for c.buf.Len() >= c.count {
+		run := &events.Stream{Width: c.buf.Width, Height: c.buf.Height, Events: c.buf.Events[:c.count]}
+		if err := emit(run); err != nil {
+			return nil, err
+		}
+		c.buf.Events = c.buf.Events[c.count:]
+	}
+	if flush && c.buf.Len() > 0 {
+		if err := emit(c.buf); err != nil {
+			return nil, err
+		}
+		c.buf.Events = c.buf.Events[:0]
+	}
+	return out, nil
+}
+
+// flush frames whatever a session close leaves buffered: count framing
+// emits the trailing partial frame; time framing drops the incomplete
+// window, matching the offline converter.
+func (c *ingestConverter) flush() ([]*sparse.Frame, error) {
+	if c.e2 == nil {
+		return nil, nil
+	}
+	if c.spec.Framing == nn.FrameByCount {
+		return c.convertByCount(true)
+	}
+	return nil, nil
+}
+
+// trim discards consumed events (timestamps before t).
+func (c *ingestConverter) trim(t int64) {
+	s := c.buf.Slice(t, int64(1)<<62)
+	n := copy(c.buf.Events, s.Events)
+	c.buf.Events = c.buf.Events[:n]
+}
