@@ -1,8 +1,8 @@
 GO      ?= go
 BIN     := bin
-CMDS    := evedge evserve evload evbench evmap evprof evtrace
+CMDS    := evedge evserve evcluster evload evbench evmap evprof evtrace
 
-.PHONY: build test lint bench serve clean
+.PHONY: build test race lint bench serve cluster clean
 
 build:
 	@mkdir -p $(BIN)
@@ -13,6 +13,9 @@ test:
 	$(GO) build ./...
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./...
+
 lint:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
@@ -22,6 +25,9 @@ bench:
 
 serve: build
 	./$(BIN)/evserve -addr :7733
+
+cluster: build
+	./$(BIN)/evcluster -addr :7734 -nodes xavier:2,orin:2
 
 clean:
 	rm -rf $(BIN)

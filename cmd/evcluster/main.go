@@ -1,0 +1,104 @@
+// Command evcluster runs the sharded multi-node serving fleet: N
+// embedded evserve nodes (heterogeneous mixes of simulated Xavier and
+// Orin platforms) behind a router that owns session placement,
+// proxies the session lifecycle to the owning node, probes node
+// health, and fails sessions over to survivors when a node dies or
+// drains. The router speaks the same HTTP API as a single evserve
+// node, so evload and serve clients work against it unchanged.
+//
+// Usage:
+//
+//	evcluster [-addr :7734] [-nodes xavier:4,orin:4]
+//	          [-policy least-loaded|hash] [-probe 1s]
+//	          [-workers 4] [-queue 64] [-drop drop-oldest]
+//	          [-mapper rr|nmp]
+//
+// Fleet admin (beyond the single-node API):
+//
+//	GET  /v1/nodes               per-node health
+//	POST /v1/nodes/{name}/kill   simulate a node failure
+//	POST /v1/nodes/{name}/drain  graceful drain + migration
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	evedge "evedge"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7734", "listen address")
+		nodes   = flag.String("nodes", "xavier:2", "fleet spec: comma-separated platform[:count] groups, e.g. xavier:4,orin:4")
+		policy  = flag.String("policy", "least-loaded", "session placement policy: least-loaded or hash")
+		probe   = flag.Duration("probe", time.Second, "health probe interval (failover latency bound)")
+		workers = flag.Int("workers", 4, "worker pool size per node")
+		queue   = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
+		drop    = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
+		mapper  = flag.String("mapper", "rr", "per-node session placement: rr (round-robin) or nmp (evolutionary search)")
+	)
+	flag.Parse()
+
+	specs, err := evedge.ParseNodeSpecs(*nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evcluster:", err)
+		os.Exit(1)
+	}
+	pol, err := evedge.ParsePlacementPolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evcluster:", err)
+		os.Exit(1)
+	}
+	node := evedge.DefaultServeConfig()
+	node.Workers = *workers
+	node.QueueCap = *queue
+	node.Mapper = evedge.MapperPolicy(*mapper)
+	node.DropPolicy, err = evedge.ParseDropPolicy(*drop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evcluster:", err)
+		os.Exit(1)
+	}
+
+	c, err := evedge.NewCluster(evedge.ClusterConfig{
+		Nodes:         specs,
+		Policy:        pol,
+		ProbeInterval: *probe,
+		Node:          node,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evcluster:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: c.Handler()}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("evcluster: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		c.Close()
+	}()
+
+	log.Printf("evcluster: listening on %s (nodes=[%s], policy=%s, probe=%s, workers/node=%d)",
+		*addr, strings.Join(c.NodeNames(), ","), pol, *probe, *workers)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "evcluster:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	evedge [-net SpikeFlowNet] [-level 0..3] [-dur us] [-seed N] [-full]
-//	       [-json]
+//	evedge [-net SpikeFlowNet] [-level 0..3] [-platform xavier|orin]
+//	       [-dur us] [-seed N] [-full] [-json]
 //
 // Levels: 0 = all-GPU baseline, 1 = +E2SF, 2 = +E2SF+DSFA,
 // 3 = full Ev-Edge (+NMP). -json emits the report as machine-readable
@@ -31,6 +31,7 @@ type jsonReport struct {
 	Task             string                 `json:"task"`
 	Sequence         string                 `json:"sequence"`
 	Level            string                 `json:"level"`
+	Platform         string                 `json:"platform"`
 	DurationUS       int64                  `json:"duration_us"`
 	Seed             int64                  `json:"seed"`
 	Metric           string                 `json:"metric"`
@@ -40,13 +41,14 @@ type jsonReport struct {
 
 func main() {
 	var (
-		netName = flag.String("net", evedge.SpikeFlowNet, "network to run (see -list)")
-		level   = flag.Int("level", 3, "optimization level 0-3")
-		dur     = flag.Int64("dur", 2_000_000, "stream duration in microseconds")
-		seed    = flag.Int64("seed", 7, "random seed")
-		full    = flag.Bool("full", false, "full DAVIS346 resolution (default: half, faster)")
-		list    = flag.Bool("list", false, "list network names and exit")
-		asJSON  = flag.Bool("json", false, "emit the report as JSON")
+		netName  = flag.String("net", evedge.SpikeFlowNet, "network to run (see -list)")
+		level    = flag.Int("level", 3, "optimization level 0-3")
+		platform = flag.String("platform", "xavier", "platform model: xavier or orin")
+		dur      = flag.Int64("dur", 2_000_000, "stream duration in microseconds")
+		seed     = flag.Int64("seed", 7, "random seed")
+		full     = flag.Bool("full", false, "full DAVIS346 resolution (default: half, faster)")
+		list     = flag.Bool("list", false, "list network names and exit")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
 
@@ -63,16 +65,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evedge: level must be 0-3")
 		os.Exit(1)
 	}
+	plat, err := evedge.PlatformByName(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evedge:", err)
+		os.Exit(1)
+	}
 	scale := evedge.HalfScale
 	if *full {
 		scale = evedge.FullScale
 	}
 	rep, err := evedge.RunPipeline(evedge.PipelineConfig{
-		Net:   net,
-		Level: evedge.Level(*level),
-		Scale: scale,
-		DurUS: *dur,
-		Seed:  *seed,
+		Net:      net,
+		Platform: plat,
+		Level:    evedge.Level(*level),
+		Scale:    scale,
+		DurUS:    *dur,
+		Seed:     *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evedge:", err)
@@ -88,6 +96,7 @@ func main() {
 			Task:             net.Task.String(),
 			Sequence:         string(net.Input.Preset),
 			Level:            rep.Level.String(),
+			Platform:         plat.Name,
 			DurationUS:       *dur,
 			Seed:             *seed,
 			Metric:           net.Metric.Name,
@@ -103,6 +112,7 @@ func main() {
 	fmt.Printf("network:        %s (%s, %s)\n", net.Name, net.TypeDesc, net.Task)
 	fmt.Printf("sequence:       %s, %.1f s\n", net.Input.Preset, float64(*dur)*1e-6)
 	fmt.Printf("level:          %s\n", rep.Level)
+	fmt.Printf("platform:       %s\n", plat.Name)
 	fmt.Printf("raw frames:     %d (mean density %.2f%%)\n", rep.RawFrames, rep.MeanDensity*100)
 	fmt.Printf("invocations:    %d (merge ratio %.2f, %d dropped)\n",
 		rep.Invocations, rep.MergeRatio, rep.DroppedFrames)

@@ -30,6 +30,7 @@ import (
 
 type sessionReport struct {
 	Session       string  `json:"session"`
+	Node          string  `json:"node,omitempty"`
 	Network       string  `json:"network"`
 	Events        int     `json:"events"`
 	Chunks        int     `json:"chunks"`
@@ -45,12 +46,29 @@ type sessionReport struct {
 	Err           string  `json:"error,omitempty"`
 }
 
+// nodeDist is one row of the per-node session-distribution table,
+// populated when the target is a cluster (session snapshots carry a
+// node name).
+type nodeDist struct {
+	Node          string `json:"node"`
+	Sessions      int    `json:"sessions"`
+	Events        int    `json:"events"`
+	FramesIn      uint64 `json:"frames_in"`
+	FramesDropped uint64 `json:"frames_dropped"`
+}
+
 type loadReport struct {
-	Sessions     []sessionReport `json:"sessions"`
-	TotalEvents  int             `json:"total_events"`
-	WallSeconds  float64         `json:"wall_seconds"`
-	EventsPerSec float64         `json:"events_per_sec"`
-	MaxSimP99MS  float64         `json:"max_sim_p99_ms"`
+	Sessions           []sessionReport `json:"sessions"`
+	TotalEvents        int             `json:"total_events"`
+	TotalFramesIn      uint64          `json:"total_frames_in"`
+	TotalFramesDropped uint64          `json:"total_frames_dropped"`
+	// ShedRate is the aggregate ingest-queue loss:
+	// frames_dropped / frames_in over all sessions.
+	ShedRate     float64    `json:"shed_rate"`
+	WallSeconds  float64    `json:"wall_seconds"`
+	EventsPerSec float64    `json:"events_per_sec"`
+	MaxSimP99MS  float64    `json:"max_sim_p99_ms"`
+	Nodes        []nodeDist `json:"nodes,omitempty"`
 }
 
 func main() {
@@ -97,15 +115,38 @@ func main() {
 
 	rep := loadReport{Sessions: reports, WallSeconds: wall}
 	failed := false
+	byNode := map[string]*nodeDist{}
+	var nodeOrder []string
 	for _, r := range reports {
 		if r.Err != "" {
 			failed = true
 			continue
 		}
 		rep.TotalEvents += r.Events
+		rep.TotalFramesIn += r.FramesIn
+		rep.TotalFramesDropped += r.FramesDropped
 		if r.SimP99MS > rep.MaxSimP99MS {
 			rep.MaxSimP99MS = r.SimP99MS
 		}
+		if r.Node != "" {
+			d, ok := byNode[r.Node]
+			if !ok {
+				d = &nodeDist{Node: r.Node}
+				byNode[r.Node] = d
+				nodeOrder = append(nodeOrder, r.Node)
+			}
+			d.Sessions++
+			d.Events += r.Events
+			d.FramesIn += r.FramesIn
+			d.FramesDropped += r.FramesDropped
+		}
+	}
+	if rep.TotalFramesIn > 0 {
+		rep.ShedRate = float64(rep.TotalFramesDropped) / float64(rep.TotalFramesIn)
+	}
+	sort.Strings(nodeOrder)
+	for _, n := range nodeOrder {
+		rep.Nodes = append(rep.Nodes, *byNode[n])
 	}
 	if wall > 0 {
 		rep.EventsPerSec = float64(rep.TotalEvents) / wall
@@ -179,6 +220,7 @@ func runSession(cl *evedge.ServeClient, name string, level int, dur, chunkUS int
 	if err != nil {
 		return fail(err)
 	}
+	rep.Node = fin.Node
 	rep.FramesIn = fin.FramesIn
 	rep.FramesDropped = fin.FramesDropped
 	rep.Invocations = fin.Invocations
@@ -223,17 +265,36 @@ func pick(sorted []float64, q float64) float64 {
 }
 
 func printReport(rep loadReport) {
-	fmt.Printf("%-6s %-18s %9s %8s %7s %7s %9s %9s %9s %9s\n",
-		"sess", "network", "events", "frames", "drops", "invoc", "fps", "sim p50", "sim p99", "wall p99")
+	clustered := len(rep.Nodes) > 0
+	node := func(r sessionReport) string {
+		if !clustered {
+			return ""
+		}
+		return fmt.Sprintf(" %-10s", r.Node)
+	}
+	head := ""
+	if clustered {
+		head = fmt.Sprintf(" %-10s", "node")
+	}
+	fmt.Printf("%-6s%s %-18s %9s %8s %7s %7s %9s %9s %9s %9s\n",
+		"sess", head, "network", "events", "frames", "drops", "invoc", "fps", "sim p50", "sim p99", "wall p99")
 	for _, r := range rep.Sessions {
 		if r.Err != "" {
-			fmt.Printf("%-6s %-18s ERROR: %s\n", r.Session, r.Network, r.Err)
+			fmt.Printf("%-6s%s %-18s ERROR: %s\n", r.Session, node(r), r.Network, r.Err)
 			continue
 		}
-		fmt.Printf("%-6s %-18s %9d %8d %7d %7d %9.1f %7.2fms %7.2fms %7.2fms\n",
-			r.Session, r.Network, r.Events, r.FramesIn, r.FramesDropped, r.Invocations,
+		fmt.Printf("%-6s%s %-18s %9d %8d %7d %7d %9.1f %7.2fms %7.2fms %7.2fms\n",
+			r.Session, node(r), r.Network, r.Events, r.FramesIn, r.FramesDropped, r.Invocations,
 			r.ThroughputFPS, r.SimP50MS, r.SimP99MS, r.WallP99MS)
 	}
 	fmt.Printf("\ntotal: %d events in %.2fs (%.0f events/s), worst sim p99 %.2f ms\n",
 		rep.TotalEvents, rep.WallSeconds, rep.EventsPerSec, rep.MaxSimP99MS)
+	fmt.Printf("shed:  %d of %d frames dropped (%.2f%% shed rate)\n",
+		rep.TotalFramesDropped, rep.TotalFramesIn, rep.ShedRate*100)
+	if clustered {
+		fmt.Printf("\n%-10s %9s %9s %8s %7s\n", "node", "sessions", "events", "frames", "drops")
+		for _, d := range rep.Nodes {
+			fmt.Printf("%-10s %9d %9d %8d %7d\n", d.Node, d.Sessions, d.Events, d.FramesIn, d.FramesDropped)
+		}
+	}
 }

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	evserve [-addr :7733] [-workers 4] [-queue 64] [-drop drop-oldest]
-//	        [-mapper rr|nmp]
+//	evserve [-addr :7733] [-platform xavier|orin] [-workers 4]
+//	        [-queue 64] [-drop drop-oldest] [-mapper rr|nmp]
 //
 // API:
 //
@@ -36,25 +36,28 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7733", "listen address")
-		workers = flag.Int("workers", 4, "worker pool size")
-		queue   = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
-		drop    = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
-		mapper  = flag.String("mapper", "rr", "session placement policy: rr (round-robin) or nmp (evolutionary search)")
+		addr     = flag.String("addr", ":7733", "listen address")
+		platform = flag.String("platform", "xavier", "platform model: xavier or orin")
+		workers  = flag.Int("workers", 4, "worker pool size")
+		queue    = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
+		drop     = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
+		mapper   = flag.String("mapper", "rr", "session placement policy: rr (round-robin) or nmp (evolutionary search)")
 	)
 	flag.Parse()
 
 	cfg := evedge.DefaultServeConfig()
+	p, err := evedge.PlatformByName(*platform)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evserve:", err)
+		os.Exit(1)
+	}
+	cfg.Platform = p
 	cfg.Workers = *workers
 	cfg.QueueCap = *queue
 	cfg.Mapper = evedge.MapperPolicy(*mapper)
-	switch *drop {
-	case "drop-oldest", "oldest":
-		cfg.DropPolicy = evedge.DropOldest
-	case "drop-newest", "newest":
-		cfg.DropPolicy = evedge.DropNewest
-	default:
-		fmt.Fprintf(os.Stderr, "evserve: unknown drop policy %q\n", *drop)
+	cfg.DropPolicy, err = evedge.ParseDropPolicy(*drop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
 	}
 
@@ -78,8 +81,8 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("evserve: listening on %s (workers=%d, queue=%d, mapper=%s)",
-		*addr, cfg.Workers, cfg.QueueCap, cfg.Mapper)
+	log.Printf("evserve: listening on %s (platform=%s, workers=%d, queue=%d, mapper=%s)",
+		*addr, cfg.Platform.Name, cfg.Workers, cfg.QueueCap, cfg.Mapper)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)

@@ -28,6 +28,7 @@ import (
 	"io"
 	"net/http"
 
+	"evedge/internal/cluster"
 	"evedge/internal/events"
 	"evedge/internal/experiments"
 	"evedge/internal/hw"
@@ -107,6 +108,18 @@ func LoadNetwork(name string) (*Network, error) { return nn.ByName(name) }
 // Xavier returns the Jetson Xavier AGX-like platform model (CPU, GPU,
 // two DLAs, unified memory).
 func Xavier() *Platform { return hw.Xavier() }
+
+// Orin returns the Jetson AGX Orin-like platform model — roughly twice
+// the Xavier per device class — used to show Ev-Edge porting across
+// commodity platforms and to build heterogeneous serving fleets.
+func Orin() *Platform { return hw.Orin() }
+
+// Platforms lists the built-in platform preset names.
+func Platforms() []string { return hw.Platforms() }
+
+// PlatformByName returns a built-in platform preset ("xavier",
+// "orin").
+func PlatformByName(name string) (*Platform, error) { return hw.PlatformByName(name) }
 
 // GenerateSequence simulates an event-camera sequence for one of the
 // dataset-like presets.
@@ -209,6 +222,10 @@ const (
 // round-robin placement, 4 workers).
 func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
 
+// ParseDropPolicy parses a queue shed policy name ("", "drop-oldest",
+// "oldest", "drop-newest", "newest").
+func ParseDropPolicy(s string) (DropPolicy, error) { return serve.ParseDropPolicy(s) }
+
 // NewServer starts the worker pool and returns the streaming server;
 // mount NewServer(...).Handler() on an HTTP listener and Close it on
 // shutdown.
@@ -217,6 +234,46 @@ func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 // NewServeClient returns a client for the server at base (e.g.
 // "http://localhost:7733"). A nil http.Client uses a 30 s timeout.
 func NewServeClient(base string, hc *http.Client) *ServeClient { return serve.NewClient(base, hc) }
+
+// Cluster aliases: the sharded multi-node serving fleet (cmd/evcluster)
+// that fronts N embedded Servers with load-aware routing and
+// health-driven failover. The router speaks the same HTTP API as a
+// single node, so ServeClient and evload work against it unchanged.
+type (
+	// ClusterConfig tunes the fleet: node specs, placement policy,
+	// probe interval and the base per-node server config.
+	ClusterConfig = cluster.Config
+	// Cluster is the sharded serving fleet.
+	Cluster = cluster.Cluster
+	// ClusterNodeSpec describes one fleet node.
+	ClusterNodeSpec = cluster.NodeSpec
+	// ClusterHealth is the fleet /healthz payload.
+	ClusterHealth = cluster.Health
+	// ClusterNodeHealth is one node's view in the fleet health.
+	ClusterNodeHealth = cluster.NodeHealth
+	// PlacementPolicy selects how the router places sessions on nodes.
+	PlacementPolicy = cluster.PlacementPolicy
+)
+
+// Fleet placement policies.
+const (
+	PolicyLeastLoaded = cluster.PolicyLeastLoaded
+	PolicyHash        = cluster.PolicyHash
+)
+
+// NewCluster starts every node's worker pool plus the health-probe
+// loop and returns the fleet; mount NewCluster(...).Handler() on an
+// HTTP listener and Close it on shutdown.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// ParseNodeSpecs parses the -nodes flag syntax ("xavier:4,orin:4").
+func ParseNodeSpecs(s string) ([]ClusterNodeSpec, error) { return cluster.ParseNodeSpecs(s) }
+
+// ParsePlacementPolicy parses a placement policy name ("" =
+// least-loaded).
+func ParsePlacementPolicy(s string) (PlacementPolicy, error) {
+	return cluster.ParsePlacementPolicy(s)
+}
 
 // EncodeEvents serializes a stream in the EVAR binary wire format —
 // the same format the server's ingest endpoint accepts.

@@ -51,6 +51,52 @@ func TestXavierAndSequences(t *testing.T) {
 	}
 }
 
+func TestPublicPlatformsAndCluster(t *testing.T) {
+	if got := evedge.Platforms(); len(got) != 2 {
+		t.Fatalf("platforms = %v", got)
+	}
+	orin := evedge.Orin()
+	if err := orin.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range evedge.Platforms() {
+		if _, err := evedge.PlatformByName(name); err != nil {
+			t.Fatalf("PlatformByName(%q): %v", name, err)
+		}
+	}
+	if _, err := evedge.PlatformByName("tpu"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+
+	specs, err := evedge.ParseNodeSpecs("xavier:1,orin:1")
+	if err != nil {
+		t.Fatalf("ParseNodeSpecs: %v", err)
+	}
+	pol, err := evedge.ParsePlacementPolicy("hash")
+	if err != nil || pol != evedge.PolicyHash {
+		t.Fatalf("ParsePlacementPolicy: %v, %v", pol, err)
+	}
+	c, err := evedge.NewCluster(evedge.ClusterConfig{Nodes: specs, ProbeInterval: -1})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	defer c.Close()
+	snap, err := c.CreateSession(evedge.ServeSessionConfig{Network: evedge.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if snap.Node == "" || !strings.HasPrefix(snap.ID, "c") {
+		t.Fatalf("cluster snapshot: %+v", snap)
+	}
+	h := c.Health()
+	if h.Status != "ok" || h.NodesUp != 2 || h.SessionsActive != 1 {
+		t.Fatalf("cluster health: %+v", h)
+	}
+	if _, err := c.CloseSession(snap.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+}
+
 func TestPublicPipelineRun(t *testing.T) {
 	net, err := evedge.LoadNetwork(evedge.DOTIE)
 	if err != nil {

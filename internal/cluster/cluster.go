@@ -1,0 +1,554 @@
+// Package cluster shards the Ev-Edge serving layer across a fleet of
+// heterogeneous nodes. A Cluster embeds N serve.Server instances (each
+// its own simulated platform — Xavier, Orin, mixed) behind a router
+// that owns session placement and proxies the whole session lifecycle
+// (create / ingest / poll / close) to the owning node over the same
+// HTTP API a single evserve node speaks, so clients and evload work
+// against a cluster unchanged.
+//
+// Placement is load-aware (least-loaded by capacity-weighted active
+// session cost from each node's load signal) or deterministic (hash of
+// the fleet-wide session ID over the alive node set). A probe loop
+// watches node health; when a node is killed or drained, the router
+// fails its sessions over to surviving nodes: the session is
+// re-created at the same network/level on a new node and keeps its
+// fleet-wide ID. On a kill, frames still sitting in the dead node's
+// ingest queues are shed and counted (failover_shed_frames); a drain
+// closes sessions gracefully first, so queued frames execute and
+// nothing is shed. Per-session counters restart after a migration —
+// the fleet-level counters accumulate across it.
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evedge/internal/events"
+	"evedge/internal/hw"
+	"evedge/internal/serve"
+)
+
+// Node states.
+const (
+	stateUp int32 = iota
+	stateDraining
+	stateDead
+)
+
+// NodeSpec describes one fleet node.
+type NodeSpec struct {
+	// Name identifies the node in routing, health and metrics; empty
+	// auto-names it "<platform><index>".
+	Name string
+	// Platform is a built-in platform preset name (hw.Platforms).
+	Platform string
+	// Workers sizes the node's worker pool (0 = serve default).
+	Workers int
+}
+
+// ParseNodeSpecs parses the -nodes flag syntax: a comma-separated list
+// of "platform[:count]" groups, e.g. "xavier:4,orin:4" for four Xavier
+// nodes plus four Orin nodes, or "xavier" for a single node.
+func ParseNodeSpecs(s string) ([]NodeSpec, error) {
+	var specs []NodeSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name := part
+		count := 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			n, err := strconv.Atoi(part[i+1:])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("cluster: bad node count in %q", part)
+			}
+			count = n
+		}
+		if _, err := hw.PlatformByName(name); err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			specs = append(specs, NodeSpec{Platform: strings.ToLower(name)})
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: no node specs in %q", s)
+	}
+	return specs, nil
+}
+
+// Config tunes the cluster.
+type Config struct {
+	// Nodes lists the fleet members (at least one).
+	Nodes []NodeSpec
+	// Policy places new sessions: PolicyLeastLoaded (default) or
+	// PolicyHash.
+	Policy PlacementPolicy
+	// ProbeInterval paces the health-probe loop that detects failed
+	// nodes and triggers failover (default 1s; negative disables the
+	// loop — ProbeNow still probes on demand).
+	ProbeInterval time.Duration
+	// Node is the base per-node server config; Platform is overridden
+	// by each NodeSpec, Workers only when the spec sets it.
+	Node serve.Config
+}
+
+// node is one fleet member: an embedded server plus liveness state.
+type node struct {
+	name     string
+	platform string
+	srv      *serve.Server
+	state    atomic.Int32
+}
+
+func (n *node) alive() bool { return n.state.Load() == stateUp }
+func (n *node) stateName() string {
+	switch n.state.Load() {
+	case stateDraining:
+		return "draining"
+	case stateDead:
+		return "dead"
+	}
+	return "up"
+}
+
+// route maps a fleet-wide session ID to its current owner.
+type route struct {
+	extID   string
+	cfg     serve.SessionConfig
+	node    *node
+	localID string
+	closed  bool
+	// shedFrames accumulates ingest-queue frames lost to kill-failovers
+	// of this session, surfaced so clients can account for the gap.
+	shedFrames uint64
+	failovers  int
+}
+
+// Cluster is the sharded serving fleet: embedded nodes plus the
+// routing state. Create one with New, mount Handler on a listener,
+// Close on shutdown.
+type Cluster struct {
+	cfg   Config
+	nodes []*node
+	start time.Time
+
+	// mu guards the routing table; migMu serializes failover and drain
+	// migrations so a node's sessions move exactly once.
+	mu     sync.Mutex
+	routes map[string]*route
+	order  []string // external IDs in creation order
+	migMu  sync.Mutex
+
+	nextID           atomic.Uint64
+	failoverSessions atomic.Uint64
+	failoverShed     atomic.Uint64
+	lostSessions     atomic.Uint64
+
+	probeStop chan struct{}
+	probeOnce sync.Once
+	probeWG   sync.WaitGroup
+
+	muxOnce sync.Once
+	mux     *http.ServeMux
+}
+
+// New validates cfg, starts every node's worker pool and the health
+// probe loop, and returns the cluster.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes configured")
+	}
+	policy, err := ParsePlacementPolicy(string(cfg.Policy))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = policy
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		routes:    map[string]*route{},
+		start:     time.Now(),
+		probeStop: make(chan struct{}),
+	}
+	names := map[string]bool{}
+	for i, spec := range cfg.Nodes {
+		platform, err := hw.PlatformByName(spec.Platform)
+		if err != nil {
+			c.closeNodes()
+			return nil, err
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("%s%d", strings.ToLower(spec.Platform), i)
+		}
+		if names[name] {
+			c.closeNodes()
+			return nil, fmt.Errorf("cluster: duplicate node name %q", name)
+		}
+		names[name] = true
+		ncfg := cfg.Node
+		ncfg.Platform = platform
+		if spec.Workers > 0 {
+			ncfg.Workers = spec.Workers
+		}
+		srv, err := serve.New(ncfg)
+		if err != nil {
+			c.closeNodes()
+			return nil, fmt.Errorf("cluster: node %s: %w", name, err)
+		}
+		c.nodes = append(c.nodes, &node{name: name, platform: spec.Platform, srv: srv})
+	}
+	if cfg.ProbeInterval > 0 {
+		c.probeWG.Add(1)
+		go c.probeLoop(cfg.ProbeInterval)
+	}
+	return c, nil
+}
+
+// closeNodes stops every constructed node (New error paths, Close).
+func (c *Cluster) closeNodes() {
+	for _, n := range c.nodes {
+		n.srv.Close()
+	}
+}
+
+// Close stops the probe loop and every node's worker pool.
+func (c *Cluster) Close() {
+	c.probeOnce.Do(func() { close(c.probeStop) })
+	c.probeWG.Wait()
+	c.closeNodes()
+}
+
+// probeLoop periodically probes node health and fails over sessions
+// stranded on dead nodes.
+func (c *Cluster) probeLoop(interval time.Duration) {
+	defer c.probeWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.probeStop:
+			return
+		case <-t.C:
+			c.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow runs one health-probe pass: any dead or draining node that
+// still owns routed sessions has them moved to surviving nodes (a
+// create can race a kill or drain and land on a node the migration
+// sweep already missed).
+func (c *Cluster) ProbeNow() {
+	for _, n := range c.nodes {
+		switch n.state.Load() {
+		case stateDead:
+			c.failoverNode(n)
+		case stateDraining:
+			c.migrate(n, true)
+		}
+	}
+}
+
+// Node returns a fleet member by name.
+func (c *Cluster) nodeByName(name string) (*node, error) {
+	for _, n := range c.nodes {
+		if n.name == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: no node %q", name)
+}
+
+// KillNode simulates a node failure: its worker pool stops and the
+// node is marked dead. Queued frames on the node are lost; the next
+// probe (or any request that hits the dead route) fails its sessions
+// over to surviving nodes and counts the shed frames.
+func (c *Cluster) KillNode(name string) error {
+	n, err := c.nodeByName(name)
+	if err != nil {
+		return err
+	}
+	if n.state.Swap(stateDead) == stateDead {
+		return fmt.Errorf("cluster: node %q already dead", name)
+	}
+	n.srv.Close()
+	return nil
+}
+
+// DrainNode gracefully migrates a node's sessions away: the node stops
+// accepting new sessions, every routed session is closed on it (its
+// queued frames execute — nothing is shed) and re-created on a
+// surviving node under the same config, keeping its fleet-wide ID.
+func (c *Cluster) DrainNode(name string) error {
+	n, err := c.nodeByName(name)
+	if err != nil {
+		return err
+	}
+	if !n.state.CompareAndSwap(stateUp, stateDraining) {
+		return fmt.Errorf("cluster: node %q is %s", name, n.stateName())
+	}
+	n.srv.SetDraining(true)
+	c.migrate(n, true)
+	return nil
+}
+
+// failoverNode moves every session still routed to the dead node onto
+// survivors. Safe to call repeatedly and concurrently.
+func (c *Cluster) failoverNode(n *node) {
+	c.migrate(n, false)
+}
+
+// migrate moves the node's routed sessions elsewhere. graceful closes
+// each session on the old node first (drain: queued frames execute);
+// otherwise the old node is dead and its queued frames are shed.
+func (c *Cluster) migrate(n *node, graceful bool) {
+	c.migMu.Lock()
+	defer c.migMu.Unlock()
+	c.mu.Lock()
+	var affected []*route
+	for _, id := range c.order {
+		rt := c.routes[id]
+		if rt.node == n && !rt.closed {
+			affected = append(affected, rt)
+		}
+	}
+	c.mu.Unlock()
+	for _, rt := range affected {
+		var shed uint64
+		if graceful {
+			if _, err := n.srv.CloseSession(rt.localID); err != nil {
+				// The session may have raced a client close; count what
+				// its queue still held and move on.
+				if snap, serr := n.srv.Snapshot(rt.localID); serr == nil {
+					shed = uint64(snap.QueueLen)
+				}
+			}
+		} else if snap, err := n.srv.Snapshot(rt.localID); err == nil {
+			// Dead node: whatever sat in the ingest queue is lost.
+			shed = uint64(snap.QueueLen)
+		}
+		target, err := c.place(rt.extID, n)
+		if err != nil {
+			// No survivors: the session is gone.
+			c.mu.Lock()
+			rt.closed = true
+			rt.shedFrames += shed
+			c.mu.Unlock()
+			c.lostSessions.Add(1)
+			c.failoverShed.Add(shed)
+			continue
+		}
+		sess, err := target.srv.CreateSession(rt.cfg)
+		if err != nil {
+			c.mu.Lock()
+			rt.closed = true
+			rt.shedFrames += shed
+			c.mu.Unlock()
+			c.lostSessions.Add(1)
+			c.failoverShed.Add(shed)
+			continue
+		}
+		c.mu.Lock()
+		rt.node = target
+		rt.localID = sess.ID
+		rt.shedFrames += shed
+		rt.failovers++
+		c.mu.Unlock()
+		c.failoverSessions.Add(1)
+		c.failoverShed.Add(shed)
+	}
+}
+
+// --- session lifecycle (programmatic surface; HTTP handlers proxy
+// through these) ---
+
+// CreateSession places a session on the fleet and returns its snapshot
+// under the fleet-wide ID.
+func (c *Cluster) CreateSession(cfg serve.SessionConfig) (serve.SessionSnapshot, error) {
+	extID := fmt.Sprintf("c%d", c.nextID.Add(1))
+	n, err := c.place(extID, nil)
+	if err != nil {
+		return serve.SessionSnapshot{}, err
+	}
+	sess, err := n.srv.CreateSession(cfg)
+	if err != nil {
+		return serve.SessionSnapshot{}, err
+	}
+	rt := &route{extID: extID, cfg: cfg, node: n, localID: sess.ID}
+	c.mu.Lock()
+	c.routes[extID] = rt
+	c.order = append(c.order, extID)
+	c.mu.Unlock()
+	// The create can race a kill/drain: placement saw the node up, but
+	// by the time the route registers the migration sweep may already
+	// have run and missed it. Re-check and move the session ourselves.
+	switch n.state.Load() {
+	case stateDead:
+		c.failoverNode(n)
+	case stateDraining:
+		c.migrate(n, true)
+	}
+	return c.snapshotRoute(rt)
+}
+
+// endpoint resolves a route to its current owner, failing the owner's
+// sessions over first when it is dead (a request can race the probe).
+// A route that ended on a dead node (lost session, or closed before
+// the node died) is rejected rather than proxied: the corpse would
+// accept frames no worker will ever drain.
+func (c *Cluster) endpoint(extID string) (*node, string, *route, error) {
+	for {
+		c.mu.Lock()
+		rt, ok := c.routes[extID]
+		if !ok {
+			c.mu.Unlock()
+			return nil, "", nil, fmt.Errorf("%w: %q", serve.ErrNoSession, extID)
+		}
+		n, localID, closed := rt.node, rt.localID, rt.closed
+		c.mu.Unlock()
+		if n.state.Load() == stateDead {
+			if closed {
+				return nil, "", nil, fmt.Errorf("cluster: session %q is closed (node %s is dead)", extID, n.name)
+			}
+			c.failoverNode(n)
+			continue
+		}
+		return n, localID, rt, nil
+	}
+}
+
+// Ingest proxies one event chunk to the session's owning node.
+func (c *Cluster) Ingest(extID string, chunk *events.Stream) (serve.IngestResult, error) {
+	n, localID, _, err := c.endpoint(extID)
+	if err != nil {
+		return serve.IngestResult{}, err
+	}
+	return n.srv.Ingest(localID, chunk)
+}
+
+// Snapshot returns the session's state under its fleet-wide ID.
+func (c *Cluster) Snapshot(extID string) (serve.SessionSnapshot, error) {
+	c.mu.Lock()
+	rt, ok := c.routes[extID]
+	c.mu.Unlock()
+	if !ok {
+		return serve.SessionSnapshot{}, fmt.Errorf("%w: %q", serve.ErrNoSession, extID)
+	}
+	return c.snapshotRoute(rt)
+}
+
+// snapshotRoute reads the owning node's snapshot and rewrites it to
+// the fleet view: fleet-wide ID, node name, failover accounting,
+// lost-session state.
+func (c *Cluster) snapshotRoute(rt *route) (serve.SessionSnapshot, error) {
+	c.mu.Lock()
+	n, localID, closed := rt.node, rt.localID, rt.closed
+	extID := rt.extID
+	failovers, shed := rt.failovers, rt.shedFrames
+	c.mu.Unlock()
+	snap, err := n.srv.Snapshot(localID)
+	if err != nil {
+		if closed {
+			// Lost to a total failover or evicted after close: report the
+			// terminal state instead of a routing error.
+			snap = serve.SessionSnapshot{State: "closed"}
+		} else {
+			return serve.SessionSnapshot{}, err
+		}
+	}
+	snap.ID = extID
+	snap.Node = n.name
+	snap.Failovers = failovers
+	snap.FailoverShedFrames = shed
+	if closed && snap.State == "active" {
+		snap.State = "closed"
+	}
+	return snap, nil
+}
+
+// Snapshots lists every routed session in creation order.
+func (c *Cluster) Snapshots() []serve.SessionSnapshot {
+	c.mu.Lock()
+	routes := make([]*route, 0, len(c.order))
+	for _, id := range c.order {
+		routes = append(routes, c.routes[id])
+	}
+	c.mu.Unlock()
+	out := make([]serve.SessionSnapshot, 0, len(routes))
+	for _, rt := range routes {
+		snap, err := c.snapshotRoute(rt)
+		if err != nil {
+			continue // evicted on the node; drop from the listing
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// CloseSession closes the session on its owning node and returns the
+// final snapshot under the fleet-wide ID.
+func (c *Cluster) CloseSession(extID string) (serve.SessionSnapshot, error) {
+	n, localID, rt, err := c.endpoint(extID)
+	if err != nil {
+		return serve.SessionSnapshot{}, err
+	}
+	snap, err := n.srv.CloseSession(localID)
+	if err != nil {
+		return serve.SessionSnapshot{}, err
+	}
+	c.mu.Lock()
+	rt.closed = true
+	failovers, shed := rt.failovers, rt.shedFrames
+	c.mu.Unlock()
+	out := *snap
+	out.ID = extID
+	out.Node = n.name
+	out.Failovers = failovers
+	out.FailoverShedFrames = shed
+	return out, nil
+}
+
+// NodeNames lists the fleet members in construction order.
+func (c *Cluster) NodeNames() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// aliveNodes returns placeable nodes (up, not draining, not excluded)
+// in construction order.
+func (c *Cluster) aliveNodes(exclude *node) []*node {
+	var out []*node
+	for _, n := range c.nodes {
+		if n != exclude && n.alive() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// sessionsOn counts open routed sessions per node name.
+func (c *Cluster) sessionsOn() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[string]int{}
+	for _, rt := range c.routes {
+		if !rt.closed {
+			out[rt.node.name]++
+		}
+	}
+	return out
+}

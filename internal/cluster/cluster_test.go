@@ -1,0 +1,610 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"evedge/internal/events"
+	"evedge/internal/nn"
+	"evedge/internal/scene"
+	"evedge/internal/serve"
+)
+
+// genStream renders a preset sequence at half scale.
+func genStream(t *testing.T, p scene.Preset, seed, durUS int64) *events.Stream {
+	t.Helper()
+	seq, err := scene.NewSequence(p, scene.Half, seed)
+	if err != nil {
+		t.Fatalf("NewSequence: %v", err)
+	}
+	s, err := seq.Generate(durUS)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return s
+}
+
+// chunks splits a stream into consecutive chunkUS-long pieces.
+func chunks(s *events.Stream, durUS, chunkUS int64) []*events.Stream {
+	var out []*events.Stream
+	for t0 := int64(0); t0 < durUS; t0 += chunkUS {
+		out = append(out, s.Slice(t0, t0+chunkUS))
+	}
+	return out
+}
+
+// testCluster bundles the in-process fleet, a single-node client
+// pointed at the router, and the listener base URL.
+type testCluster struct {
+	c    *Cluster
+	cl   *serve.Client
+	base string
+}
+
+// newTestCluster builds a cluster with the probe loop disabled (tests
+// drive ProbeNow explicitly) behind an httptest server + serve client.
+func newTestCluster(t *testing.T, cfg Config) (*Cluster, *serve.Client, func()) {
+	t.Helper()
+	tc, stop := newTestClusterURL(t, cfg)
+	return tc.c, tc.cl, stop
+}
+
+func newTestClusterURL(t *testing.T, cfg Config) (testCluster, func()) {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(c.Handler())
+	cl := serve.NewClient(hs.URL, hs.Client())
+	return testCluster{c: c, cl: cl, base: hs.URL}, func() {
+		hs.Close()
+		c.Close()
+	}
+}
+
+func specs(t *testing.T, s string) []NodeSpec {
+	t.Helper()
+	out, err := ParseNodeSpecs(s)
+	if err != nil {
+		t.Fatalf("ParseNodeSpecs(%q): %v", s, err)
+	}
+	return out
+}
+
+func TestParseNodeSpecs(t *testing.T) {
+	got := specs(t, "xavier:2,orin:1")
+	if len(got) != 3 || got[0].Platform != "xavier" || got[2].Platform != "orin" {
+		t.Fatalf("specs = %+v", got)
+	}
+	if one := specs(t, "orin"); len(one) != 1 || one[0].Platform != "orin" {
+		t.Fatalf("single spec = %+v", one)
+	}
+	for _, bad := range []string{"", "xavier:0", "xavier:-1", "xavier:x", "tpu:2", ", ,"} {
+		if _, err := ParseNodeSpecs(bad); err == nil {
+			t.Fatalf("ParseNodeSpecs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePlacementPolicy(t *testing.T) {
+	for in, want := range map[string]PlacementPolicy{
+		"": PolicyLeastLoaded, "least-loaded": PolicyLeastLoaded, "ll": PolicyLeastLoaded,
+		"hash": PolicyHash,
+	} {
+		got, err := ParsePlacementPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePlacementPolicy(%q) = %q, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePlacementPolicy("round-robin"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestHashPlacementDeterministic checks the hash policy maps the same
+// session IDs to the same nodes on two identical fleets.
+func TestHashPlacementDeterministic(t *testing.T) {
+	build := func() map[string]string {
+		c, _, stop := newTestCluster(t, Config{Nodes: specs(t, "xavier:3"), Policy: PolicyHash})
+		defer stop()
+		placed := map[string]string{}
+		for i := 0; i < 6; i++ {
+			snap, err := c.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+			if err != nil {
+				t.Fatalf("CreateSession: %v", err)
+			}
+			placed[snap.ID] = snap.Node
+		}
+		return placed
+	}
+	a, b := build(), build()
+	for id, node := range a {
+		if b[id] != node {
+			t.Fatalf("hash placement differs for %s: %s vs %s", id, node, b[id])
+		}
+	}
+}
+
+// TestLeastLoadedSpreads checks equal-cost sessions split evenly over
+// identical nodes, and that a higher-capacity Orin absorbs at least as
+// many sessions as a Xavier.
+func TestLeastLoadedSpreads(t *testing.T) {
+	c, _, stop := newTestCluster(t, Config{Nodes: specs(t, "xavier:2")})
+	defer stop()
+	for i := 0; i < 4; i++ {
+		if _, err := c.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1}); err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+	}
+	per := c.sessionsOn()
+	if per["xavier0"] != 2 || per["xavier1"] != 2 {
+		t.Fatalf("least-loaded split = %v, want 2/2", per)
+	}
+
+	mixed, _, stop2 := newTestCluster(t, Config{Nodes: specs(t, "xavier:1,orin:1")})
+	defer stop2()
+	for i := 0; i < 6; i++ {
+		if _, err := mixed.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1}); err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+	}
+	per = mixed.sessionsOn()
+	if per["orin1"] < per["xavier0"] {
+		t.Fatalf("orin (bigger) got %d sessions, xavier %d", per["orin1"], per["xavier0"])
+	}
+	if per["xavier0"] == 0 {
+		t.Fatalf("least-loaded starved the xavier node: %v", per)
+	}
+}
+
+// TestClusterLifecycleHTTP drives the full session lifecycle through
+// the router with the unchanged single-node serve.Client.
+func TestClusterLifecycleHTTP(t *testing.T) {
+	_, cl, stop := newTestCluster(t, Config{Nodes: specs(t, "xavier:2")})
+	defer stop()
+
+	h, err := cl.Health()
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health status %q", h.Status)
+	}
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 2})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if !strings.HasPrefix(snap.ID, "c") || snap.Node == "" {
+		t.Fatalf("create snapshot lacks fleet ID/node: %+v", snap)
+	}
+
+	const dur = 150_000
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 11, dur)
+	sent := 0
+	for _, ch := range chunks(stream, dur, 25_000) {
+		res, err := cl.SendEvents(snap.ID, ch)
+		if err != nil {
+			t.Fatalf("SendEvents: %v", err)
+		}
+		sent += res.Events
+	}
+
+	mid, err := cl.Session(snap.ID)
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if mid.EventsIn != uint64(sent) || mid.Node != snap.Node || mid.ID != snap.ID {
+		t.Fatalf("mid snapshot: %+v", mid)
+	}
+
+	list, err := cl.Sessions()
+	if err != nil {
+		t.Fatalf("Sessions: %v", err)
+	}
+	if len(list) != 1 || list[0].ID != snap.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	fin, err := cl.CloseSession(snap.ID)
+	if err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if fin.State != "closed" || fin.RawFramesDone == 0 || fin.Latency.P99US <= 0 {
+		t.Fatalf("final snapshot: %+v", fin)
+	}
+	// Ingest into a closed session fails; unknown sessions 404.
+	if _, err := cl.SendEvents(snap.ID, stream.Slice(0, 1000)); err == nil {
+		t.Fatal("ingest into closed session succeeded")
+	}
+	if _, err := cl.Session("c999"); err == nil {
+		t.Fatal("unknown session found")
+	}
+}
+
+// metricValue extracts the first value of an unlabelled metric sample.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` ([0-9.e+-]+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// sumLabelled sums all samples of a labelled metric.
+func sumLabelled(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `\{[^}]*\} ([0-9.e+-]+)$`)
+	var sum float64
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("metric %s value %q: %v", name, m[1], err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// TestClusterFailover is the acceptance scenario: a mixed xavier+orin
+// fleet under load from 8 sessions loses a node mid-stream; the
+// surviving nodes adopt its sessions, streaming completes, and the
+// fleet metrics stay consistent.
+func TestClusterFailover(t *testing.T) {
+	c, cl, stop := newTestCluster(t, Config{Nodes: specs(t, "xavier:2,orin:1")})
+	defer stop()
+
+	const nSessions = 8
+	const dur = 160_000
+	nets := []string{nn.DOTIE, nn.HALSIE, nn.DOTIE, nn.HidalgoDepth}
+	ids := make([]string, nSessions)
+	streams := make([]*events.Stream, nSessions)
+	for i := 0; i < nSessions; i++ {
+		name := nets[i%len(nets)]
+		snap, err := cl.CreateSession(serve.SessionConfig{Network: name, Level: 2})
+		if err != nil {
+			t.Fatalf("CreateSession %d: %v", i, err)
+		}
+		ids[i] = snap.ID
+		streams[i] = genStream(t, nn.MustByName(name).Input.Preset, int64(30+i), dur)
+	}
+	per := c.sessionsOn()
+	if len(per) < 2 {
+		t.Fatalf("sessions all landed on one node: %v", per)
+	}
+
+	// Stream the first half everywhere.
+	all := make([][]*events.Stream, nSessions)
+	for i := range ids {
+		all[i] = chunks(streams[i], dur, 20_000)
+	}
+	half := len(all[0]) / 2
+	stream := func(i int, from, to int) error {
+		for _, ch := range all[i][from:to] {
+			if _, err := cl.SendEvents(ids[i], ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, nSessions)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- stream(i, 0, half)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("first half: %v", err)
+		}
+	}
+
+	// Counter baseline before the kill: fleet totals must never step
+	// backwards across a failover.
+	preText, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics before kill: %v", err)
+	}
+	preEvents := metricValue(t, preText, "evcluster_events_total")
+
+	// Kill a node that owns sessions, mid-load.
+	victim := ""
+	for name, n := range c.sessionsOn() {
+		if n > 0 {
+			victim = name
+			break
+		}
+	}
+	victimSessions := c.sessionsOn()[victim]
+	if err := c.KillNode(victim); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	c.ProbeNow()
+
+	// Every session must now live on a surviving node.
+	for _, id := range ids {
+		snap, err := cl.Session(id)
+		if err != nil {
+			t.Fatalf("Session %s after failover: %v", id, err)
+		}
+		if snap.Node == victim {
+			t.Fatalf("session %s still routed to dead node %s", id, victim)
+		}
+		if snap.State != "active" {
+			t.Fatalf("session %s not active after failover: %+v", id, snap)
+		}
+	}
+	h := c.Health()
+	if h.Status != "degraded" || h.NodesUp != 2 {
+		t.Fatalf("health after kill: %+v", h)
+	}
+	if h.FailoverSessions != uint64(victimSessions) {
+		t.Fatalf("failover count %d, want %d", h.FailoverSessions, victimSessions)
+	}
+
+	// Second half streams against the survivors; failed-over sessions
+	// restart their converters, so chunks keep flowing under the same
+	// fleet-wide IDs.
+	errs = make(chan error, nSessions)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- stream(i, half, len(all[i]))
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("second half: %v", err)
+		}
+	}
+
+	for _, id := range ids {
+		fin, err := cl.CloseSession(id)
+		if err != nil {
+			t.Fatalf("CloseSession %s: %v", id, err)
+		}
+		if fin.State != "closed" {
+			t.Fatalf("session %s final state %q", id, fin.State)
+		}
+	}
+
+	// Fleet metrics consistency: router session gauges agree with the
+	// per-node breakdown, and failover counters surfaced.
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if got := metricValue(t, text, "evcluster_sessions_active"); got != 0 {
+		t.Fatalf("sessions_active = %v after closing all", got)
+	}
+	if got := metricValue(t, text, "evcluster_sessions_total"); got != nSessions {
+		t.Fatalf("sessions_total = %v, want %d", got, nSessions)
+	}
+	if got := metricValue(t, text, "evcluster_failover_sessions_total"); got != float64(victimSessions) {
+		t.Fatalf("failover_sessions_total = %v, want %d", got, victimSessions)
+	}
+	if got, fleet := sumLabelled(t, text, "evcluster_node_sessions_active"),
+		metricValue(t, text, "evcluster_sessions_active"); got != fleet {
+		t.Fatalf("node sessions sum %v != fleet %v", got, fleet)
+	}
+	// Counters stay monotonic across the failover: the dead node's
+	// last-seen totals remain in the fleet sum.
+	if got := metricValue(t, text, "evcluster_events_total"); got < preEvents {
+		t.Fatalf("events_total went backwards: %v < %v", got, preEvents)
+	}
+	if up := metricValue(t, text, "evcluster_nodes_up"); up != 2 {
+		t.Fatalf("nodes_up = %v", up)
+	}
+}
+
+// TestDrainMigratesGracefully drains a node and checks its sessions
+// move without shedding queued frames, while new sessions avoid it.
+func TestDrainMigratesGracefully(t *testing.T) {
+	c, cl, stop := newTestCluster(t, Config{Nodes: specs(t, "xavier:2")})
+	defer stop()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+		if err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	if err := c.DrainNode("xavier0"); err != nil {
+		t.Fatalf("DrainNode: %v", err)
+	}
+	if err := c.DrainNode("xavier0"); err == nil {
+		t.Fatal("double drain accepted")
+	}
+	h := c.Health()
+	if h.FailoverShedFrames != 0 {
+		t.Fatalf("graceful drain shed %d frames", h.FailoverShedFrames)
+	}
+	for _, id := range ids {
+		snap, err := cl.Session(id)
+		if err != nil {
+			t.Fatalf("Session %s: %v", id, err)
+		}
+		if snap.Node != "xavier1" {
+			t.Fatalf("session %s on %s after drain", id, snap.Node)
+		}
+	}
+	// New sessions skip the draining node.
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession after drain: %v", err)
+	}
+	if snap.Node != "xavier1" {
+		t.Fatalf("new session placed on draining node %s", snap.Node)
+	}
+}
+
+// TestFailoverShedsQueuedFrames checks the kill path counts queued
+// frames as shed: after the node dies its workers are gone, so frames
+// ingested onto the corpse stay queued and are lost at failover.
+func TestFailoverShedsQueuedFrames(t *testing.T) {
+	cfg := Config{Nodes: specs(t, "xavier:2")}
+	cfg.Node.QueueCap = 1024
+	c, cl, stop := newTestCluster(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	c.mu.Lock()
+	rt := c.routes[snap.ID]
+	owner, localID := rt.node, rt.localID
+	c.mu.Unlock()
+	if err := c.KillNode(owner.name); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	// White-box: push a burst straight into the dead node's session —
+	// the window where a request lands between the kill and the probe.
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 3, 100_000)
+	res, err := owner.srv.Ingest(localID, stream)
+	if err != nil {
+		t.Fatalf("Ingest onto dead node: %v", err)
+	}
+	if res.QueueLen == 0 {
+		t.Fatal("dead node queued nothing; test needs a burst that frames")
+	}
+	c.ProbeNow()
+	h := c.Health()
+	if h.FailoverSessions != 1 {
+		t.Fatalf("failover sessions = %d", h.FailoverSessions)
+	}
+	if h.FailoverShedFrames < uint64(res.QueueLen) {
+		t.Fatalf("shed %d frames, want >= %d", h.FailoverShedFrames, res.QueueLen)
+	}
+	// The fleet-wide ID keeps working on the survivor.
+	got, err := cl.Session(snap.ID)
+	if err != nil {
+		t.Fatalf("Session after failover: %v", err)
+	}
+	if got.Node == owner.name || got.State != "active" {
+		t.Fatalf("session after failover: %+v", got)
+	}
+	// Per-session failover accounting rides on the snapshot.
+	if got.Failovers != 1 || got.FailoverShedFrames < uint64(res.QueueLen) {
+		t.Fatalf("per-session failover accounting: %+v", got)
+	}
+	if _, err := cl.SendEvents(snap.ID, stream.Slice(0, 50_000)); err != nil {
+		t.Fatalf("SendEvents after failover: %v", err)
+	}
+}
+
+// TestNoSurvivorsLosesSessions kills every node and checks sessions
+// are reported lost rather than wedged.
+func TestNoSurvivorsLosesSessions(t *testing.T) {
+	c, cl, stop := newTestCluster(t, Config{Nodes: specs(t, "xavier:1")})
+	defer stop()
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if err := c.KillNode("xavier0"); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	c.ProbeNow()
+	h := c.Health()
+	if h.Status != "down" || h.LostSessions != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	got, err := cl.Session(snap.ID)
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if got.State != "closed" {
+		t.Fatalf("lost session state %q", got.State)
+	}
+	// Ingest into a lost session must be refused, not black-holed on
+	// the dead node.
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 5, 50_000)
+	if _, err := cl.SendEvents(snap.ID, stream); err == nil {
+		t.Fatal("ingest into lost session succeeded")
+	}
+	// Creating with no alive nodes fails as a 503, not a bad request.
+	if _, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1}); err == nil {
+		t.Fatal("create with no alive nodes succeeded")
+	} else if !strings.Contains(err.Error(), "503") {
+		t.Fatalf("no-nodes create error not a 503: %v", err)
+	}
+}
+
+// TestAdminEndpoints exercises kill/drain/nodes over HTTP.
+func TestAdminEndpoints(t *testing.T) {
+	tc, stop := newTestClusterURL(t, Config{Nodes: specs(t, "xavier:2")})
+	defer stop()
+	post := func(path string) int {
+		resp, err := http.Post(tc.base+path, "", nil)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/v1/nodes/xavier0/drain"); code != 200 {
+		t.Fatalf("drain: %d", code)
+	}
+	if code := post("/v1/nodes/xavier1/kill"); code != 200 {
+		t.Fatalf("kill: %d", code)
+	}
+	if code := post("/v1/nodes/ghost/kill"); code != 404 {
+		t.Fatalf("kill ghost: %d", code)
+	}
+	resp, err := http.Get(tc.base + "/v1/nodes")
+	if err != nil {
+		t.Fatalf("GET /v1/nodes: %v", err)
+	}
+	var nodes []NodeHealth
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatalf("decode nodes: %v", err)
+	}
+	resp.Body.Close()
+	if len(nodes) != 2 || nodes[0].State != "draining" || nodes[1].State != "dead" {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := New(Config{Nodes: []NodeSpec{{Platform: "xavier"}}, Policy: "bogus"}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := New(Config{Nodes: []NodeSpec{{Platform: "tpu"}}, ProbeInterval: -1}); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+	if _, err := New(Config{Nodes: []NodeSpec{
+		{Name: "a", Platform: "xavier"}, {Name: "a", Platform: "orin"},
+	}, ProbeInterval: -1}); err == nil {
+		t.Fatal("duplicate node name accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"evedge/internal/serve"
+)
+
+// Handler returns the router's HTTP handler. It speaks the exact
+// session API of a single serve node (so serve.Client and evload work
+// unchanged) plus fleet-admin endpoints:
+//
+//	POST   /v1/sessions               create (placed by policy)
+//	GET    /v1/sessions[/{id}]        fleet-wide session listing/state
+//	POST   /v1/sessions/{id}/events   proxied ingest
+//	POST   /v1/sessions/{id}/close    proxied close (DELETE too)
+//	GET    /healthz                   fleet + per-node health
+//	GET    /metrics                   fleet + per-node Prometheus text
+//	GET    /v1/nodes                  node health list
+//	POST   /v1/nodes/{name}/kill      simulate a node failure
+//	POST   /v1/nodes/{name}/drain     graceful drain + migration
+func (c *Cluster) Handler() http.Handler {
+	c.muxOnce.Do(func() {
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/sessions", c.handleCreate)
+		mux.HandleFunc("GET /v1/sessions", c.handleList)
+		mux.HandleFunc("GET /v1/sessions/{id}", c.handleGet)
+		mux.HandleFunc("POST /v1/sessions/{id}/events", c.handleIngest)
+		mux.HandleFunc("POST /v1/sessions/{id}/close", c.handleClose)
+		mux.HandleFunc("DELETE /v1/sessions/{id}", c.handleClose)
+		mux.HandleFunc("GET /healthz", c.handleHealth)
+		mux.HandleFunc("GET /metrics", c.handleMetrics)
+		mux.HandleFunc("GET /v1/nodes", c.handleNodes)
+		mux.HandleFunc("POST /v1/nodes/{name}/kill", c.handleKill)
+		mux.HandleFunc("POST /v1/nodes/{name}/drain", c.handleDrain)
+		c.mux = mux
+	})
+	return c.mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errStatus maps proxy errors onto the same statuses a single node
+// uses: unknown session 404, everything else a conflict.
+func errStatus(err error) int {
+	if errors.Is(err, serve.ErrNoSession) {
+		return http.StatusNotFound
+	}
+	return http.StatusConflict
+}
+
+func (c *Cluster) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var cfg serve.SessionConfig
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&cfg); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding session config: %w", err))
+		return
+	}
+	snap, err := c.CreateSession(cfg)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, serve.ErrDraining) || errors.Is(err, ErrNoNodes) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snap)
+}
+
+func (c *Cluster) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Snapshots())
+}
+
+func (c *Cluster) handleGet(w http.ResponseWriter, r *http.Request) {
+	snap, err := c.Snapshot(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (c *Cluster) handleIngest(w http.ResponseWriter, r *http.Request) {
+	maxBody := c.cfg.Node.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 64 << 20
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	chunk, err := serve.DecodeChunk(r.Header.Get("Content-Type"), body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := c.Ingest(r.PathValue("id"), chunk)
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (c *Cluster) handleClose(w http.ResponseWriter, r *http.Request) {
+	snap, err := c.CloseSession(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Health())
+}
+
+func (c *Cluster) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Health().Nodes)
+}
+
+func (c *Cluster) handleKill(w http.ResponseWriter, r *http.Request) {
+	if err := c.KillNode(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	// Fail the sessions over right away rather than waiting one probe
+	// interval — the admin asked for the failure, make it observable.
+	c.ProbeNow()
+	writeJSON(w, http.StatusOK, c.Health())
+}
+
+func (c *Cluster) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if err := c.DrainNode(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Health())
+}

@@ -82,28 +82,31 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
-// promWriter accumulates Prometheus text-exposition output with
-// per-metric HELP/TYPE headers emitted once.
-type promWriter struct {
+// PromWriter accumulates Prometheus text-exposition output with
+// per-metric HELP/TYPE headers emitted once. Exported so the cluster
+// layer can merge per-node and fleet-level series into one scrape.
+type PromWriter struct {
 	b      strings.Builder
 	headed map[string]bool
 }
 
-func newPromWriter() *promWriter {
-	return &promWriter{headed: map[string]bool{}}
+// NewPromWriter returns an empty exposition buffer.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{headed: map[string]bool{}}
 }
 
-// counter and gauge emit one sample; labels is a pre-rendered
+// Counter and Gauge emit one sample; labels is a pre-rendered
 // `name="value",...` string (empty for unlabelled metrics).
-func (w *promWriter) counter(name, help, labels string, v float64) {
+func (w *PromWriter) Counter(name, help, labels string, v float64) {
 	w.sample(name, "counter", help, labels, v)
 }
 
-func (w *promWriter) gauge(name, help, labels string, v float64) {
+// Gauge emits one gauge sample.
+func (w *PromWriter) Gauge(name, help, labels string, v float64) {
 	w.sample(name, "gauge", help, labels, v)
 }
 
-func (w *promWriter) sample(name, typ, help, labels string, v float64) {
+func (w *PromWriter) sample(name, typ, help, labels string, v float64) {
 	if !w.headed[name] {
 		w.headed[name] = true
 		fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
@@ -115,10 +118,11 @@ func (w *promWriter) sample(name, typ, help, labels string, v float64) {
 	}
 }
 
-func (w *promWriter) String() string { return w.b.String() }
+// String returns the accumulated exposition text.
+func (w *PromWriter) String() string { return w.b.String() }
 
-// promLabels renders label pairs in the given order.
-func promLabels(kv ...string) string {
+// PromLabels renders label pairs in the given order.
+func PromLabels(kv ...string) string {
 	var parts []string
 	for i := 0; i+1 < len(kv); i += 2 {
 		parts = append(parts, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))

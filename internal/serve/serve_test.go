@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -88,6 +89,105 @@ func TestFrameQueueDropNewest(t *testing.T) {
 	}
 	if q.len() != 0 {
 		t.Fatalf("queue not empty after drain")
+	}
+}
+
+// TestFrameQueueConcurrent hammers one queue from concurrent pushers
+// and drainers under both drop policies (run with -race): no frame may
+// be both delivered and counted dropped, and none may vanish.
+func TestFrameQueueConcurrent(t *testing.T) {
+	for _, policy := range []DropPolicy{DropOldest, DropNewest} {
+		t.Run(policy.String(), func(t *testing.T) {
+			const (
+				pushers   = 4
+				perPusher = 500
+			)
+			q := newFrameQueue(8, policy)
+			var wg sync.WaitGroup
+			var drained atomic.Int64
+			stopDrain := make(chan struct{})
+			var drainWG sync.WaitGroup
+			for d := 0; d < 2; d++ {
+				drainWG.Add(1)
+				go func() {
+					defer drainWG.Done()
+					for {
+						n := len(q.drain(16))
+						drained.Add(int64(n))
+						if n == 0 {
+							select {
+							case <-stopDrain:
+								return
+							default:
+							}
+						}
+					}
+				}()
+			}
+			for p := 0; p < pushers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perPusher; i++ {
+						q.push(sparse.NewFrame(4, 4, int64(p*perPusher+i), int64(p*perPusher+i)+1))
+					}
+				}(p)
+			}
+			wg.Wait()
+			close(stopDrain)
+			drainWG.Wait()
+			drained.Add(int64(len(q.drain(0))))
+			pushed, dropped := q.stats()
+			if pushed != pushers*perPusher {
+				t.Fatalf("pushed %d, want %d", pushed, pushers*perPusher)
+			}
+			if got := uint64(drained.Load()) + dropped; got != pushed {
+				t.Fatalf("drained %d + dropped %d != pushed %d", drained.Load(), dropped, pushed)
+			}
+		})
+	}
+}
+
+// TestParseDropPolicyErrors covers the parser's error and alias paths.
+func TestParseDropPolicyErrors(t *testing.T) {
+	for in, want := range map[string]DropPolicy{
+		"": DropOldest, "oldest": DropOldest, "drop-oldest": DropOldest,
+		"newest": DropNewest, "drop-newest": DropNewest,
+	} {
+		got, err := ParseDropPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseDropPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"drop", "latest", "DROP-OLDEST", "drop-oldest "} {
+		if _, err := ParseDropPolicy(bad); err == nil {
+			t.Fatalf("ParseDropPolicy(%q) accepted", bad)
+		}
+	}
+	// A bad per-session policy is rejected at session create.
+	srv, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+	if _, err := srv.CreateSession(SessionConfig{Network: nn.DOTIE, DropPolicy: "sideways"}); err == nil {
+		t.Fatal("bad session drop policy accepted")
+	}
+}
+
+// TestMapperPolicyErrors covers server-config mapper parsing.
+func TestMapperPolicyErrors(t *testing.T) {
+	for _, bad := range []string{"evolutionary", "RR", "nm p"} {
+		if _, err := New(Config{Mapper: MapperPolicy(bad)}); err == nil {
+			t.Fatalf("New accepted mapper %q", bad)
+		}
+	}
+	for _, good := range []MapperPolicy{"", MapperRR, MapperNMP} {
+		srv, err := New(Config{Workers: 1, Mapper: good})
+		if err != nil {
+			t.Fatalf("New(%q): %v", good, err)
+		}
+		srv.Close()
 	}
 }
 

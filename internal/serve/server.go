@@ -66,6 +66,9 @@ type Config struct {
 // ErrNoSession reports an unknown session ID.
 var ErrNoSession = errors.New("serve: no such session")
 
+// ErrDraining reports a session create refused by a draining node.
+var ErrDraining = errors.New("serve: node is draining")
+
 // DefaultConfig returns the server defaults.
 func DefaultConfig() Config {
 	return Config{
@@ -95,6 +98,20 @@ type Health struct {
 	Workers        int     `json:"workers"`
 	Platform       string  `json:"platform"`
 	Mapper         string  `json:"mapper"`
+}
+
+// NodeLoad is the server's load signal: what a fleet router needs to
+// place sessions across heterogeneous nodes. Cost is the sum of the
+// active sessions' per-inference dense MACs; Capacity is the
+// platform's aggregate peak MAC rate at each device's best precision,
+// so Utilization compares fairly across e.g. a Xavier and an Orin
+// (the same session set loads the bigger platform less).
+type NodeLoad struct {
+	SessionsActive int     `json:"sessions_active"`
+	QueuedFrames   int     `json:"queued_frames"`
+	CostMACs       float64 `json:"cost_macs"`
+	CapacityMACs   float64 `json:"capacity_macs"`
+	Utilization    float64 `json:"utilization"`
 }
 
 // Server multiplexes client sessions onto one shared platform. The
@@ -128,6 +145,13 @@ type Server struct {
 	stop    sync.Once
 	wg      sync.WaitGroup
 	nextID  atomic.Uint64
+
+	// draining refuses new sessions while existing ones keep running —
+	// the fleet router flips it before migrating sessions off a node.
+	draining atomic.Bool
+
+	// capacityMACs caches the platform's aggregate peak MAC rate.
+	capacityMACs float64
 }
 
 // New validates cfg, starts the worker pool and returns the server.
@@ -170,6 +194,9 @@ func New(cfg Config) (*Server, error) {
 		runq:     make(chan *Session, 1024),
 		stopped:  make(chan struct{}),
 		start:    time.Now(),
+	}
+	for _, d := range cfg.Platform.Devices {
+		s.capacityMACs += d.PeakMACs[d.BestPrecision()]
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -295,6 +322,9 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 // CreateSession registers a session programmatically (the HTTP create
 // handler goes through here too) and rebalances placement.
 func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
 	net, err := nn.ByName(cfg.Network)
 	if err != nil {
 		return nil, err
@@ -409,6 +439,110 @@ func (s *Server) Session(id string) (*Session, bool) {
 	return sess, ok
 }
 
+// Ingest pushes one event chunk into a session and wakes a worker —
+// the programmatic twin of the HTTP ingest endpoint, used by the
+// cluster router to proxy without a loopback connection.
+func (s *Server) Ingest(id string, chunk *events.Stream) (IngestResult, error) {
+	sess, ok := s.Session(id)
+	if !ok {
+		return IngestResult{}, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	res, err := sess.ingest(chunk)
+	if err != nil {
+		return res, err
+	}
+	if res.Frames > 0 {
+		s.schedule(sess)
+	}
+	return res, nil
+}
+
+// Snapshot returns a session's observable state by ID.
+func (s *Server) Snapshot(id string) (SessionSnapshot, error) {
+	sess, ok := s.Session(id)
+	if !ok {
+		return SessionSnapshot{}, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	return sess.snapshot(), nil
+}
+
+// Snapshots returns every retained session (active and closed) in
+// creation order.
+func (s *Server) Snapshots() []SessionSnapshot {
+	s.sessMu.Lock()
+	all := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.sessMu.Unlock()
+	snaps := make([]SessionSnapshot, len(all))
+	for i, sess := range all {
+		snaps[i] = sess.snapshot()
+	}
+	// Creation order: IDs are "s<counter>", so shorter IDs come first
+	// and equal lengths compare lexicographically (s2 before s10).
+	sort.Slice(snaps, func(i, j int) bool {
+		a, b := snaps[i].ID, snaps[j].ID
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return snaps
+}
+
+// SetDraining toggles drain mode: a draining server refuses new
+// sessions (ErrDraining) while existing sessions keep ingesting and
+// executing. The cluster router drains a node before migrating its
+// sessions away.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is refusing new sessions.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Health returns the /healthz payload.
+func (s *Server) Health() Health {
+	s.sessMu.Lock()
+	active := len(s.order)
+	s.sessMu.Unlock()
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	return Health{
+		Status:         status,
+		UptimeS:        time.Since(s.start).Seconds(),
+		SessionsActive: active,
+		SessionsTotal:  int(s.nextID.Load()),
+		Workers:        s.cfg.Workers,
+		Platform:       s.cfg.Platform.Name,
+		Mapper:         string(s.cfg.Mapper),
+	}
+}
+
+// Load returns the node-load signal a fleet router places against:
+// active-session inference cost weighted by the platform's capacity.
+func (s *Server) Load() NodeLoad {
+	s.sessMu.Lock()
+	active := make([]*Session, 0, len(s.order))
+	for _, id := range s.order {
+		active = append(active, s.sessions[id])
+	}
+	s.sessMu.Unlock()
+	l := NodeLoad{SessionsActive: len(active), CapacityMACs: s.capacityMACs}
+	for _, sess := range active {
+		l.CostMACs += float64(sess.Net.TotalMACs())
+		l.QueuedFrames += sess.queue.len()
+	}
+	if l.CapacityMACs > 0 {
+		l.Utilization = l.CostMACs / l.CapacityMACs
+	}
+	return l
+}
+
+// Platform returns the platform model the server executes on.
+func (s *Server) Platform() *hw.Platform { return s.cfg.Platform }
+
 // rebalance recomputes the placement of all active sessions under the
 // configured policy and installs the per-session plans. The placement
 // computation (which for MapperNMP is an evolutionary search taking
@@ -521,26 +655,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.sessMu.Lock()
-	all := make([]*Session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		all = append(all, sess)
-	}
-	s.sessMu.Unlock()
-	snaps := make([]SessionSnapshot, len(all))
-	for i, sess := range all {
-		snaps[i] = sess.snapshot()
-	}
-	// Creation order: IDs are "s<counter>", so shorter IDs come first
-	// and equal lengths compare lexicographically (s2 before s10).
-	sort.Slice(snaps, func(i, j int) bool {
-		a, b := snaps[i].ID, snaps[j].ID
-		if len(a) != len(b) {
-			return len(a) < len(b)
-		}
-		return a < b
-	})
-	writeJSON(w, http.StatusOK, snaps)
+	writeJSON(w, http.StatusOK, s.Snapshots())
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -566,56 +681,56 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.Session(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
-		return
-	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	chunk, err := decodeChunk(r.Header.Get("Content-Type"), body)
+	chunk, err := DecodeChunk(r.Header.Get("Content-Type"), body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := sess.ingest(chunk)
+	res, err := s.Ingest(r.PathValue("id"), chunk)
 	if err != nil {
-		writeError(w, http.StatusConflict, err)
+		status := http.StatusConflict
+		if errors.Is(err, ErrNoSession) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
 		return
-	}
-	if res.Frames > 0 {
-		s.schedule(sess)
 	}
 	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.sessMu.Lock()
-	active := len(s.order)
-	s.sessMu.Unlock()
-	writeJSON(w, http.StatusOK, Health{
-		Status:         "ok",
-		UptimeS:        time.Since(s.start).Seconds(),
-		SessionsActive: active,
-		SessionsTotal:  int(s.nextID.Load()),
-		Workers:        s.cfg.Workers,
-		Platform:       s.cfg.Platform.Name,
-		Mapper:         string(s.cfg.Mapper),
-	})
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.sessMu.Lock()
-	all := make([]*Session, 0, len(s.sessions))
-	for _, sess := range s.sessions {
-		all = append(all, sess)
+	pw := NewPromWriter()
+	s.WriteMetrics(pw, "evserve", "")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(pw.String()))
+}
+
+// WriteMetrics renders the server's metrics into pw under the given
+// metric namespace; extraLabels (pre-rendered `k="v",...`) are
+// prepended to every labelled sample so a cluster can scope each
+// node's series with a node label.
+func (s *Server) WriteMetrics(pw *PromWriter, ns, extraLabels string) {
+	lbls := func(kv ...string) string {
+		l := PromLabels(kv...)
+		switch {
+		case extraLabels == "":
+			return l
+		case l == "":
+			return extraLabels
+		}
+		return extraLabels + "," + l
 	}
+	s.sessMu.Lock()
 	active := len(s.order)
 	s.sessMu.Unlock()
-
-	pw := newPromWriter()
-	pw.gauge("evserve_uptime_seconds", "Server uptime.", "", time.Since(s.start).Seconds())
-	pw.gauge("evserve_sessions_active", "Sessions currently accepting events.", "", float64(active))
-	pw.gauge("evserve_sessions_total", "Sessions created since start.", "", float64(s.nextID.Load()))
+	pw.Gauge(ns+"_uptime_seconds", "Server uptime.", lbls(), time.Since(s.start).Seconds())
+	pw.Gauge(ns+"_sessions_active", "Sessions currently accepting events.", lbls(), float64(active))
+	pw.Gauge(ns+"_sessions_total", "Sessions created since start.", lbls(), float64(s.nextID.Load()))
 	s.engMu.Lock()
 	makespan := s.engine.Makespan()
 	busy := make([]float64, len(s.cfg.Platform.Devices))
@@ -623,34 +738,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		busy[i] = s.engine.BusyTime(d)
 	}
 	s.engMu.Unlock()
-	pw.gauge("evserve_engine_makespan_us", "Virtual time the last device queue drains.", "", makespan)
+	pw.Gauge(ns+"_engine_makespan_us", "Virtual time the last device queue drains.", lbls(), makespan)
 	for i, d := range s.cfg.Platform.Devices {
-		pw.counter("evserve_device_busy_us", "Accumulated busy time per device.",
-			promLabels("device", d.Name), busy[i])
+		pw.Counter(ns+"_device_busy_us", "Accumulated busy time per device.",
+			lbls("device", d.Name), busy[i])
 	}
-	for _, sess := range all {
-		snap := sess.snapshot()
-		lbl := promLabels("session", snap.ID, "network", snap.Network)
-		pw.counter("evserve_session_events_total", "Events ingested.", lbl, float64(snap.EventsIn))
-		pw.counter("evserve_session_frames_total", "Sparse frames produced by E2SF.", lbl, float64(snap.FramesIn))
-		pw.counter("evserve_session_frames_dropped_total", "Frames shed by the bounded ingest queue.", lbl, float64(snap.FramesDropped))
-		pw.counter("evserve_session_frames_dropped_dsfa_total", "Raw frames shed by the DSFA inference queue.", lbl, float64(snap.FramesDroppedDSFA))
-		pw.counter("evserve_session_invocations_total", "Inference launches after DSFA merging.", lbl, float64(snap.Invocations))
-		pw.counter("evserve_session_raw_frames_done_total", "Raw frames whose inference completed.", lbl, float64(snap.RawFramesDone))
-		pw.gauge("evserve_session_queue_len", "Frames waiting in the ingest queue.", lbl, float64(snap.QueueLen))
-		pw.gauge("evserve_session_throughput_fps", "Raw frames served per stream-second.", lbl, snap.ThroughputFPS)
+	for _, snap := range s.Snapshots() {
+		lbl := lbls("session", snap.ID, "network", snap.Network)
+		pw.Counter(ns+"_session_events_total", "Events ingested.", lbl, float64(snap.EventsIn))
+		pw.Counter(ns+"_session_frames_total", "Sparse frames produced by E2SF.", lbl, float64(snap.FramesIn))
+		pw.Counter(ns+"_session_frames_dropped_total", "Frames shed by the bounded ingest queue.", lbl, float64(snap.FramesDropped))
+		pw.Counter(ns+"_session_frames_dropped_dsfa_total", "Raw frames shed by the DSFA inference queue.", lbl, float64(snap.FramesDroppedDSFA))
+		pw.Counter(ns+"_session_invocations_total", "Inference launches after DSFA merging.", lbl, float64(snap.Invocations))
+		pw.Counter(ns+"_session_raw_frames_done_total", "Raw frames whose inference completed.", lbl, float64(snap.RawFramesDone))
+		pw.Gauge(ns+"_session_queue_len", "Frames waiting in the ingest queue.", lbl, float64(snap.QueueLen))
+		pw.Gauge(ns+"_session_throughput_fps", "Raw frames served per stream-second.", lbl, snap.ThroughputFPS)
 		for q, v := range map[string]float64{"0.5": snap.Latency.P50US, "0.99": snap.Latency.P99US} {
-			pw.gauge("evserve_session_latency_us", "Per-raw-frame latency (virtual us).",
-				promLabels("session", snap.ID, "network", snap.Network, "quantile", q), v)
+			pw.Gauge(ns+"_session_latency_us", "Per-raw-frame latency (virtual us).",
+				lbls("session", snap.ID, "network", snap.Network, "quantile", q), v)
 		}
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = w.Write([]byte(pw.String()))
 }
 
-// decodeChunk parses an ingest body: JSON when the media type says
+// DecodeChunk parses an ingest body: JSON when the media type says
 // so (parameters like charset are tolerated), EVAR binary otherwise.
-func decodeChunk(contentType string, body io.Reader) (*events.Stream, error) {
+// Exported so the cluster router can decode once and proxy the parsed
+// stream to the owning node.
+func DecodeChunk(contentType string, body io.Reader) (*events.Stream, error) {
 	mt, _, err := mime.ParseMediaType(contentType)
 	if err != nil {
 		mt = ""

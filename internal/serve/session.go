@@ -46,15 +46,23 @@ type IngestResult struct {
 
 // SessionSnapshot is the observable state of a session.
 type SessionSnapshot struct {
-	ID            string    `json:"id"`
-	Network       string    `json:"network"`
-	Task          string    `json:"task"`
-	Level         string    `json:"level"`
-	State         string    `json:"state"`
-	CreatedAt     time.Time `json:"created_at"`
-	EventsIn      uint64    `json:"events_in"`
-	FramesIn      uint64    `json:"frames_in"`
-	FramesDropped uint64    `json:"frames_dropped"`
+	ID string `json:"id"`
+	// Node names the fleet node serving the session; the cluster router
+	// sets it when proxying, a standalone server leaves it empty. The
+	// two failover fields below are cluster-set too: how many times the
+	// session was re-created on a new node, and how many queued frames
+	// those moves shed (per-session counters restart on each move).
+	Node               string    `json:"node,omitempty"`
+	Failovers          int       `json:"failovers,omitempty"`
+	FailoverShedFrames uint64    `json:"failover_shed_frames,omitempty"`
+	Network            string    `json:"network"`
+	Task               string    `json:"task"`
+	Level              string    `json:"level"`
+	State              string    `json:"state"`
+	CreatedAt          time.Time `json:"created_at"`
+	EventsIn           uint64    `json:"events_in"`
+	FramesIn           uint64    `json:"frames_in"`
+	FramesDropped      uint64    `json:"frames_dropped"`
 	// FramesDroppedDSFA counts raw frames the aggregator's bounded
 	// inference queue shed, on top of the ingest-queue drops above.
 	FramesDroppedDSFA uint64         `json:"frames_dropped_dsfa"`
