@@ -11,7 +11,14 @@
 //	evcluster [-addr :7734] [-nodes xavier:4,orin:4]
 //	          [-policy least-loaded|hash] [-probe 1s]
 //	          [-workers 4] [-queue 64] [-drop drop-oldest]
-//	          [-mapper rr|nmp]
+//	          [-mapper rr|nmp] [-adapt]
+//	          [-rebalance-gap 0.25] [-rebalance-cooldown 5s]
+//
+// -adapt enables each node's online control plane (DSFA retuning, and
+// NMP remaps under -mapper nmp). -rebalance-gap > 0 additionally lets
+// the router consume the same node-load signals to migrate sessions
+// off hot nodes mid-run (gracefully; one session per cooldown),
+// instead of only reacting to kill/drain.
 //
 // Fleet admin (beyond the single-node API):
 //
@@ -38,14 +45,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7734", "listen address")
-		nodes   = flag.String("nodes", "xavier:2", "fleet spec: comma-separated platform[:count] groups, e.g. xavier:4,orin:4")
-		policy  = flag.String("policy", "least-loaded", "session placement policy: least-loaded or hash")
-		probe   = flag.Duration("probe", time.Second, "health probe interval (failover latency bound)")
-		workers = flag.Int("workers", 4, "worker pool size per node")
-		queue   = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
-		drop    = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
-		mapper  = flag.String("mapper", "rr", "per-node session placement: rr (round-robin) or nmp (evolutionary search)")
+		addr     = flag.String("addr", ":7734", "listen address")
+		nodes    = flag.String("nodes", "xavier:2", "fleet spec: comma-separated platform[:count] groups, e.g. xavier:4,orin:4")
+		policy   = flag.String("policy", "least-loaded", "session placement policy: least-loaded or hash")
+		probe    = flag.Duration("probe", time.Second, "health probe interval (failover latency bound)")
+		workers  = flag.Int("workers", 4, "worker pool size per node")
+		queue    = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
+		drop     = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
+		mapper   = flag.String("mapper", "rr", "per-node session placement: rr (round-robin) or nmp (evolutionary search)")
+		adapt    = flag.Bool("adapt", false, "enable each node's online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
+		gap      = flag.Float64("rebalance-gap", 0, "node-utilization spread that triggers a load-driven session migration (0 disables)")
+		cooldown = flag.Duration("rebalance-cooldown", 5*time.Second, "minimum time between load-driven migrations")
 	)
 	flag.Parse()
 
@@ -68,12 +78,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evcluster:", err)
 		os.Exit(1)
 	}
+	if *adapt {
+		node.Adapt = evedge.ServeAdaptConfig{
+			Retune: true,
+			Remap:  node.Mapper == evedge.MapperNMP,
+		}
+	}
 
 	c, err := evedge.NewCluster(evedge.ClusterConfig{
-		Nodes:         specs,
-		Policy:        pol,
-		ProbeInterval: *probe,
-		Node:          node,
+		Nodes:             specs,
+		Policy:            pol,
+		ProbeInterval:     *probe,
+		RebalanceGap:      *gap,
+		RebalanceCooldown: *cooldown,
+		Node:              node,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evcluster:", err)

@@ -4,12 +4,15 @@
 //
 // Usage:
 //
-//	evedge [-net SpikeFlowNet] [-level 0..3] [-platform xavier|orin]
+//	evedge [-net SpikeFlowNet] [-opt nmp] [-platform xavier|orin]
 //	       [-dur us] [-seed N] [-full] [-json]
 //
-// Levels: 0 = all-GPU baseline, 1 = +E2SF, 2 = +E2SF+DSFA,
-// 3 = full Ev-Edge (+NMP). -json emits the report as machine-readable
-// JSON for CI and load-generator consumption.
+// Levels (-opt, by name or number): 0|all-gpu = baseline, 1|e2sf =
+// +E2SF, 2|dsfa = +E2SF+DSFA, 3|nmp = full Ev-Edge. Unknown -opt
+// values are rejected with the valid list — never silently mapped to
+// a default. -level N is the numeric spelling of the same flag.
+// -json emits the report as machine-readable JSON for CI and
+// load-generator consumption.
 package main
 
 import (
@@ -42,7 +45,8 @@ type jsonReport struct {
 func main() {
 	var (
 		netName  = flag.String("net", evedge.SpikeFlowNet, "network to run (see -list)")
-		level    = flag.Int("level", 3, "optimization level 0-3")
+		opt      = flag.String("opt", "", "optimization level by name or number: 0|all-gpu, 1|e2sf, 2|dsfa, 3|nmp")
+		level    = flag.Int("level", 3, "optimization level 0-3 (numeric alias of -opt)")
 		platform = flag.String("platform", "xavier", "platform model: xavier or orin")
 		dur      = flag.Int64("dur", 2_000_000, "stream duration in microseconds")
 		seed     = flag.Int64("seed", 7, "random seed")
@@ -61,8 +65,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "evedge:", err)
 		os.Exit(1)
 	}
-	if *level < 0 || *level > 3 {
-		fmt.Fprintln(os.Stderr, "evedge: level must be 0-3")
+	optArg := *opt
+	if optArg == "" {
+		optArg = fmt.Sprint(*level)
+	}
+	lvl, err := evedge.ParseLevel(optArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evedge:", err)
 		os.Exit(1)
 	}
 	plat, err := evedge.PlatformByName(*platform)
@@ -77,7 +86,7 @@ func main() {
 	rep, err := evedge.RunPipeline(evedge.PipelineConfig{
 		Net:      net,
 		Platform: plat,
-		Level:    evedge.Level(*level),
+		Level:    lvl,
 		Scale:    scale,
 		DurUS:    *dur,
 		Seed:     *seed,

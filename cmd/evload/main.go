@@ -39,11 +39,17 @@ type sessionReport struct {
 	Invocations   uint64  `json:"invocations"`
 	MergeRatio    float64 `json:"merge_ratio"`
 	ThroughputFPS float64 `json:"throughput_fps"`
-	SimP50MS      float64 `json:"sim_p50_ms"`
-	SimP99MS      float64 `json:"sim_p99_ms"`
-	WallP50MS     float64 `json:"wall_p50_ms"`
-	WallP99MS     float64 `json:"wall_p99_ms"`
-	Err           string  `json:"error,omitempty"`
+	// Retunes counts DSFA tuning changes the online controller applied
+	// (0 unless the server runs -adapt). Remaps counts execution plans
+	// installed after the first — session-churn rebalances as well as
+	// load-driven adaptive remaps.
+	Retunes   uint64  `json:"retunes"`
+	Remaps    uint64  `json:"remaps"`
+	SimP50MS  float64 `json:"sim_p50_ms"`
+	SimP99MS  float64 `json:"sim_p99_ms"`
+	WallP50MS float64 `json:"wall_p50_ms"`
+	WallP99MS float64 `json:"wall_p99_ms"`
+	Err       string  `json:"error,omitempty"`
 }
 
 // nodeDist is one row of the per-node session-distribution table,
@@ -64,11 +70,15 @@ type loadReport struct {
 	TotalFramesDropped uint64          `json:"total_frames_dropped"`
 	// ShedRate is the aggregate ingest-queue loss:
 	// frames_dropped / frames_in over all sessions.
-	ShedRate     float64    `json:"shed_rate"`
-	WallSeconds  float64    `json:"wall_seconds"`
-	EventsPerSec float64    `json:"events_per_sec"`
-	MaxSimP99MS  float64    `json:"max_sim_p99_ms"`
-	Nodes        []nodeDist `json:"nodes,omitempty"`
+	ShedRate     float64 `json:"shed_rate"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	MaxSimP99MS  float64 `json:"max_sim_p99_ms"`
+	// RetunesPerSession/RemapsPerSession average the control-plane
+	// activity over successful sessions.
+	RetunesPerSession float64    `json:"retunes_per_session"`
+	RemapsPerSession  float64    `json:"remaps_per_session"`
+	Nodes             []nodeDist `json:"nodes,omitempty"`
 }
 
 func main() {
@@ -77,7 +87,7 @@ func main() {
 		sessions = flag.Int("sessions", 4, "concurrent sessions")
 		netsFlag = flag.String("nets", "DOTIE,HALSIE,SpikeFlowNet,HidalgoDepth",
 			"comma-separated networks, cycled over sessions")
-		level   = flag.Int("level", 2, "optimization level 0-3")
+		level   = flag.String("level", "2", "optimization level by name or number: 0|all-gpu, 1|e2sf, 2|dsfa, 3|nmp")
 		dur     = flag.Int64("dur", 1_000_000, "sensor-time duration per session (us)")
 		chunk   = flag.Int64("chunk", 25_000, "chunk duration per POST (us)")
 		rate    = flag.Float64("rate", 0, "subsample to ~N events/s (0 = native rate)")
@@ -89,6 +99,11 @@ func main() {
 	flag.Parse()
 	if *wire != "evar" && *wire != "json" {
 		fmt.Fprintf(os.Stderr, "evload: unknown wire format %q\n", *wire)
+		os.Exit(1)
+	}
+	lvl, err := evedge.ParseLevel(*level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evload:", err)
 		os.Exit(1)
 	}
 
@@ -107,7 +122,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			name := strings.TrimSpace(names[i%len(names)])
-			reports[i] = runSession(cl, name, *level, *dur, *chunk, *rate, *speed, *wire, *seed+int64(i))
+			reports[i] = runSession(cl, name, int(lvl), *dur, *chunk, *rate, *speed, *wire, *seed+int64(i))
 		}(i)
 	}
 	wg.Wait()
@@ -117,11 +132,15 @@ func main() {
 	failed := false
 	byNode := map[string]*nodeDist{}
 	var nodeOrder []string
+	var ok, retunes, remaps int
 	for _, r := range reports {
 		if r.Err != "" {
 			failed = true
 			continue
 		}
+		ok++
+		retunes += int(r.Retunes)
+		remaps += int(r.Remaps)
 		rep.TotalEvents += r.Events
 		rep.TotalFramesIn += r.FramesIn
 		rep.TotalFramesDropped += r.FramesDropped
@@ -143,6 +162,10 @@ func main() {
 	}
 	if rep.TotalFramesIn > 0 {
 		rep.ShedRate = float64(rep.TotalFramesDropped) / float64(rep.TotalFramesIn)
+	}
+	if ok > 0 {
+		rep.RetunesPerSession = float64(retunes) / float64(ok)
+		rep.RemapsPerSession = float64(remaps) / float64(ok)
 	}
 	sort.Strings(nodeOrder)
 	for _, n := range nodeOrder {
@@ -226,6 +249,8 @@ func runSession(cl *evedge.ServeClient, name string, level int, dur, chunkUS int
 	rep.Invocations = fin.Invocations
 	rep.MergeRatio = fin.MergeRatio
 	rep.ThroughputFPS = fin.ThroughputFPS
+	rep.Retunes = fin.Retunes
+	rep.Remaps = fin.Remaps
 	rep.SimP50MS = fin.Latency.P50US / 1000
 	rep.SimP99MS = fin.Latency.P99US / 1000
 	sort.Float64s(wallUS)
@@ -276,21 +301,23 @@ func printReport(rep loadReport) {
 	if clustered {
 		head = fmt.Sprintf(" %-10s", "node")
 	}
-	fmt.Printf("%-6s%s %-18s %9s %8s %7s %7s %9s %9s %9s %9s\n",
-		"sess", head, "network", "events", "frames", "drops", "invoc", "fps", "sim p50", "sim p99", "wall p99")
+	fmt.Printf("%-6s%s %-18s %9s %8s %7s %7s %7s %7s %9s %9s %9s %9s\n",
+		"sess", head, "network", "events", "frames", "drops", "invoc", "retunes", "remaps", "fps", "sim p50", "sim p99", "wall p99")
 	for _, r := range rep.Sessions {
 		if r.Err != "" {
 			fmt.Printf("%-6s%s %-18s ERROR: %s\n", r.Session, node(r), r.Network, r.Err)
 			continue
 		}
-		fmt.Printf("%-6s%s %-18s %9d %8d %7d %7d %9.1f %7.2fms %7.2fms %7.2fms\n",
+		fmt.Printf("%-6s%s %-18s %9d %8d %7d %7d %7d %7d %9.1f %7.2fms %7.2fms %7.2fms\n",
 			r.Session, node(r), r.Network, r.Events, r.FramesIn, r.FramesDropped, r.Invocations,
-			r.ThroughputFPS, r.SimP50MS, r.SimP99MS, r.WallP99MS)
+			r.Retunes, r.Remaps, r.ThroughputFPS, r.SimP50MS, r.SimP99MS, r.WallP99MS)
 	}
 	fmt.Printf("\ntotal: %d events in %.2fs (%.0f events/s), worst sim p99 %.2f ms\n",
 		rep.TotalEvents, rep.WallSeconds, rep.EventsPerSec, rep.MaxSimP99MS)
 	fmt.Printf("shed:  %d of %d frames dropped (%.2f%% shed rate)\n",
 		rep.TotalFramesDropped, rep.TotalFramesIn, rep.ShedRate*100)
+	fmt.Printf("adapt: %.1f retunes/session, %.1f remaps/session\n",
+		rep.RetunesPerSession, rep.RemapsPerSession)
 	if clustered {
 		fmt.Printf("\n%-10s %9s %9s %8s %7s\n", "node", "sessions", "events", "frames", "drops")
 		for _, d := range rep.Nodes {

@@ -7,6 +7,13 @@
 //
 //	evserve [-addr :7733] [-platform xavier|orin] [-workers 4]
 //	        [-queue 64] [-drop drop-oldest] [-mapper rr|nmp]
+//	        [-adapt] [-adapt-interval 50ms] [-remap-cooldown 250ms]
+//
+// -adapt turns on the online control plane: per-session DSFA retuning
+// that tracks scene dynamics and backlog, and (under -mapper nmp)
+// warm-started NMP remaps that re-place layers as load shifts. Retune
+// and remap activity is exposed in /metrics (evserve_retunes_total,
+// evserve_control_remap_*).
 //
 // API:
 //
@@ -42,6 +49,9 @@ func main() {
 		queue    = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
 		drop     = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
 		mapper   = flag.String("mapper", "rr", "session placement policy: rr (round-robin) or nmp (evolutionary search)")
+		adapt    = flag.Bool("adapt", false, "enable the online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
+		adaptInt = flag.Duration("adapt-interval", 50*time.Millisecond, "minimum stream time between retune decisions")
+		cooldown = flag.Duration("remap-cooldown", 250*time.Millisecond, "minimum virtual time between NMP remaps")
 	)
 	flag.Parse()
 
@@ -59,6 +69,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)
+	}
+	if *adapt {
+		cfg.Adapt = evedge.ServeAdaptConfig{
+			Retune: true,
+			Remap:  cfg.Mapper == evedge.MapperNMP,
+			DSFA:   evedge.RetunerConfig{DecideEveryUS: adaptInt.Microseconds()},
+			Planner: evedge.RemapPlannerConfig{
+				CooldownUS: float64(cooldown.Microseconds()),
+			},
+		}
 	}
 
 	srv, err := evedge.NewServer(cfg)
@@ -81,8 +101,8 @@ func main() {
 		srv.Close()
 	}()
 
-	log.Printf("evserve: listening on %s (platform=%s, workers=%d, queue=%d, mapper=%s)",
-		*addr, cfg.Platform.Name, cfg.Workers, cfg.QueueCap, cfg.Mapper)
+	log.Printf("evserve: listening on %s (platform=%s, workers=%d, queue=%d, mapper=%s, adapt=%v)",
+		*addr, cfg.Platform.Name, cfg.Workers, cfg.QueueCap, cfg.Mapper, *adapt)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "evserve:", err)
 		os.Exit(1)

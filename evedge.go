@@ -29,6 +29,7 @@ import (
 	"net/http"
 
 	"evedge/internal/cluster"
+	"evedge/internal/control"
 	"evedge/internal/events"
 	"evedge/internal/experiments"
 	"evedge/internal/hw"
@@ -137,6 +138,11 @@ func Presets() []ScenePreset { return scene.AllPresets() }
 // RunPipeline executes the end-to-end streaming pipeline.
 func RunPipeline(cfg PipelineConfig) (*PipelineReport, error) { return pipeline.Run(cfg) }
 
+// ParseLevel parses an optimization level by number or name (0|all-gpu,
+// 1|e2sf, 2|dsfa, 3|nmp); unknown spellings are an error naming the
+// valid levels, never a silent fallback.
+func ParseLevel(s string) (Level, error) { return pipeline.ParseLevel(s) }
+
 // Multi-task streaming aliases.
 type (
 	// MultiTaskConfig configures a concurrent streaming run of several
@@ -208,6 +214,15 @@ type (
 	DropPolicy = serve.DropPolicy
 	// MapperPolicy selects how sessions are placed on the platform.
 	MapperPolicy = serve.MapperPolicy
+	// ServeAdaptConfig enables the online adaptation plane on a server:
+	// per-session DSFA retuning and warm-started NMP remaps.
+	ServeAdaptConfig = serve.AdaptConfig
+	// ServeTotals is a server's monotonic session-counter roll-up.
+	ServeTotals = serve.SessionTotals
+	// RetunerConfig tunes the per-session DSFA retune controller.
+	RetunerConfig = control.DSFAConfig
+	// RemapPlannerConfig tunes the remap/migration gate.
+	RemapPlannerConfig = control.RemapConfig
 )
 
 // Session placement policies and queue drop policies.

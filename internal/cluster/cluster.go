@@ -28,8 +28,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"evedge/internal/control"
 	"evedge/internal/events"
 	"evedge/internal/hw"
+	"evedge/internal/nn"
 	"evedge/internal/serve"
 )
 
@@ -95,6 +97,16 @@ type Config struct {
 	// nodes and triggers failover (default 1s; negative disables the
 	// loop — ProbeNow still probes on demand).
 	ProbeInterval time.Duration
+	// RebalanceGap enables load-driven session migration: when the
+	// capacity-weighted utilization spread between the hottest and the
+	// coldest alive node exceeds this gap, the probe loop migrates one
+	// session from hot to cold (gracefully — queued frames execute
+	// before the move). 0 disables; the same node-load signal that
+	// places new sessions drives it.
+	RebalanceGap float64
+	// RebalanceCooldown is the minimum wall time between load-driven
+	// migrations (default 5s), bounding migration churn.
+	RebalanceCooldown time.Duration
 	// Node is the base per-node server config; Platform is overridden
 	// by each NodeSpec, Workers only when the spec sets it.
 	Node serve.Config
@@ -130,6 +142,9 @@ type route struct {
 	// of this session, surfaced so clients can account for the gap.
 	shedFrames uint64
 	failovers  int
+	// migrations counts load-driven moves to another node (graceful —
+	// nothing shed, but per-session counters restart like a failover).
+	migrations int
 }
 
 // Cluster is the sharded serving fleet: embedded nodes plus the
@@ -151,6 +166,12 @@ type Cluster struct {
 	failoverSessions atomic.Uint64
 	failoverShed     atomic.Uint64
 	lostSessions     atomic.Uint64
+	migrations       atomic.Uint64
+
+	// rebalancer gates load-driven migrations (nil when disabled). It
+	// consumes the same node-load signals placement uses, in wall-time
+	// microseconds since start.
+	rebalancer *control.RemapPlanner
 
 	probeStop chan struct{}
 	probeOnce sync.Once
@@ -179,6 +200,16 @@ func New(cfg Config) (*Cluster, error) {
 		routes:    map[string]*route{},
 		start:     time.Now(),
 		probeStop: make(chan struct{}),
+	}
+	if cfg.RebalanceGap > 0 {
+		cooldown := cfg.RebalanceCooldown
+		if cooldown <= 0 {
+			cooldown = 5 * time.Second
+		}
+		c.rebalancer = control.NewRemapPlanner(control.RemapConfig{
+			ImbalanceTh: cfg.RebalanceGap,
+			CooldownUS:  float64(cooldown.Microseconds()),
+		})
 	}
 	names := map[string]bool{}
 	for i, spec := range cfg.Nodes {
@@ -248,7 +279,7 @@ func (c *Cluster) probeLoop(interval time.Duration) {
 // ProbeNow runs one health-probe pass: any dead or draining node that
 // still owns routed sessions has them moved to surviving nodes (a
 // create can race a kill or drain and land on a node the migration
-// sweep already missed).
+// sweep already missed), then the load rebalancer gets one decision.
 func (c *Cluster) ProbeNow() {
 	for _, n := range c.nodes {
 		switch n.state.Load() {
@@ -258,6 +289,132 @@ func (c *Cluster) ProbeNow() {
 			c.migrate(n, true)
 		}
 	}
+	c.maybeRebalance()
+}
+
+// maybeRebalance consumes the node-load signals and, when the
+// utilization spread between the hottest and the coldest alive node
+// exceeds the configured gap (and the cooldown expired), migrates one
+// session from hot to cold — the fleet-level analogue of the per-node
+// NMP remap: placement tracks the load, not just session churn.
+func (c *Cluster) maybeRebalance() {
+	if c.rebalancer == nil {
+		return
+	}
+	alive := c.aliveNodes(nil)
+	if len(alive) < 2 {
+		return
+	}
+	nowUS := float64(time.Since(c.start).Microseconds())
+	loads := make([]serve.NodeLoad, len(alive))
+	devs := make([]control.DeviceSignals, len(alive))
+	for i, n := range alive {
+		loads[i] = n.srv.Load()
+		// BacklogUS stays 0: node-level queue depth is in frames, not
+		// virtual time, so the gate decides on utilization alone (the
+		// queued-frame gauges remain visible in /metrics).
+		devs[i] = control.DeviceSignals{
+			Device:      n.name,
+			Utilization: loads[i].Utilization,
+		}
+	}
+	if !c.rebalancer.ShouldRemap(nowUS, devs) {
+		return
+	}
+	if c.migrateForLoad(alive, loads) {
+		c.rebalancer.Committed(nowUS, 0)
+	} else {
+		c.rebalancer.Done(nowUS)
+	}
+}
+
+// migrateForLoad picks the session on the hottest node whose move to
+// the coldest node most reduces the fleet's maximum utilization, and
+// moves it gracefully (close on hot — queued frames execute — then
+// re-create on cold under the same fleet-wide ID). Returns false when
+// no move strictly improves the balance.
+func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
+	hot, cold := 0, 0
+	for i := range alive {
+		if loads[i].Utilization > loads[hot].Utilization {
+			hot = i
+		}
+		if loads[i].Utilization < loads[cold].Utilization {
+			cold = i
+		}
+	}
+	if alive[hot] == alive[cold] || loads[hot].CapacityMACs <= 0 || loads[cold].CapacityMACs <= 0 {
+		return false
+	}
+	hotN, coldN := alive[hot], alive[cold]
+
+	c.mu.Lock()
+	var candidates []*route
+	for _, id := range c.order {
+		rt := c.routes[id]
+		if rt.node == hotN && !rt.closed {
+			candidates = append(candidates, rt)
+		}
+	}
+	c.mu.Unlock()
+
+	curMax := loads[hot].Utilization
+	var best *route
+	bestMax := curMax
+	for _, rt := range candidates {
+		net, err := nn.ByName(rt.cfg.Network)
+		if err != nil {
+			continue
+		}
+		cost := float64(net.TotalMACs())
+		hotAfter := loads[hot].Utilization - cost/loads[hot].CapacityMACs
+		coldAfter := loads[cold].Utilization + cost/loads[cold].CapacityMACs
+		newMax := hotAfter
+		if coldAfter > newMax {
+			newMax = coldAfter
+		}
+		if newMax < bestMax-1e-12 {
+			bestMax = newMax
+			best = rt
+		}
+	}
+	if best == nil {
+		return false
+	}
+
+	// Serialize with failover/drain sweeps so a session moves once.
+	c.migMu.Lock()
+	defer c.migMu.Unlock()
+	c.mu.Lock()
+	stillOurs := best.node == hotN && !best.closed
+	oldID := best.localID
+	c.mu.Unlock()
+	if !stillOurs {
+		return false
+	}
+	// Create-then-commit-then-close: the route flips to the new owner
+	// before the old session closes, so concurrent ingest never lands in
+	// a window where neither node owns the stream, and a failed create
+	// leaves the session running on the hot node untouched.
+	sess, err := coldN.srv.CreateSession(best.cfg)
+	if err != nil {
+		return false
+	}
+	c.mu.Lock()
+	if best.closed || best.node != hotN || best.localID != oldID {
+		// A client close (or another sweep) won the race; undo ours.
+		c.mu.Unlock()
+		_, _ = coldN.srv.CloseSession(sess.ID)
+		return false
+	}
+	best.node = coldN
+	best.localID = sess.ID
+	best.migrations++
+	c.mu.Unlock()
+	// Graceful: the old session's queued frames execute during close.
+	_, _ = hotN.srv.CloseSession(oldID)
+	c.migrations.Add(1)
+	return true
 }
 
 // Node returns a fleet member by name.
@@ -360,6 +517,16 @@ func (c *Cluster) migrate(n *node, graceful bool) {
 			continue
 		}
 		c.mu.Lock()
+		if rt.closed {
+			// A client close landed while we re-created the session:
+			// undo the new copy instead of committing an orphan the
+			// fleet's load signal would count forever.
+			rt.shedFrames += shed
+			c.mu.Unlock()
+			_, _ = target.srv.CloseSession(sess.ID)
+			c.failoverShed.Add(shed)
+			continue
+		}
 		rt.node = target
 		rt.localID = sess.ID
 		rt.shedFrames += shed
@@ -428,13 +595,27 @@ func (c *Cluster) endpoint(extID string) (*node, string, *route, error) {
 	}
 }
 
-// Ingest proxies one event chunk to the session's owning node.
+// Ingest proxies one event chunk to the session's owning node. A
+// load-driven migration can flip the route mid-request; when the send
+// fails and the route has moved, the chunk retries against the new
+// owner instead of surfacing a spurious error to the client.
 func (c *Cluster) Ingest(extID string, chunk *events.Stream) (serve.IngestResult, error) {
-	n, localID, _, err := c.endpoint(extID)
-	if err != nil {
-		return serve.IngestResult{}, err
+	for {
+		n, localID, rt, err := c.endpoint(extID)
+		if err != nil {
+			return serve.IngestResult{}, err
+		}
+		res, err := n.srv.Ingest(localID, chunk)
+		if err == nil {
+			return res, nil
+		}
+		c.mu.Lock()
+		moved := rt.node != n || rt.localID != localID
+		c.mu.Unlock()
+		if !moved {
+			return res, err
+		}
 	}
-	return n.srv.Ingest(localID, chunk)
 }
 
 // Snapshot returns the session's state under its fleet-wide ID.
@@ -455,7 +636,7 @@ func (c *Cluster) snapshotRoute(rt *route) (serve.SessionSnapshot, error) {
 	c.mu.Lock()
 	n, localID, closed := rt.node, rt.localID, rt.closed
 	extID := rt.extID
-	failovers, shed := rt.failovers, rt.shedFrames
+	failovers, shed, migrations := rt.failovers, rt.shedFrames, rt.migrations
 	c.mu.Unlock()
 	snap, err := n.srv.Snapshot(localID)
 	if err != nil {
@@ -471,6 +652,7 @@ func (c *Cluster) snapshotRoute(rt *route) (serve.SessionSnapshot, error) {
 	snap.Node = n.name
 	snap.Failovers = failovers
 	snap.FailoverShedFrames = shed
+	snap.Migrations = migrations
 	if closed && snap.State == "active" {
 		snap.State = "closed"
 	}
@@ -497,25 +679,50 @@ func (c *Cluster) Snapshots() []serve.SessionSnapshot {
 }
 
 // CloseSession closes the session on its owning node and returns the
-// final snapshot under the fleet-wide ID.
+// final snapshot under the fleet-wide ID. A migration can move the
+// session while the close is in flight; the stale close lands on the
+// old (already-closed) local session, so re-resolve and close the new
+// owner too — otherwise the migrated copy would leak as an orphan.
 func (c *Cluster) CloseSession(extID string) (serve.SessionSnapshot, error) {
-	n, localID, rt, err := c.endpoint(extID)
-	if err != nil {
-		return serve.SessionSnapshot{}, err
-	}
-	snap, err := n.srv.CloseSession(localID)
-	if err != nil {
-		return serve.SessionSnapshot{}, err
+	var (
+		snap *serve.SessionSnapshot
+		n    *node
+		rt   *route
+	)
+	for {
+		var localID string
+		var err error
+		n, localID, rt, err = c.endpoint(extID)
+		if err != nil {
+			return serve.SessionSnapshot{}, err
+		}
+		snap, err = n.srv.CloseSession(localID)
+		if err != nil {
+			return serve.SessionSnapshot{}, err
+		}
+		// Marking closed in the same critical section as the moved check
+		// makes this atomic against a migration commit: either the
+		// migration already flipped the route (we loop and close the new
+		// copy) or it will see closed and undo itself.
+		c.mu.Lock()
+		moved := rt.node != n || rt.localID != localID
+		if !moved {
+			rt.closed = true
+		}
+		c.mu.Unlock()
+		if !moved {
+			break
+		}
 	}
 	c.mu.Lock()
-	rt.closed = true
-	failovers, shed := rt.failovers, rt.shedFrames
+	failovers, shed, migrations := rt.failovers, rt.shedFrames, rt.migrations
 	c.mu.Unlock()
 	out := *snap
 	out.ID = extID
 	out.Node = n.name
 	out.Failovers = failovers
 	out.FailoverShedFrames = shed
+	out.Migrations = migrations
 	return out, nil
 }
 

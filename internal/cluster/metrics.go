@@ -33,13 +33,16 @@ type Health struct {
 	Platform       string  `json:"platform"`
 	Mapper         string  `json:"mapper"`
 
-	Policy             string       `json:"policy"`
-	NodesUp            int          `json:"nodes_up"`
-	NodesTotal         int          `json:"nodes_total"`
-	FailoverSessions   uint64       `json:"failover_sessions"`
-	FailoverShedFrames uint64       `json:"failover_shed_frames"`
-	LostSessions       uint64       `json:"lost_sessions"`
-	Nodes              []NodeHealth `json:"nodes"`
+	Policy             string `json:"policy"`
+	NodesUp            int    `json:"nodes_up"`
+	NodesTotal         int    `json:"nodes_total"`
+	FailoverSessions   uint64 `json:"failover_sessions"`
+	FailoverShedFrames uint64 `json:"failover_shed_frames"`
+	LostSessions       uint64 `json:"lost_sessions"`
+	// RebalanceMigrations counts load-driven session moves (the
+	// signal-triggered migrations, not kill/drain failovers).
+	RebalanceMigrations uint64       `json:"rebalance_migrations"`
+	Nodes               []NodeHealth `json:"nodes"`
 }
 
 // Health reports fleet and per-node state.
@@ -51,10 +54,11 @@ func (c *Cluster) Health() Health {
 		Policy:     string(c.cfg.Policy),
 		NodesTotal: len(c.nodes),
 
-		SessionsTotal:      int(c.nextID.Load()),
-		FailoverSessions:   c.failoverSessions.Load(),
-		FailoverShedFrames: c.failoverShed.Load(),
-		LostSessions:       c.lostSessions.Load(),
+		SessionsTotal:       int(c.nextID.Load()),
+		FailoverSessions:    c.failoverSessions.Load(),
+		FailoverShedFrames:  c.failoverShed.Load(),
+		LostSessions:        c.lostSessions.Load(),
+		RebalanceMigrations: c.migrations.Load(),
 	}
 	if h.Mapper == "" {
 		h.Mapper = string(serve.MapperRR)
@@ -120,12 +124,14 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Counter("evcluster_failover_sessions_total", "Sessions re-created on a surviving node.", "", float64(h.FailoverSessions))
 	pw.Counter("evcluster_failover_shed_frames_total", "Queued frames lost to node failures.", "", float64(h.FailoverShedFrames))
 	pw.Counter("evcluster_sessions_lost_total", "Sessions lost because no node survived.", "", float64(h.LostSessions))
+	pw.Counter("evcluster_rebalance_migrations_total", "Load-driven session migrations.", "", float64(h.RebalanceMigrations))
 
-	// Fleet totals over every node's retained sessions, dead ones
-	// included: counters must stay monotonic across a failover, and the
+	// Fleet totals from every node's monotonic roll-up, dead nodes
+	// included: closed sessions are folded in at close time, so the
+	// counters do not depend on closed-session retention, and the
 	// in-process corpse of a killed node carries exactly the last-seen
 	// totals a real router would have cached before losing the scrape.
-	var events, frames, dropped, invocs, rawDone float64
+	var events, frames, dropped, invocs, rawDone, retunes, remaps float64
 	for i, n := range c.nodes {
 		nh := h.Nodes[i]
 		lbl := serve.PromLabels("node", n.name, "platform", n.platform)
@@ -138,19 +144,22 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pw.Gauge("evcluster_node_utilization", "Capacity-weighted active-session cost.", lbl, nh.Load.Utilization)
 		pw.Gauge("evcluster_node_queued_frames", "Frames waiting in the node's ingest queues.", lbl, float64(nh.Load.QueuedFrames))
 		pw.Gauge("evcluster_node_capacity_macs", "Aggregate peak MAC rate of the node.", lbl, nh.Load.CapacityMACs)
-		for _, snap := range n.srv.Snapshots() {
-			events += float64(snap.EventsIn)
-			frames += float64(snap.FramesIn)
-			dropped += float64(snap.FramesDropped)
-			invocs += float64(snap.Invocations)
-			rawDone += float64(snap.RawFramesDone)
-		}
+		nt := n.srv.Totals()
+		events += float64(nt.EventsIn)
+		frames += float64(nt.FramesIn)
+		dropped += float64(nt.FramesDropped)
+		invocs += float64(nt.Invocations)
+		rawDone += float64(nt.RawFramesDone)
+		retunes += float64(nt.Retunes)
+		remaps += float64(nt.Remaps)
 	}
 	pw.Counter("evcluster_events_total", "Events ingested across the fleet.", "", events)
 	pw.Counter("evcluster_frames_total", "Sparse frames produced across the fleet.", "", frames)
 	pw.Counter("evcluster_frames_dropped_total", "Frames shed by ingest queues across the fleet.", "", dropped)
 	pw.Counter("evcluster_invocations_total", "Inference launches across the fleet.", "", invocs)
 	pw.Counter("evcluster_raw_frames_done_total", "Raw frames completed across the fleet.", "", rawDone)
+	pw.Counter("evcluster_retunes_total", "DSFA retunes applied across the fleet.", "", retunes)
+	pw.Counter("evcluster_remaps_total", "Execution plans installed after the first across the fleet.", "", remaps)
 
 	// Every alive node's own series, scoped by node.
 	for _, n := range c.nodes {

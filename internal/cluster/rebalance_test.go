@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"evedge/internal/nn"
+	"evedge/internal/serve"
+)
+
+// TestLoadRebalanceMigratesSession builds an imbalanced fleet under
+// hash placement (deterministic skew), then lets one probe pass run
+// the load rebalancer: exactly one session must move from the hottest
+// to the coldest node, the gap must shrink, and the cooldown must hold
+// further moves back.
+func TestLoadRebalanceMigratesSession(t *testing.T) {
+	c, err := New(Config{
+		Nodes:             []NodeSpec{{Platform: "xavier"}, {Platform: "xavier"}},
+		Policy:            PolicyHash,
+		ProbeInterval:     -1, // probe manually
+		RebalanceGap:      1e-9,
+		RebalanceCooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+
+	// Hash placement of identical sessions: keep creating until the
+	// per-node spread reaches 2, which guarantees a strictly improving
+	// move exists.
+	perNode := func() (int, int) {
+		on := c.sessionsOn()
+		return on[c.nodes[0].name], on[c.nodes[1].name]
+	}
+	var skewed bool
+	for i := 0; i < 16 && !skewed; i++ {
+		if _, err := c.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1}); err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+		a, b := perNode()
+		skewed = a-b >= 2 || b-a >= 2
+	}
+	if !skewed {
+		t.Skip("hash placement landed balanced for every prefix; nothing to rebalance")
+	}
+	beforeA, beforeB := perNode()
+	gapBefore := beforeA - beforeB
+	if gapBefore < 0 {
+		gapBefore = -gapBefore
+	}
+
+	c.ProbeNow()
+
+	afterA, afterB := perNode()
+	gapAfter := afterA - afterB
+	if gapAfter < 0 {
+		gapAfter = -gapAfter
+	}
+	if gapAfter != gapBefore-2 {
+		t.Fatalf("gap %d -> %d after rebalance, want %d", gapBefore, gapAfter, gapBefore-2)
+	}
+	h := c.Health()
+	if h.RebalanceMigrations != 1 {
+		t.Fatalf("rebalance migrations = %d, want 1", h.RebalanceMigrations)
+	}
+	if h.FailoverSessions != 0 || h.LostSessions != 0 {
+		t.Fatalf("load rebalance counted as failover/loss: %+v", h)
+	}
+
+	// The moved session is findable: exactly one snapshot carries a
+	// migration count, it is open, and it lives on the (previously)
+	// colder node.
+	moved := 0
+	for _, snap := range c.Snapshots() {
+		if snap.Migrations == 0 {
+			continue
+		}
+		moved++
+		if snap.Migrations != 1 || snap.State != "active" {
+			t.Fatalf("moved session in bad state: %+v", snap)
+		}
+	}
+	if moved != 1 {
+		t.Fatalf("%d sessions carry migrations, want 1", moved)
+	}
+
+	// Cooldown: an immediate second probe must not move anything else.
+	c.ProbeNow()
+	if h := c.Health(); h.RebalanceMigrations != 1 {
+		t.Fatalf("cooldown did not hold: %d migrations", h.RebalanceMigrations)
+	}
+}
+
+// TestRebalanceDisabledByDefault keeps the zero config frozen: no
+// rebalancer, no migrations, whatever the skew.
+func TestRebalanceDisabledByDefault(t *testing.T) {
+	c, err := New(Config{
+		Nodes:         []NodeSpec{{Platform: "xavier"}, {Platform: "xavier"}},
+		Policy:        PolicyHash,
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := c.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1}); err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+	}
+	c.ProbeNow()
+	if h := c.Health(); h.RebalanceMigrations != 0 {
+		t.Fatalf("disabled rebalancer migrated %d sessions", h.RebalanceMigrations)
+	}
+}

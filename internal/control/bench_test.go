@@ -1,0 +1,36 @@
+package control_test
+
+import (
+	"testing"
+
+	"evedge/internal/control"
+	"evedge/internal/nn"
+	"evedge/internal/pipeline"
+)
+
+// BenchmarkAdaptiveVsFrozen replays the mid-run dynamics shift under
+// the frozen create-time DSFA tuning and under the online controller,
+// reporting both tails so the adaptation win is visible in CI bench
+// output:
+//
+//	frozen-p99-us / adaptive-p99-us
+//	frozen-drops  / adaptive-drops
+func BenchmarkAdaptiveVsFrozen(b *testing.B) {
+	net := nn.MustByName(nn.HALSIE)
+	anchor := pipeline.TunedDSFA(net)
+	base := baseCost(b, net)
+	frames := shiftScenario(base)
+
+	var frozen, adaptive simResult
+	for i := 0; i < b.N; i++ {
+		frozen = simulate(b, net, frames, anchor, nil)
+		ccfg := control.DefaultDSFAConfig()
+		ccfg.DecideEveryUS = int64(base)
+		adaptive = simulate(b, net, frames, anchor, control.NewRetuner(ccfg, anchor))
+	}
+	b.ReportMetric(frozen.p99US, "frozen-p99-us")
+	b.ReportMetric(adaptive.p99US, "adaptive-p99-us")
+	b.ReportMetric(float64(frozen.drops), "frozen-drops")
+	b.ReportMetric(float64(adaptive.drops), "adaptive-drops")
+	b.ReportMetric(float64(adaptive.retunes), "retunes")
+}

@@ -107,6 +107,9 @@ type bucket struct {
 	earliest int64 // Time(Evf_1)
 	meanDen  float64
 	status   bucketStatus
+	// mode is the combine mode the bucket was opened under; a live
+	// Retune must not re-merge frames admitted under different rules.
+	mode CMode
 }
 
 func (b *bucket) add(f *sparse.Frame) {
@@ -169,6 +172,7 @@ type Stats struct {
 	DroppedEvents   float64
 	FlushesOnFull   int // flushes triggered by buffer occupancy
 	EarlyDispatches int // dispatches triggered by hardware availability
+	Retunes         int // live configuration swaps applied
 }
 
 // MergeRatio returns mean raw frames per dispatched merged bucket.
@@ -201,6 +205,53 @@ func (a *Aggregator) Config() Config { return a.cfg }
 // Stats returns a snapshot of the counters.
 func (a *Aggregator) Stats() Stats { return a.stats }
 
+// Retune swaps the aggregator's configuration while the stream is live
+// — the control plane's hook for tracking scene dynamics and hardware
+// backlog after session creation. The swap applies at bucket
+// boundaries and conserves frame accounting (raw frames in == merged +
+// dropped + pending always holds):
+//
+//   - Open buckets keep the frames they already admitted; none are
+//     re-split or re-placed. A bucket at or over the new MBSize is
+//     marked FULL so it dispatches on the next opportunity.
+//   - A combine-mode change closes every open bucket (they were formed
+//     under the old mode's admission rules) rather than re-merging
+//     them; new frames bucket under the new mode.
+//   - A tightened QueueCap sheds the earliest queued merged buckets
+//     immediately, counted as drops exactly like an overflow.
+//
+// The new thresholds (MtThUS, MdTh) govern all subsequent placements
+// and staleness checks, including for buckets still open.
+func (a *Aggregator) Retune(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg == a.cfg {
+		return nil
+	}
+	if cfg.Mode != a.cfg.Mode {
+		for _, b := range a.buckets {
+			b.status = full
+		}
+	} else {
+		for _, b := range a.buckets {
+			if len(b.frames) >= cfg.MBSize {
+				b.status = full
+			}
+		}
+	}
+	a.cfg = cfg
+	for len(a.queue) > a.cfg.QueueCap {
+		drop := a.queue[0]
+		a.queue = a.queue[1:]
+		a.stats.DroppedBuckets++
+		a.stats.DroppedFrames += drop.NumMerged
+		a.stats.DroppedEvents += drop.Events
+	}
+	a.stats.Retunes++
+	return nil
+}
+
 // occupancy is the number of frames currently buffered in buckets.
 func (a *Aggregator) occupancy() int {
 	n := 0
@@ -230,7 +281,7 @@ func (a *Aggregator) Push(f *sparse.Frame) {
 func (a *Aggregator) place(f *sparse.Frame) {
 	if a.cfg.Mode == CBatch {
 		// cBatch: every frame opens a fresh bucket.
-		b := &bucket{}
+		b := &bucket{mode: CBatch}
 		b.add(f)
 		b.status = full
 		a.buckets = append(a.buckets, b)
@@ -266,7 +317,7 @@ func (a *Aggregator) place(f *sparse.Frame) {
 		b.add(f)
 		return
 	}
-	nb := &bucket{}
+	nb := &bucket{mode: a.cfg.Mode}
 	nb.add(f)
 	a.buckets = append(a.buckets, nb)
 }
@@ -302,7 +353,7 @@ func (a *Aggregator) combine(b *bucket) Merged {
 	for _, f := range b.frames {
 		m.Events += f.EventCount()
 	}
-	switch a.cfg.Mode {
+	switch b.mode {
 	case CAdd:
 		m.Frames = []*sparse.Frame{sparse.MergeAdd(b.frames...)}
 	case CAverage:

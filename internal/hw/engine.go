@@ -86,6 +86,34 @@ func (e *Engine) Utilization(dev *Device) float64 {
 	return e.busyTotal[dev.ID] / m
 }
 
+// DeviceLoad is one device's load signal at an instant of virtual
+// time: accumulated busy microseconds, the backlog still queued ahead
+// of new work, and busy-over-elapsed utilization.
+type DeviceLoad struct {
+	Device      string
+	BusyUS      float64
+	BacklogUS   float64
+	Utilization float64
+}
+
+// Loads snapshots every device's load at virtual time nowUS (typically
+// the makespan or the serving clock) — the per-device telemetry the
+// online control plane's remap planner consumes.
+func (e *Engine) Loads(nowUS float64) []DeviceLoad {
+	out := make([]DeviceLoad, len(e.p.Devices))
+	for i, d := range e.p.Devices {
+		l := DeviceLoad{Device: d.Name, BusyUS: e.busyTotal[i]}
+		if b := e.busyUntil[i] - nowUS; b > 0 {
+			l.BacklogUS = b
+		}
+		if nowUS > 0 {
+			l.Utilization = e.busyTotal[i] / nowUS
+		}
+		out[i] = l
+	}
+	return out
+}
+
 // EnergyJoules integrates device power over the horizon: active power
 // while busy, idle power otherwise. If horizonUS is zero the makespan
 // is used. This mirrors a Tegrastats busy-time integral.

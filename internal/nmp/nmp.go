@@ -215,6 +215,18 @@ func (mp *Mapper) Evaluate(asg *taskgraph.Assignment) (*evaluation, error) {
 	return ev, nil
 }
 
+// Predict prices an assignment without searching: the Eq. 3 makespan
+// and whether every task stays inside its accuracy budget. The online
+// remap planner uses it to compare a live assignment against a
+// warm-started candidate.
+func (mp *Mapper) Predict(asg *taskgraph.Assignment) (latencyUS float64, feasible bool, err error) {
+	ev, err := mp.Evaluate(asg)
+	if err != nil {
+		return 0, false, err
+	}
+	return ev.latency, ev.feasible, nil
+}
+
 func hashAssignment(a *taskgraph.Assignment) uint64 {
 	h := fnv.New64a()
 	buf := make([]byte, 2)
@@ -276,13 +288,18 @@ func (mp *Mapper) mutate(r *rand.Rand, asg *taskgraph.Assignment) {
 	}
 }
 
-// Search runs the evolutionary loop and returns the best feasible
-// candidate found (or the best overall if none was feasible).
-func (mp *Mapper) Search() (*Result, error) {
-	r := rand.New(rand.NewSource(mp.cfg.Seed))
-	cache := make(map[uint64]*evaluation)
-	res := &Result{}
+// member pairs a candidate with its evaluation.
+type member struct {
+	asg *taskgraph.Assignment
+	ev  *evaluation
+}
 
+// evolve runs the generational loop over an initial population and
+// returns the best member overall plus the best feasible one (nil
+// asg when no feasible candidate emerged). res accumulates evaluation
+// and cache counters plus the fitness history.
+func (mp *Mapper) evolve(r *rand.Rand, pop []*taskgraph.Assignment, generations int, res *Result) (best, bestFeasible member, err error) {
+	cache := make(map[uint64]*evaluation)
 	evalCached := func(asg *taskgraph.Assignment) (*evaluation, error) {
 		if !mp.cfg.DisableCache {
 			if ev, ok := cache[hashAssignment(asg)]; ok {
@@ -301,10 +318,61 @@ func (mp *Mapper) Search() (*Result, error) {
 		return ev, nil
 	}
 
-	type member struct {
-		asg *taskgraph.Assignment
-		ev  *evaluation
+	for gen := 0; gen < generations; gen++ {
+		// Evaluate the whole generation; candidates inherited from the
+		// previous generation (and duplicates emerging from different
+		// parents) resolve through the fitness cache.
+		members := make([]member, len(pop))
+		for i, asg := range pop {
+			ev, err := evalCached(asg)
+			if err != nil {
+				return best, bestFeasible, err
+			}
+			members[i] = member{asg, ev}
+		}
+		sort.SliceStable(members, func(i, j int) bool { return members[i].ev.fitness < members[j].ev.fitness })
+		if best.asg == nil || members[0].ev.fitness < best.ev.fitness {
+			best = member{members[0].asg.Clone(), members[0].ev}
+		}
+		for _, m := range members {
+			if m.ev.feasible && (bestFeasible.asg == nil || m.ev.fitness < bestFeasible.ev.fitness) {
+				bestFeasible = member{m.asg.Clone(), m.ev}
+			}
+		}
+		res.FitnessHistory = append(res.FitnessHistory, best.ev.fitness)
+		if gen == generations-1 {
+			break
+		}
+
+		// Parents: fitter half. Children: for each neighboring parent
+		// pair, clone one of the two with equal likelihood, then mutate.
+		parents := members[:len(pop)/2]
+		next := make([]*taskgraph.Assignment, 0, len(pop))
+		for _, p := range parents {
+			next = append(next, p.asg)
+		}
+		for len(next) < len(pop) {
+			i := (len(next) - len(parents)) % len(parents)
+			j := (i + 1) % len(parents)
+			src := parents[i].asg
+			if r.Intn(2) == 1 {
+				src = parents[j].asg
+			}
+			child := src.Clone()
+			mp.mutate(r, child)
+			next = append(next, child)
+		}
+		pop = next
 	}
+	return best, bestFeasible, nil
+}
+
+// Search runs the evolutionary loop and returns the best feasible
+// candidate found (or the best overall if none was feasible).
+func (mp *Mapper) Search() (*Result, error) {
+	r := rand.New(rand.NewSource(mp.cfg.Seed))
+	res := &Result{}
+
 	pop := make([]*taskgraph.Assignment, mp.cfg.Population)
 	for i := range pop {
 		pop[i] = mp.randomCandidate(r)
@@ -329,49 +397,75 @@ func (mp *Mapper) Search() (*Result, error) {
 		}
 	}
 
-	var best member
-	for gen := 0; gen < mp.cfg.Generations; gen++ {
-		// Evaluate the whole generation; candidates inherited from the
-		// previous generation (and duplicates emerging from different
-		// parents) resolve through the fitness cache.
-		members := make([]member, len(pop))
-		for i, asg := range pop {
-			ev, err := evalCached(asg)
-			if err != nil {
-				return nil, err
-			}
-			members[i] = member{asg, ev}
-		}
-		sort.SliceStable(members, func(i, j int) bool { return members[i].ev.fitness < members[j].ev.fitness })
-		if best.asg == nil || members[0].ev.fitness < best.ev.fitness {
-			best = member{members[0].asg.Clone(), members[0].ev}
-		}
-		res.FitnessHistory = append(res.FitnessHistory, best.ev.fitness)
-		if gen == mp.cfg.Generations-1 {
-			break
-		}
-
-		// Parents: fitter half. Children: for each neighboring parent
-		// pair, clone one of the two with equal likelihood, then mutate.
-		parents := members[:mp.cfg.Population/2]
-		next := make([]*taskgraph.Assignment, 0, mp.cfg.Population)
-		for _, p := range parents {
-			next = append(next, p.asg)
-		}
-		for len(next) < mp.cfg.Population {
-			i := (len(next) - len(parents)) % len(parents)
-			j := (i + 1) % len(parents)
-			src := parents[i].asg
-			if r.Intn(2) == 1 {
-				src = parents[j].asg
-			}
-			child := src.Clone()
-			mp.mutate(r, child)
-			next = append(next, child)
-		}
-		pop = next
+	best, _, err := mp.evolve(r, pop, mp.cfg.Generations, res)
+	if err != nil {
+		return nil, err
 	}
 	return mp.finish(res, best.asg, best.ev), nil
+}
+
+// SearchFrom runs a warm-started incremental search seeded from the
+// live assignment — the control plane's online remap. Instead of the
+// full offline population, the initial generation is the current
+// assignment, the always-feasible all-GPU/FP16 fallback, and mutated
+// neighbors of the current assignment; budget caps the generations so
+// the remap completes at control-loop latency. The result is
+// deterministic for a given (cfg.Seed, current) pair, always validates
+// against the workload, and is never accuracy-infeasible: if no
+// feasible candidate emerges, the FP32 all-GPU mapping (zero
+// quantization delta) is returned, and if even that violates the
+// budgets, SearchFrom errors rather than handing the executor an
+// infeasible plan.
+func (mp *Mapper) SearchFrom(current *taskgraph.Assignment, budget int) (*Result, error) {
+	nets := mp.db.Networks()
+	platform := mp.db.Platform()
+	if current == nil {
+		return nil, fmt.Errorf("nmp: SearchFrom needs a current assignment")
+	}
+	if err := current.Validate(nets, platform); err != nil {
+		return nil, err
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	// Mixing the seed with the warm-start point keeps repeated remaps
+	// deterministic per input while decorrelating successive searches.
+	r := rand.New(rand.NewSource(mp.cfg.Seed ^ int64(hashAssignment(current))))
+	res := &Result{}
+
+	// The FP32 all-GPU mapping has (near-)zero quantization delta, so it
+	// is the feasibility anchor; the FP16 variant usually matches it on
+	// accuracy at much better latency, so seed it too when there is room.
+	fallback, err := AllGPU(nets, platform, nn.FP32)
+	if err != nil {
+		return nil, err
+	}
+	pop := make([]*taskgraph.Assignment, mp.cfg.Population)
+	pop[0] = current.Clone()
+	pop[1] = fallback
+	next := 2
+	if next < len(pop) {
+		if g, err := AllGPU(nets, platform, nn.FP16); err == nil {
+			pop[next] = g
+			next++
+		}
+	}
+	for i := next; i < len(pop); i++ {
+		child := current.Clone()
+		mp.mutate(r, child)
+		pop[i] = child
+	}
+
+	_, bestFeasible, err := mp.evolve(r, pop, budget, res)
+	if err != nil {
+		return nil, err
+	}
+	if bestFeasible.asg == nil {
+		// Not even the all-GPU/FP16 fallback fits the accuracy budgets;
+		// no assignment this mapper can produce would be feasible.
+		return nil, fmt.Errorf("nmp: no feasible assignment within accuracy budgets %v", mp.budget)
+	}
+	return mp.finish(res, bestFeasible.asg, bestFeasible.ev), nil
 }
 
 // RandomSearch draws the same number of candidates as the evolutionary

@@ -1,0 +1,107 @@
+package nmp
+
+import (
+	"reflect"
+	"testing"
+
+	"evedge/internal/nn"
+)
+
+// TestSearchFromDeterministicPerSeed runs the warm-started search
+// twice from the same assignment and seed and expects identical
+// results; a different seed is allowed to (and here does) explore
+// differently.
+func TestSearchFromDeterministicPerSeed(t *testing.T) {
+	db, m := workload(t, nn.DOTIE, nn.SpikeFlowNet)
+	mp, err := NewMapper(db, m, quickCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := RRNetwork(db.Networks(), db.Platform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := mp.SearchFrom(cur, 6)
+	if err != nil {
+		t.Fatalf("SearchFrom: %v", err)
+	}
+	b, err := mp.SearchFrom(cur, 6)
+	if err != nil {
+		t.Fatalf("SearchFrom repeat: %v", err)
+	}
+	if !reflect.DeepEqual(a.Assignment, b.Assignment) {
+		t.Fatal("SearchFrom is not deterministic for a fixed (seed, current) pair")
+	}
+	if a.LatencyUS != b.LatencyUS || a.Evaluations != b.Evaluations {
+		t.Fatalf("SearchFrom metrics differ across identical runs: %v vs %v us", a.LatencyUS, b.LatencyUS)
+	}
+}
+
+// TestSearchFromFeasibleAndNoWorseThanSeed checks the two contracts
+// the online remap relies on: the returned assignment always validates
+// and is accuracy-feasible, and when the seed itself is feasible the
+// warm-started result never regresses its latency (the seed is in the
+// initial population).
+func TestSearchFromFeasibleAndNoWorseThanSeed(t *testing.T) {
+	db, m := workload(t, nn.DOTIE, nn.SpikeFlowNet)
+	mp, err := NewMapper(db, m, quickCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := AllGPU(db.Networks(), db.Platform(), nn.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedEv, err := mp.Evaluate(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seedEv.feasible {
+		t.Fatal("test premise broken: all-GPU/FP16 seed should be feasible")
+	}
+	res, err := mp.SearchFrom(cur, 8)
+	if err != nil {
+		t.Fatalf("SearchFrom: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatalf("SearchFrom returned an infeasible assignment: deltas %v", res.Deltas)
+	}
+	if err := res.Assignment.Validate(db.Networks(), db.Platform()); err != nil {
+		t.Fatalf("SearchFrom assignment does not validate: %v", err)
+	}
+	if res.LatencyUS > seedEv.latency {
+		t.Fatalf("warm-started result (%.1f us) is worse than its feasible seed (%.1f us)",
+			res.LatencyUS, seedEv.latency)
+	}
+}
+
+// TestSearchFromErrors covers the argument checks and the
+// budget-impossible path.
+func TestSearchFromErrors(t *testing.T) {
+	db, m := workload(t, nn.DOTIE)
+	mp, err := NewMapper(db, m, quickCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mp.SearchFrom(nil, 4); err == nil {
+		t.Fatal("nil current accepted")
+	}
+	cur, err := AllGPU(db.Networks(), db.Platform(), nn.FP16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero/negative budget still runs one generation.
+	res, err := mp.SearchFrom(cur, 0)
+	if err != nil {
+		t.Fatalf("SearchFrom with zero budget: %v", err)
+	}
+	if len(res.FitnessHistory) != 1 {
+		t.Fatalf("zero budget ran %d generations, want 1", len(res.FitnessHistory))
+	}
+	// A mis-shapen assignment is rejected.
+	bad := cur.Clone()
+	bad.Device = bad.Device[:0]
+	if _, err := mp.SearchFrom(bad, 4); err == nil {
+		t.Fatal("mis-shapen current accepted")
+	}
+}

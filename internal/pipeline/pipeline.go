@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"evedge/internal/dsfa"
 	"evedge/internal/e2sf"
@@ -57,6 +58,24 @@ func (l Level) String() string {
 		return "Ev-Edge (all)"
 	}
 	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// ParseLevel parses an optimization-level name or number. Accepted
+// spellings per level: 0|baseline|all-gpu, 1|e2sf, 2|dsfa, 3|nmp|all|
+// ev-edge (case-insensitive). Anything else is an error naming the
+// valid levels — never a silent fallback.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "0", "baseline", "all-gpu", "allgpu":
+		return LevelBaseline, nil
+	case "1", "e2sf", "+e2sf":
+		return LevelE2SF, nil
+	case "2", "dsfa", "+e2sf+dsfa":
+		return LevelDSFA, nil
+	case "3", "nmp", "all", "ev-edge", "evedge":
+		return LevelNMP, nil
+	}
+	return 0, fmt.Errorf("pipeline: unknown optimization level %q (valid: 0|all-gpu, 1|e2sf, 2|dsfa, 3|nmp)", s)
 }
 
 // Config describes one streaming run.

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"evedge/internal/dsfa"
 	"evedge/internal/hw"
@@ -26,6 +27,25 @@ type ExecPlan struct {
 	FramingOps int64
 }
 
+// Equal reports whether two plans map every layer to the same device
+// and precision (framing overhead and the sparse flag excluded — they
+// are representation state, not mapping decisions). The control plane
+// uses it to skip counting no-op plan installs as remaps.
+func (p *ExecPlan) Equal(o *ExecPlan) bool {
+	if p == nil || o == nil {
+		return p == o
+	}
+	if len(p.Device) != len(o.Device) || len(p.Prec) != len(o.Prec) {
+		return false
+	}
+	for i := range p.Device {
+		if p.Device[i] != o.Device[i] || p.Prec[i] != o.Prec[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // DefaultPlan maps every layer to the GPU at FP16 — the all-GPU
 // deployment every optimization level starts from.
 func DefaultPlan(net *nn.Network, p *hw.Platform, sparse bool) (*ExecPlan, error) {
@@ -43,6 +63,64 @@ func DefaultPlan(net *nn.Network, p *hw.Platform, sparse bool) (*ExecPlan, error
 		plan.Prec[i] = nn.FP16
 	}
 	return plan, nil
+}
+
+// PlanSlot is the swappable execution-plan holder shared between the
+// executor and the control plane. The executor reads the current plan
+// at each invocation boundary (Load); a rebalance or an online remap
+// installs a new plan between invocations (Swap) without touching
+// frames already queued — they simply execute under the new mapping
+// when their invocation forms. FramingOps, which the ingest path
+// discovers from the first frame's geometry, survives swaps.
+type PlanSlot struct {
+	mu    sync.Mutex
+	plan  *ExecPlan
+	swaps uint64
+}
+
+// NewPlanSlot wraps the initial plan.
+func NewPlanSlot(p *ExecPlan) *PlanSlot { return &PlanSlot{plan: p} }
+
+// Load returns the current plan. Callers must treat it as immutable;
+// a swap replaces the pointer rather than mutating the plan in place,
+// so an in-flight invocation keeps pricing under the plan it started
+// with.
+func (s *PlanSlot) Load() *ExecPlan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan
+}
+
+// Swap installs a new plan, carrying the framing overhead over from
+// the old one, and counts the remap.
+func (s *PlanSlot) Swap(p *ExecPlan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.FramingOps = s.plan.FramingOps
+	s.plan = p
+	s.swaps++
+}
+
+// Swaps returns how many plans have been installed after the first.
+func (s *PlanSlot) Swaps() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.swaps
+}
+
+// SetFramingOps records the per-invocation framing overhead once the
+// ingest path learns the frame geometry.
+func (s *PlanSlot) SetFramingOps(ops int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.plan.FramingOps = ops
+}
+
+// FramingOps reads the current framing overhead.
+func (s *PlanSlot) FramingOps() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.plan.FramingOps
 }
 
 // PlanFromAssignment extracts task t's slice of a multi-task mapper
@@ -183,6 +261,34 @@ func (s *Stepper) Pending() int {
 		return len(s.fifo)
 	}
 	return s.agg.PendingFrames()
+}
+
+// Queued returns merged buckets awaiting dispatch (0 below LevelDSFA).
+func (s *Stepper) Queued() int {
+	if s.agg == nil {
+		return 0
+	}
+	return s.agg.QueueLen()
+}
+
+// Retune swaps the aggregator tuning mid-stream — the control plane's
+// hook. The swap applies at bucket boundaries and conserves frame
+// accounting (see dsfa.Aggregator.Retune). Below LevelDSFA there is no
+// aggregator to tune and the call is a validated no-op.
+func (s *Stepper) Retune(cfg dsfa.Config) error {
+	if s.agg == nil {
+		return cfg.Validate()
+	}
+	return s.agg.Retune(cfg)
+}
+
+// AggConfig returns the live aggregator tuning; ok is false below
+// LevelDSFA.
+func (s *Stepper) AggConfig() (dsfa.Config, bool) {
+	if s.agg == nil {
+		return dsfa.Config{}, false
+	}
+	return s.agg.Config(), true
 }
 
 // Stats returns the aggregator counters (zero below LevelDSFA).

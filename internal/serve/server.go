@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"evedge/internal/control"
 	"evedge/internal/events"
 	"evedge/internal/hw"
 	"evedge/internal/nmp"
@@ -61,6 +62,26 @@ type Config struct {
 	// and /metrics before the oldest are evicted (default 64), keeping
 	// a long-lived server's memory and scrape size bounded.
 	MaxClosed int
+	// Adapt wires the online adaptation plane (internal/control) into
+	// the server; the zero value leaves both loops off, freezing the
+	// DSFA tuning and the placement at session creation as before.
+	Adapt AdaptConfig
+}
+
+// AdaptConfig enables the per-node control loop.
+type AdaptConfig struct {
+	// Retune lets the per-session controller swap DSFA tunings
+	// mid-stream (sessions at LevelDSFA and above).
+	Retune bool
+	// Remap lets the node run warm-started incremental NMP searches
+	// and install better plans mid-stream. Requires MapperNMP.
+	Remap bool
+	// DSFA tunes the retune controller; zero fields take
+	// control.DefaultDSFAConfig.
+	DSFA control.DSFAConfig
+	// Planner tunes the remap gate; zero fields take
+	// control.DefaultRemapConfig.
+	Planner control.RemapConfig
 }
 
 // ErrNoSession reports an unknown session ID.
@@ -114,6 +135,55 @@ type NodeLoad struct {
 	Utilization    float64 `json:"utilization"`
 }
 
+// SessionTotals is the monotonic roll-up of session counters: active
+// sessions summed live plus the final counters of every session ever
+// closed, whether or not its snapshot is still retained. Fleet-level
+// scrapers aggregate these instead of per-session series so totals do
+// not depend on scrape timing or closed-session eviction.
+type SessionTotals struct {
+	Sessions          uint64  `json:"sessions"`
+	EventsIn          uint64  `json:"events_in"`
+	FramesIn          uint64  `json:"frames_in"`
+	FramesDropped     uint64  `json:"frames_dropped"`
+	FramesDroppedDSFA uint64  `json:"frames_dropped_dsfa"`
+	Invocations       uint64  `json:"invocations"`
+	RawFramesDone     uint64  `json:"raw_frames_done"`
+	Retunes           uint64  `json:"retunes"`
+	Remaps            uint64  `json:"remaps"`
+	LatencySumUS      float64 `json:"latency_sum_us"`
+	LatencyCount      uint64  `json:"latency_count"`
+}
+
+// add folds one session's counters into the totals.
+func (t *SessionTotals) add(s SessionSnapshot) {
+	t.Sessions++
+	t.EventsIn += s.EventsIn
+	t.FramesIn += s.FramesIn
+	t.FramesDropped += s.FramesDropped
+	t.FramesDroppedDSFA += s.FramesDroppedDSFA
+	t.Invocations += s.Invocations
+	t.RawFramesDone += s.RawFramesDone
+	t.Retunes += s.Retunes
+	t.Remaps += s.Remaps
+	t.LatencySumUS += s.Latency.MeanUS * float64(s.Latency.Count)
+	t.LatencyCount += s.Latency.Count
+}
+
+// merge folds another roll-up (a late-execute delta) into the totals.
+func (t *SessionTotals) merge(d SessionTotals) {
+	t.Sessions += d.Sessions
+	t.EventsIn += d.EventsIn
+	t.FramesIn += d.FramesIn
+	t.FramesDropped += d.FramesDropped
+	t.FramesDroppedDSFA += d.FramesDroppedDSFA
+	t.Invocations += d.Invocations
+	t.RawFramesDone += d.RawFramesDone
+	t.Retunes += d.Retunes
+	t.Remaps += d.Remaps
+	t.LatencySumUS += d.LatencySumUS
+	t.LatencyCount += d.LatencyCount
+}
+
 // Server multiplexes client sessions onto one shared platform. The
 // ingest path (HTTP) converts events to frames and enqueues them; the
 // worker pool drains queues through each session's Stepper and
@@ -139,6 +209,24 @@ type Server struct {
 	// placeGen increments whenever the active set changes; rebalance
 	// uses it to detect that a concurrently computed placement is stale.
 	placeGen uint64
+	// lastAsg is the multi-task assignment behind the installed plans,
+	// in order-index task positions — the warm-start seed for online
+	// remaps. nil until the first successful rebalance.
+	lastAsg *taskgraph.Assignment
+	// closedUnscraped holds final snapshots not yet emitted to /metrics
+	// — each is exposed exactly once. Guarded by sessMu.
+	closedUnscraped []SessionSnapshot
+
+	// totalsMu guards closedTotals, which accumulates final counters of
+	// every closed session (including ones later evicted) so totals
+	// never depend on scrape timing. It is a leaf lock: execute folds
+	// late deltas under sess.mu, the close path and readers take it
+	// after sessMu — never the other way around.
+	totalsMu     sync.Mutex
+	closedTotals SessionTotals
+
+	// planner gates online remaps (nil when Adapt.Remap is off).
+	planner *control.RemapPlanner
 
 	runq    chan *Session
 	stopped chan struct{}
@@ -197,6 +285,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	for _, d := range cfg.Platform.Devices {
 		s.capacityMACs += d.PeakMACs[d.BestPrecision()]
+	}
+	if cfg.Adapt.Remap {
+		if cfg.Mapper != MapperNMP {
+			return nil, fmt.Errorf("serve: adaptive remap requires the %q mapper, have %q", MapperNMP, cfg.Mapper)
+		}
+		s.planner = control.NewRemapPlanner(cfg.Adapt.Planner)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -258,6 +352,7 @@ func (s *Server) drainSession(sess *Session) {
 	for {
 		frames := sess.queue.drain(s.cfg.DrainBatch)
 		if len(frames) == 0 {
+			s.maybeRemap()
 			return
 		}
 		s.execute(sess, frames, false)
@@ -273,14 +368,47 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 	// A worker can lose the race with CloseSession: it drained frames
 	// before the close but acquires the session lock after the final
 	// flush ran. Serving those frames in flush mode keeps them from
-	// being stranded in open aggregator buckets forever.
+	// being stranded in open aggregator buckets forever — and if the
+	// close already folded the session's finals into the server totals,
+	// this call's deltas are folded directly so no counter is lost.
 	if sess.closed {
 		flush = true
+	}
+	if sess.tallied {
+		preInvocs, preRaw := sess.invocs, sess.rawDone
+		preDrops := uint64(sess.stepper.Stats().DroppedFrames)
+		var preRetunes uint64
+		if sess.retuner != nil {
+			preRetunes = sess.retuner.Retunes()
+		}
+		preLat := sess.lat.snapshot()
+		defer func() {
+			postLat := sess.lat.snapshot()
+			d := SessionTotals{
+				Invocations:       sess.invocs - preInvocs,
+				RawFramesDone:     sess.rawDone - preRaw,
+				FramesDroppedDSFA: uint64(sess.stepper.Stats().DroppedFrames) - preDrops,
+				LatencyCount:      postLat.Count - preLat.Count,
+				LatencySumUS:      postLat.MeanUS*float64(postLat.Count) - preLat.MeanUS*float64(preLat.Count),
+			}
+			if sess.retuner != nil {
+				d.Retunes = sess.retuner.Retunes() - preRetunes
+			}
+			if d != (SessionTotals{}) {
+				s.totalsMu.Lock()
+				s.closedTotals.merge(d)
+				s.totalsMu.Unlock()
+			}
+		}()
 	}
 	for _, f := range frames {
 		sess.stepper.Push(f)
 	}
 	for {
+		// The control plane swaps plans and DSFA tunings only at this
+		// boundary: queued frames are never dropped by an adaptation,
+		// they simply execute under the new decision.
+		s.adaptLocked(sess)
 		inv := sess.stepper.Next(sess.clockUS)
 		if inv == nil {
 			if !flush {
@@ -291,6 +419,7 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 				return
 			}
 		}
+		plan := sess.plan.Load()
 		// Shift the invocation into the engine's virtual timeline, then
 		// attribute latencies back in session stream time.
 		ginv := *inv
@@ -298,7 +427,7 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 		engEnd := func() float64 {
 			s.engMu.Lock()
 			defer s.engMu.Unlock()
-			return pipeline.ScheduleOnEngine(s.engine, s.model, sess.Net, sess.plan, &ginv, &s.umBusy, sess.ID)
+			return pipeline.ScheduleOnEngine(s.engine, s.model, sess.Net, plan, &ginv, &s.umBusy, sess.ID)
 		}()
 		end := engEnd - sess.epochUS
 		for _, rr := range inv.PerRaw {
@@ -307,7 +436,7 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 				sess.lat.observe(lat)
 			}
 		}
-		for _, d := range sess.plan.Device {
+		for _, d := range plan.Device {
 			sess.usedDevs[d] = true
 		}
 		sess.invocs++
@@ -316,6 +445,20 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 		if end > sess.clockUS {
 			sess.clockUS = end
 		}
+	}
+}
+
+// adaptLocked runs one retune decision for the session; callers hold
+// sess.mu. Decisions are rate-limited by the controller itself
+// (DecideEveryUS of stream time), so calling per invocation is cheap.
+func (s *Server) adaptLocked(sess *Session) {
+	if sess.retuner == nil {
+		return
+	}
+	if cfg, ok := sess.retuner.Observe(sess.sampleLocked()); ok {
+		// The derived tuning is valid by construction; a failed retune
+		// would leave the old tuning in place, which is safe.
+		_ = sess.stepper.Retune(cfg)
 	}
 }
 
@@ -349,7 +492,11 @@ func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	id := fmt.Sprintf("s%d", s.nextID.Add(1))
-	sess, err := newSession(id, net, level, queueCap, policy, plan)
+	var retuner *control.Retuner
+	if s.cfg.Adapt.Retune && level >= pipeline.LevelDSFA {
+		retuner = control.NewRetuner(s.cfg.Adapt.DSFA, pipeline.TunedDSFA(net))
+	}
+	sess, err := newSession(id, net, level, queueCap, policy, plan, retuner)
 	if err != nil {
 		return nil, err
 	}
@@ -401,7 +548,29 @@ func (s *Server) CloseSession(id string) (*SessionSnapshot, error) {
 		tail, err = sess.conv.flush()
 	}
 	sess.mu.Unlock()
+	s.sessMu.Unlock()
 	if !alreadyClosed {
+		// Drain whatever ingest left behind, then flush the aggregator —
+		// even when the converter flush or the rebalance fails, so a
+		// failed close never strands queued frames behind a session that
+		// now rejects ingest.
+		tail = append(sess.queue.drain(0), tail...)
+		s.execute(sess, tail, true)
+		// Hand the session from the active roll-up to the closed one in
+		// a single sessMu critical section (sessMu -> sess.mu, the same
+		// order the create/close paths use): the tallied flag and the
+		// final snapshot are taken under sess.mu, so a worker execute is
+		// either serialized before them (its counters are in the
+		// snapshot) or sees tallied and folds its own deltas into
+		// closedTotals after the session has already left s.order.
+		// Concurrent Totals()/scrapes block on sessMu through the
+		// handoff and so can never see the session in neither roll-up
+		// (a counter dip) or in both (a double count).
+		s.sessMu.Lock()
+		sess.mu.Lock()
+		sess.tallied = true
+		final := sess.snapshotLocked()
+		sess.mu.Unlock()
 		s.removeFromOrderLocked(id)
 		s.placeGen++
 		// Retain a bounded closed-session history for stats; evict the
@@ -411,15 +580,17 @@ func (s *Server) CloseSession(id string) (*SessionSnapshot, error) {
 			delete(s.sessions, s.closedOrder[0])
 			s.closedOrder = s.closedOrder[1:]
 		}
-	}
-	s.sessMu.Unlock()
-	if !alreadyClosed {
-		// Drain whatever ingest left behind, then flush the aggregator —
-		// even when the converter flush or the rebalance fails, so a
-		// failed close never strands queued frames behind a session that
-		// now rejects ingest.
-		tail = append(sess.queue.drain(0), tail...)
-		s.execute(sess, tail, true)
+		s.totalsMu.Lock()
+		s.closedTotals.add(final)
+		s.totalsMu.Unlock()
+		// The emit-once queue is bounded like the retained history: on a
+		// server nobody scrapes, only the newest MaxClosed finals are
+		// kept (their counters live on in closedTotals regardless).
+		s.closedUnscraped = append(s.closedUnscraped, final)
+		if len(s.closedUnscraped) > s.cfg.MaxClosed {
+			s.closedUnscraped = s.closedUnscraped[len(s.closedUnscraped)-s.cfg.MaxClosed:]
+		}
+		s.sessMu.Unlock()
 		if rerr := s.rebalance(); rerr != nil && err == nil {
 			err = rerr
 		}
@@ -491,6 +662,79 @@ func (s *Server) Snapshots() []SessionSnapshot {
 	return snaps
 }
 
+// activeSessionsLocked returns the active sessions in creation order;
+// callers hold sessMu.
+func (s *Server) activeSessionsLocked() []*Session {
+	active := make([]*Session, 0, len(s.order))
+	for _, id := range s.order {
+		active = append(active, s.sessions[id])
+	}
+	return active
+}
+
+// activeSessions is the unlocked convenience wrapper.
+func (s *Server) activeSessions() []*Session {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return s.activeSessionsLocked()
+}
+
+// Totals returns the monotonic roll-up of session counters: every
+// closed session's final numbers (eviction-independent) plus the
+// active sessions' live ones. Fleet routers aggregate this instead of
+// per-session snapshots.
+func (s *Server) Totals() SessionTotals {
+	s.sessMu.Lock()
+	s.totalsMu.Lock()
+	t := s.closedTotals
+	s.totalsMu.Unlock()
+	active := s.activeSessionsLocked()
+	s.sessMu.Unlock()
+	for _, sess := range active {
+		t.add(sess.snapshot())
+	}
+	return t
+}
+
+// Signals returns the node's full telemetry snapshot — every active
+// session's sample plus every device's load signal — the control
+// plane's inputs, exposed for operators and the fleet router.
+func (s *Server) Signals() control.Signals {
+	devs, _ := s.deviceSignals()
+	sig := control.Signals{Devices: devs}
+	for _, sess := range s.activeSessions() {
+		sess.mu.Lock()
+		sig.Sessions = append(sig.Sessions, sess.sampleLocked())
+		sess.mu.Unlock()
+	}
+	return sig
+}
+
+// deviceSignals snapshots per-device utilization and queue depth from
+// the shared engine. Backlog is measured relative to the least-
+// backlogged device: at the makespan every absolute backlog is zero by
+// definition, but the spread between device drain times is exactly the
+// queue imbalance the remap gate wants to see.
+func (s *Server) deviceSignals() ([]control.DeviceSignals, float64) {
+	s.engMu.Lock()
+	now := s.engine.Makespan()
+	loads := s.engine.Loads(now)
+	busyUntil := make([]float64, len(s.cfg.Platform.Devices))
+	minFree := 0.0
+	for i, d := range s.cfg.Platform.Devices {
+		busyUntil[i] = s.engine.BusyUntil(d)
+		if i == 0 || busyUntil[i] < minFree {
+			minFree = busyUntil[i]
+		}
+	}
+	s.engMu.Unlock()
+	devs := make([]control.DeviceSignals, len(loads))
+	for i, l := range loads {
+		devs[i] = control.DeviceSignals{Device: l.Device, Utilization: l.Utilization, BacklogUS: busyUntil[i] - minFree}
+	}
+	return devs, now
+}
+
 // SetDraining toggles drain mode: a draining server refuses new
 // sessions (ErrDraining) while existing sessions keep ingesting and
 // executing. The cluster router drains a node before migrating its
@@ -523,12 +767,7 @@ func (s *Server) Health() Health {
 // Load returns the node-load signal a fleet router places against:
 // active-session inference cost weighted by the platform's capacity.
 func (s *Server) Load() NodeLoad {
-	s.sessMu.Lock()
-	active := make([]*Session, 0, len(s.order))
-	for _, id := range s.order {
-		active = append(active, s.sessions[id])
-	}
-	s.sessMu.Unlock()
+	active := s.activeSessions()
 	l := NodeLoad{SessionsActive: len(active), CapacityMACs: s.capacityMACs}
 	for _, sess := range active {
 		l.CostMACs += float64(sess.Net.TotalMACs())
@@ -553,10 +792,7 @@ func (s *Server) rebalance() error {
 	for {
 		s.sessMu.Lock()
 		gen := s.placeGen
-		active := make([]*Session, 0, len(s.order))
-		for _, id := range s.order {
-			active = append(active, s.sessions[id])
-		}
+		active := s.activeSessionsLocked()
 		s.sessMu.Unlock()
 		if len(active) == 0 {
 			return nil
@@ -581,25 +817,119 @@ func (s *Server) rebalance() error {
 			s.sessMu.Unlock()
 			continue
 		}
-		for i, sess := range active {
-			plan, perr := pipeline.PlanFromAssignment(asg, i, sess.Level >= pipeline.LevelE2SF)
-			if perr != nil {
-				s.sessMu.Unlock()
-				return perr
-			}
-			sess.mu.Lock()
-			plan.FramingOps = sess.plan.FramingOps
-			sess.plan = plan
-			sess.mu.Unlock()
+		if err := s.installLocked(active, asg); err != nil {
+			s.sessMu.Unlock()
+			return err
 		}
 		s.sessMu.Unlock()
 		return nil
 	}
 }
 
-// searchAssignment runs the Network Mapper over the active workload
-// with per-task Table 2 accuracy budgets.
-func (s *Server) searchAssignment(nets []*nn.Network) (*taskgraph.Assignment, error) {
+// installLocked installs a multi-task assignment over the active
+// sessions' plan slots and records it as the warm-start seed. No-op
+// plans (same mapping as installed) are skipped so they do not count
+// as remaps. Callers hold sessMu with the generation verified.
+func (s *Server) installLocked(active []*Session, asg *taskgraph.Assignment) error {
+	for i, sess := range active {
+		plan, err := pipeline.PlanFromAssignment(asg, i, sess.Level >= pipeline.LevelE2SF)
+		if err != nil {
+			return err
+		}
+		if plan.Equal(sess.plan.Load()) {
+			continue
+		}
+		sess.plan.Swap(plan)
+	}
+	s.lastAsg = asg
+	return nil
+}
+
+// maybeRemap runs one pass of the online remap loop: if device load
+// signals show enough imbalance and the cooldown has expired, a
+// warm-started incremental search (nmp.SearchFrom) runs from the live
+// assignment, and its result is installed only when it predicts enough
+// improvement. Called from workers after a drain pass; the planner's
+// in-flight claim keeps it single-threaded.
+func (s *Server) maybeRemap() {
+	if s.planner == nil {
+		return
+	}
+	// Cheap gate first: maybeRemap runs on every drain completion, and
+	// during cooldown (or with a search in flight) the full signals
+	// snapshot — engMu plus allocations — would be discarded anyway.
+	s.engMu.Lock()
+	clock := s.engine.Makespan()
+	s.engMu.Unlock()
+	if !s.planner.Ready(clock) {
+		return
+	}
+	devs, now := s.deviceSignals()
+	if !s.planner.ShouldRemap(now, devs) {
+		return
+	}
+
+	s.sessMu.Lock()
+	gen := s.placeGen
+	active := s.activeSessionsLocked()
+	cur := s.lastAsg
+	s.sessMu.Unlock()
+	if cur == nil || len(active) == 0 || len(cur.Device) != len(active) {
+		// No installed assignment to warm-start from (rebalance pending
+		// or racing); release the claim and let the cooldown pace retry.
+		s.planner.Done(now)
+		return
+	}
+
+	nets := make([]*nn.Network, len(active))
+	for i, sess := range active {
+		nets[i] = sess.Net
+	}
+	mapper, err := s.buildMapper(nets)
+	if err != nil {
+		s.planner.Done(now)
+		return
+	}
+	curLat, _, err := mapper.Predict(cur)
+	if err != nil {
+		s.planner.Done(now)
+		return
+	}
+	res, err := mapper.SearchFrom(cur, s.planner.Budget())
+	if err != nil {
+		s.planner.Done(now)
+		return
+	}
+	gain := 0.0
+	if curLat > 0 {
+		gain = (curLat - res.LatencyUS) / curLat
+	}
+	if !s.planner.Accept(curLat, res.LatencyUS) {
+		s.planner.Done(now)
+		return
+	}
+
+	s.sessMu.Lock()
+	if gen != s.placeGen {
+		// Session churn while searching: its rebalance installed a fresh
+		// placement; drop this stale candidate.
+		s.sessMu.Unlock()
+		s.planner.Done(now)
+		return
+	}
+	err = s.installLocked(active, res.Assignment)
+	s.sessMu.Unlock()
+	if err != nil {
+		s.planner.Done(now)
+		return
+	}
+	s.planner.Committed(now, gain)
+}
+
+// buildMapper profiles the workload and configures the Network Mapper
+// with per-task Table 2 accuracy budgets — shared by the create/close
+// rebalance (full search) and the online remap (warm-started search).
+func (s *Server) buildMapper(nets []*nn.Network) (*nmp.Mapper, error) {
 	db, err := perf.BuildProfileDB(s.model, nets, true, nil)
 	if err != nil {
 		return nil, err
@@ -617,6 +947,16 @@ func (s *Server) searchAssignment(nets []*nn.Network) (*taskgraph.Assignment, er
 		budgets[i] = quant.Table2Delta(net.Name)
 	}
 	if err := mapper.SetBudgets(budgets); err != nil {
+		return nil, err
+	}
+	return mapper, nil
+}
+
+// searchAssignment runs the full Network Mapper search over the active
+// workload.
+func (s *Server) searchAssignment(nets []*nn.Network) (*taskgraph.Assignment, error) {
+	mapper, err := s.buildMapper(nets)
+	if err != nil {
 		return nil, err
 	}
 	res, err := mapper.Search()
@@ -743,7 +1083,48 @@ func (s *Server) WriteMetrics(pw *PromWriter, ns, extraLabels string) {
 		pw.Counter(ns+"_device_busy_us", "Accumulated busy time per device.",
 			lbls("device", d.Name), busy[i])
 	}
-	for _, snap := range s.Snapshots() {
+
+	// One snapshot pass feeds both the totals and the per-session
+	// series. Reading closedTotals and the active set under one lock
+	// acquisition keeps the roll-up consistent with the close path's
+	// atomic active->closed handoff.
+	s.sessMu.Lock()
+	s.totalsMu.Lock()
+	totals := s.closedTotals
+	s.totalsMu.Unlock()
+	activeSessions := s.activeSessionsLocked()
+	finals := s.closedUnscraped
+	s.closedUnscraped = nil
+	s.sessMu.Unlock()
+	activeSnaps := make([]SessionSnapshot, len(activeSessions))
+	for i, sess := range activeSessions {
+		activeSnaps[i] = sess.snapshot()
+		totals.add(activeSnaps[i])
+	}
+
+	// Monotonic server-wide totals: closed sessions are folded in at
+	// close time, so these do not depend on retention or scrape timing.
+	pw.Counter(ns+"_events_total", "Events ingested across all sessions ever.", lbls(), float64(totals.EventsIn))
+	pw.Counter(ns+"_frames_total", "Sparse frames produced across all sessions ever.", lbls(), float64(totals.FramesIn))
+	pw.Counter(ns+"_frames_dropped_total", "Frames shed by ingest queues across all sessions ever.", lbls(), float64(totals.FramesDropped))
+	pw.Counter(ns+"_frames_dropped_dsfa_total", "Raw frames shed by DSFA queues across all sessions ever.", lbls(), float64(totals.FramesDroppedDSFA))
+	pw.Counter(ns+"_invocations_total", "Inference launches across all sessions ever.", lbls(), float64(totals.Invocations))
+	pw.Counter(ns+"_raw_frames_done_total", "Raw frames completed across all sessions ever.", lbls(), float64(totals.RawFramesDone))
+	pw.Counter(ns+"_retunes_total", "DSFA retunes applied by the online controller.", lbls(), float64(totals.Retunes))
+	pw.Counter(ns+"_remaps_total", "Execution plans installed after the first, all sessions ever.", lbls(), float64(totals.Remaps))
+
+	if s.planner != nil {
+		searches, committed, lastGain := s.planner.Stats()
+		pw.Counter(ns+"_control_remap_searches_total", "Warm-started NMP searches triggered by load imbalance.", lbls(), float64(searches))
+		pw.Counter(ns+"_control_remaps_total", "Warm-started remaps that predicted enough gain to install.", lbls(), float64(committed))
+		pw.Gauge(ns+"_control_remap_last_gain", "Fractional predicted-latency gain of the last installed remap.", lbls(), lastGain)
+		pw.Gauge(ns+"_control_remap_cooldown_us", "Virtual time until the next remap is allowed.", lbls(), s.planner.CooldownRemainingUS(makespan))
+	}
+
+	// Per-session series: active sessions every scrape; a closed
+	// session's final counters exactly once, on the first scrape after
+	// its close (its contribution lives on in the *_total rollups).
+	for _, snap := range append(activeSnaps, finals...) {
 		lbl := lbls("session", snap.ID, "network", snap.Network)
 		pw.Counter(ns+"_session_events_total", "Events ingested.", lbl, float64(snap.EventsIn))
 		pw.Counter(ns+"_session_frames_total", "Sparse frames produced by E2SF.", lbl, float64(snap.FramesIn))
@@ -751,6 +1132,8 @@ func (s *Server) WriteMetrics(pw *PromWriter, ns, extraLabels string) {
 		pw.Counter(ns+"_session_frames_dropped_dsfa_total", "Raw frames shed by the DSFA inference queue.", lbl, float64(snap.FramesDroppedDSFA))
 		pw.Counter(ns+"_session_invocations_total", "Inference launches after DSFA merging.", lbl, float64(snap.Invocations))
 		pw.Counter(ns+"_session_raw_frames_done_total", "Raw frames whose inference completed.", lbl, float64(snap.RawFramesDone))
+		pw.Counter(ns+"_session_retunes_total", "DSFA retunes applied to the session.", lbl, float64(snap.Retunes))
+		pw.Counter(ns+"_session_remaps_total", "Plans installed for the session after the first.", lbl, float64(snap.Remaps))
 		pw.Gauge(ns+"_session_queue_len", "Frames waiting in the ingest queue.", lbl, float64(snap.QueueLen))
 		pw.Gauge(ns+"_session_throughput_fps", "Raw frames served per stream-second.", lbl, snap.ThroughputFPS)
 		for q, v := range map[string]float64{"0.5": snap.Latency.P50US, "0.99": snap.Latency.P99US} {

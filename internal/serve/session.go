@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"evedge/internal/control"
 	"evedge/internal/e2sf"
 	"evedge/internal/events"
 	"evedge/internal/nn"
@@ -77,6 +78,14 @@ type SessionSnapshot struct {
 	ThroughputFPS     float64        `json:"throughput_fps"`
 	Latency           LatencySummary `json:"latency"`
 	Devices           []string       `json:"devices"`
+	// Retunes counts DSFA tuning changes the online controller applied
+	// to this session; Remaps counts execution plans installed after
+	// the first (placement rebalances plus adaptive NMP remaps).
+	Retunes uint64 `json:"retunes,omitempty"`
+	Remaps  uint64 `json:"remaps,omitempty"`
+	// Migrations counts cluster-initiated moves to another node (set by
+	// the fleet router, like Node and the failover fields).
+	Migrations int `json:"migrations,omitempty"`
 }
 
 // Session is one client's stream bound to a network and an
@@ -95,18 +104,32 @@ type Session struct {
 	// so concurrent ingests enqueue it at most once.
 	scheduled atomic.Bool
 
+	// plan is the swappable execution plan: rebalances and online
+	// remaps install new mappings between invocations without touching
+	// queued frames.
+	plan *pipeline.PlanSlot
+
 	mu       sync.Mutex
 	conv     *ingestConverter
 	stepper  *pipeline.Stepper
-	plan     *pipeline.ExecPlan
-	usedDevs map[int]bool // devices invocations actually ran on
+	retuner  *control.Retuner // nil when adaptation is off or below LevelDSFA
+	usedDevs map[int]bool     // devices invocations actually ran on
 	created  time.Time
 	closed   bool
+	// tallied marks the final counters as folded into the server's
+	// closed-session totals; an execute that finishes afterwards (a
+	// worker holding frames drained before the close) contributes its
+	// deltas to the totals directly so nothing is lost.
+	tallied  bool
 	eventsIn uint64
 	framesIn uint64
 	invocs   uint64
 	batched  uint64
 	rawDone  uint64
+	// denSum/denN accumulate ingested-frame density for the controller's
+	// scene-dynamics signal.
+	denSum float64
+	denN   int
 	// epochUS maps session stream time onto the shared engine's
 	// monotonic virtual time: a session created on a long-lived server
 	// starts at the engine's current horizon, not at virtual zero
@@ -119,7 +142,7 @@ type Session struct {
 	clockUS float64
 }
 
-func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, policy DropPolicy, plan *pipeline.ExecPlan) (*Session, error) {
+func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, policy DropPolicy, plan *pipeline.ExecPlan, retuner *control.Retuner) (*Session, error) {
 	stepper, err := pipeline.NewStepper(level, pipeline.TunedDSFA(net))
 	if err != nil {
 		return nil, err
@@ -132,10 +155,28 @@ func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, 
 		lat:      newLatencyRecorder(),
 		conv:     &ingestConverter{spec: net.Input},
 		stepper:  stepper,
-		plan:     plan,
+		retuner:  retuner,
+		plan:     pipeline.NewPlanSlot(plan),
 		usedDevs: map[int]bool{},
 		created:  time.Now(),
 	}, nil
+}
+
+// sampleLocked builds the controller's telemetry snapshot; callers
+// hold s.mu.
+func (s *Session) sampleLocked() control.SessionSample {
+	_, qDropped := s.queue.stats()
+	return control.SessionSample{
+		StreamUS:      int64(s.clockUS),
+		FramesIn:      s.framesIn,
+		FramesDropped: qDropped + uint64(s.stepper.Stats().DroppedFrames),
+		QueueLen:      s.queue.len(),
+		QueueCap:      s.queue.cap,
+		AggPending:    s.stepper.Pending(),
+		AggQueued:     s.stepper.Queued(),
+		DensitySum:    s.denSum,
+		DensityN:      s.denN,
+	}
 }
 
 // ingest converts one event chunk into frames and queues them,
@@ -154,9 +195,13 @@ func (s *Session) ingest(chunk *events.Stream) (IngestResult, error) {
 	}
 	s.eventsIn += uint64(chunk.Len())
 	s.framesIn += uint64(len(frames))
-	if s.Level == pipeline.LevelBaseline && s.plan.FramingOps == 0 && len(frames) > 0 {
+	for _, f := range frames {
+		s.denSum += f.Density()
+		s.denN++
+	}
+	if s.Level == pipeline.LevelBaseline && s.plan.FramingOps() == 0 && len(frames) > 0 {
 		// Dense event-frame construction: full tensor stores per frame.
-		s.plan.FramingOps = int64(2 * frames[0].H * frames[0].W)
+		s.plan.SetFramingOps(int64(2 * frames[0].H * frames[0].W))
 	}
 	if wm := chunk.TEnd(); float64(wm) > s.clockUS {
 		s.clockUS = float64(wm)
@@ -174,6 +219,11 @@ func (s *Session) ingest(chunk *events.Stream) (IngestResult, error) {
 func (s *Session) snapshot() SessionSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked is snapshot for callers already holding s.mu.
+func (s *Session) snapshotLocked() SessionSnapshot {
 	snap := SessionSnapshot{
 		ID:            s.ID,
 		Network:       s.Net.Name,
@@ -197,6 +247,10 @@ func (s *Session) snapshot() SessionSnapshot {
 	}
 	_, snap.FramesDropped = s.queue.stats()
 	snap.FramesDroppedDSFA = uint64(s.stepper.Stats().DroppedFrames)
+	snap.Remaps = s.plan.Swaps()
+	if s.retuner != nil {
+		snap.Retunes = s.retuner.Retunes()
+	}
 	if s.invocs > 0 {
 		snap.MergeRatio = float64(s.rawDone) / float64(s.invocs)
 	}
@@ -213,7 +267,7 @@ func (s *Session) planDevicesLocked() []string {
 	seen := s.usedDevs
 	if len(seen) == 0 {
 		seen = map[int]bool{}
-		for _, d := range s.plan.Device {
+		for _, d := range s.plan.Load().Device {
 			seen[d] = true
 		}
 	}
