@@ -1,8 +1,17 @@
 GO      ?= go
 BIN     := bin
-CMDS    := evedge evserve evcluster evload evbench evmap evprof evtrace
+CMDS    := evedge evserve evcluster evscenario evload evbench evmap evprof evtrace
 
-.PHONY: build test race lint bench serve cluster clean
+# Package/target pairs for the fuzz smoke (CI runs `make fuzz`).
+FUZZ_TARGETS := \
+	./internal/events:FuzzReadBinary \
+	./internal/events:FuzzReadText \
+	./internal/sparse:FuzzReadFrame \
+	./internal/sparse:FuzzReadFrames \
+	./internal/serve:FuzzDecodeChunk
+FUZZTIME ?= 10s
+
+.PHONY: build test race lint bench serve cluster scenarios fuzz cover clean
 
 build:
 	@mkdir -p $(BIN)
@@ -27,6 +36,23 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Run the deterministic scenario suite (the chaos/soak regression bed)
+# under the race detector.
+scenarios:
+	$(GO) test -race ./internal/harness/... ./cmd/evscenario/...
+
+# Short coverage-guided fuzz pass over every codec/decoder target.
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; target=$${t##*:}; \
+		echo "fuzzing $$pkg $$target ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$${target}\$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+	done
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 serve: build
 	./$(BIN)/evserve -addr :7733

@@ -22,9 +22,11 @@
 //
 // Fleet admin (beyond the single-node API):
 //
-//	GET  /v1/nodes               per-node health
-//	POST /v1/nodes/{name}/kill   simulate a node failure
-//	POST /v1/nodes/{name}/drain  graceful drain + migration
+//	GET  /v1/nodes                 per-node health
+//	POST /v1/nodes/{name}/kill     simulate a node failure
+//	POST /v1/nodes/{name}/drain    graceful drain + migration
+//	POST /v1/nodes/{name}/revive   restart a killed node (fresh server)
+//	POST /v1/nodes/{name}/undrain  return a draining node to service
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -43,31 +46,43 @@ import (
 	evedge "evedge"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stderr)) }
+
+// run parses flags and serves the fleet; it returns the process exit
+// status so the flag error paths are testable (2 = bad flag syntax,
+// 1 = bad configuration or serve failure).
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evcluster", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = flag.String("addr", ":7734", "listen address")
-		nodes    = flag.String("nodes", "xavier:2", "fleet spec: comma-separated platform[:count] groups, e.g. xavier:4,orin:4")
-		policy   = flag.String("policy", "least-loaded", "session placement policy: least-loaded or hash")
-		probe    = flag.Duration("probe", time.Second, "health probe interval (failover latency bound)")
-		workers  = flag.Int("workers", 4, "worker pool size per node")
-		queue    = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
-		drop     = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
-		mapper   = flag.String("mapper", "rr", "per-node session placement: rr (round-robin) or nmp (evolutionary search)")
-		adapt    = flag.Bool("adapt", false, "enable each node's online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
-		gap      = flag.Float64("rebalance-gap", 0, "node-utilization spread that triggers a load-driven session migration (0 disables)")
-		cooldown = flag.Duration("rebalance-cooldown", 5*time.Second, "minimum time between load-driven migrations")
+		addr     = fs.String("addr", ":7734", "listen address")
+		nodes    = fs.String("nodes", "xavier:2", "fleet spec: comma-separated platform[:count] groups, e.g. xavier:4,orin:4")
+		policy   = fs.String("policy", "least-loaded", "session placement policy: least-loaded or hash")
+		probe    = fs.Duration("probe", time.Second, "health probe interval (failover latency bound)")
+		workers  = fs.Int("workers", 4, "worker pool size per node")
+		queue    = fs.Int("queue", 64, "default per-session ingest queue capacity (frames)")
+		drop     = fs.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
+		mapper   = fs.String("mapper", "rr", "per-node session placement: rr (round-robin) or nmp (evolutionary search)")
+		adapt    = fs.Bool("adapt", false, "enable each node's online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
+		gap      = fs.Float64("rebalance-gap", 0, "node-utilization spread that triggers a load-driven session migration (0 disables)")
+		cooldown = fs.Duration("rebalance-cooldown", 5*time.Second, "minimum time between load-driven migrations")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	specs, err := evedge.ParseNodeSpecs(*nodes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evcluster:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evcluster:", err)
+		return 1
 	}
 	pol, err := evedge.ParsePlacementPolicy(*policy)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evcluster:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evcluster:", err)
+		return 1
 	}
 	node := evedge.DefaultServeConfig()
 	node.Workers = *workers
@@ -75,8 +90,8 @@ func main() {
 	node.Mapper = evedge.MapperPolicy(*mapper)
 	node.DropPolicy, err = evedge.ParseDropPolicy(*drop)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evcluster:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evcluster:", err)
+		return 1
 	}
 	if *adapt {
 		node.Adapt = evedge.ServeAdaptConfig{
@@ -94,8 +109,8 @@ func main() {
 		Node:              node,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evcluster:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evcluster:", err)
+		return 1
 	}
 	hs := &http.Server{Addr: *addr, Handler: c.Handler()}
 
@@ -115,8 +130,9 @@ func main() {
 	log.Printf("evcluster: listening on %s (nodes=[%s], policy=%s, probe=%s, workers/node=%d)",
 		*addr, strings.Join(c.NodeNames(), ","), pol, *probe, *workers)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "evcluster:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evcluster:", err)
+		return 1
 	}
 	<-done
+	return 0
 }

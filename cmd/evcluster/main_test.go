@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors drives the flag-parsing error paths: every bad
+// fleet configuration must exit non-zero with a message naming the
+// problem, never fall back silently.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		msg  string
+	}{
+		{"bad node count", []string{"-nodes", "xavier:0"}, 1, "bad node count"},
+		{"unknown node platform", []string{"-nodes", "tpu:2"}, 1, `unknown platform "tpu"`},
+		{"empty node spec", []string{"-nodes", ","}, 1, "no node specs"},
+		{"unknown policy", []string{"-policy", "round-robin"}, 1, `unknown placement policy "round-robin"`},
+		{"unknown drop policy", []string{"-drop", "drop-random"}, 1, `unknown drop policy "drop-random"`},
+		{"unknown mapper", []string{"-mapper", "greedy"}, 1, `unknown mapper policy "greedy"`},
+		{"bad flag syntax", []string{"-rebalance-gap", "wide"}, 2, "invalid value"},
+		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			got := run(tc.args, &stderr)
+			if got != tc.exit {
+				t.Errorf("exit = %d, want %d (stderr: %s)", got, tc.exit, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.msg) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.msg)
+			}
+		})
+	}
+}

@@ -17,8 +17,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -42,28 +44,40 @@ type jsonReport struct {
 	Report           *evedge.PipelineReport `json:"report"`
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run parses flags and executes one pipeline run; it returns the
+// process exit status so the flag error paths are testable (2 = bad
+// flag syntax, 1 = bad configuration or run failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evedge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		netName  = flag.String("net", evedge.SpikeFlowNet, "network to run (see -list)")
-		opt      = flag.String("opt", "", "optimization level by name or number: 0|all-gpu, 1|e2sf, 2|dsfa, 3|nmp")
-		level    = flag.Int("level", 3, "optimization level 0-3 (numeric alias of -opt)")
-		platform = flag.String("platform", "xavier", "platform model: xavier or orin")
-		dur      = flag.Int64("dur", 2_000_000, "stream duration in microseconds")
-		seed     = flag.Int64("seed", 7, "random seed")
-		full     = flag.Bool("full", false, "full DAVIS346 resolution (default: half, faster)")
-		list     = flag.Bool("list", false, "list network names and exit")
-		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+		netName  = fs.String("net", evedge.SpikeFlowNet, "network to run (see -list)")
+		opt      = fs.String("opt", "", "optimization level by name or number: 0|all-gpu, 1|e2sf, 2|dsfa, 3|nmp")
+		level    = fs.Int("level", 3, "optimization level 0-3 (numeric alias of -opt)")
+		platform = fs.String("platform", "xavier", "platform model: xavier or orin")
+		dur      = fs.Int64("dur", 2_000_000, "stream duration in microseconds")
+		seed     = fs.Int64("seed", 7, "random seed")
+		full     = fs.Bool("full", false, "full DAVIS346 resolution (default: half, faster)")
+		list     = fs.Bool("list", false, "list network names and exit")
+		asJSON   = fs.Bool("json", false, "emit the report as JSON")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		fmt.Println(strings.Join(evedge.Networks(), "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(evedge.Networks(), "\n"))
+		return 0
 	}
 	net, err := evedge.LoadNetwork(*netName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evedge:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evedge:", err)
+		return 1
 	}
 	optArg := *opt
 	if optArg == "" {
@@ -71,13 +85,13 @@ func main() {
 	}
 	lvl, err := evedge.ParseLevel(optArg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evedge:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evedge:", err)
+		return 1
 	}
 	plat, err := evedge.PlatformByName(*platform)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evedge:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evedge:", err)
+		return 1
 	}
 	scale := evedge.HalfScale
 	if *full {
@@ -92,12 +106,12 @@ func main() {
 		Seed:     *seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evedge:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evedge:", err)
+		return 1
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonReport{
 			Network:          net.Name,
@@ -112,26 +126,27 @@ func main() {
 			BaselineAccuracy: net.BaselineAccuracy,
 			Report:           rep,
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, "evedge:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "evedge:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
-	fmt.Printf("network:        %s (%s, %s)\n", net.Name, net.TypeDesc, net.Task)
-	fmt.Printf("sequence:       %s, %.1f s\n", net.Input.Preset, float64(*dur)*1e-6)
-	fmt.Printf("level:          %s\n", rep.Level)
-	fmt.Printf("platform:       %s\n", plat.Name)
-	fmt.Printf("raw frames:     %d (mean density %.2f%%)\n", rep.RawFrames, rep.MeanDensity*100)
-	fmt.Printf("invocations:    %d (merge ratio %.2f, %d dropped)\n",
+	fmt.Fprintf(stdout, "network:        %s (%s, %s)\n", net.Name, net.TypeDesc, net.Task)
+	fmt.Fprintf(stdout, "sequence:       %s, %.1f s\n", net.Input.Preset, float64(*dur)*1e-6)
+	fmt.Fprintf(stdout, "level:          %s\n", rep.Level)
+	fmt.Fprintf(stdout, "platform:       %s\n", plat.Name)
+	fmt.Fprintf(stdout, "raw frames:     %d (mean density %.2f%%)\n", rep.RawFrames, rep.MeanDensity*100)
+	fmt.Fprintf(stdout, "invocations:    %d (merge ratio %.2f, %d dropped)\n",
 		rep.Invocations, rep.MergeRatio, rep.DroppedFrames)
-	fmt.Printf("mean latency:   %.2f ms (p99 %.2f ms)\n", rep.MeanLatencyUS/1000, rep.P99LatencyUS/1000)
-	fmt.Printf("throughput:     %.0f frames/s\n", rep.ThroughputFPS)
-	fmt.Printf("energy:         %.1f J\n", rep.EnergyJ)
-	fmt.Printf("accuracy:       %.2f %s (baseline %.2f, delta %.3f)\n",
+	fmt.Fprintf(stdout, "mean latency:   %.2f ms (p99 %.2f ms)\n", rep.MeanLatencyUS/1000, rep.P99LatencyUS/1000)
+	fmt.Fprintf(stdout, "throughput:     %.0f frames/s\n", rep.ThroughputFPS)
+	fmt.Fprintf(stdout, "energy:         %.1f J\n", rep.EnergyJ)
+	fmt.Fprintf(stdout, "accuracy:       %.2f %s (baseline %.2f, delta %.3f)\n",
 		rep.Accuracy, net.Metric.Name, net.BaselineAccuracy, rep.AccuracyDelta)
 	if rep.Assignment != nil {
-		fmt.Printf("nmp:            feasible=%v, %d evaluations, %d cache hits\n",
+		fmt.Fprintf(stdout, "nmp:            feasible=%v, %d evaluations, %d cache hits\n",
 			rep.Assignment.Feasible, rep.Assignment.Evaluations, rep.Assignment.CacheHits)
 	}
+	return 0
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors drives the flag-parsing error paths: unknown -opt
+// levels, networks and platforms must exit non-zero with a message
+// naming the valid choices, never fall back silently.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		msg  string
+	}{
+		{"unknown opt level", []string{"-opt", "turbo"}, 1, `unknown optimization level "turbo"`},
+		{"numeric level out of range", []string{"-level", "9"}, 1, `unknown optimization level "9"`},
+		{"unknown network", []string{"-net", "NoSuchNet"}, 1, "NoSuchNet"},
+		{"unknown platform", []string{"-platform", "tpu"}, 1, `unknown platform "tpu"`},
+		{"bad flag syntax", []string{"-dur", "forever"}, 2, "invalid value"},
+		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.exit {
+				t.Errorf("exit = %d, want %d (stderr: %s)", got, tc.exit, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.msg) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.msg)
+			}
+		})
+	}
+}
+
+// TestRunList checks the happy -list path (no pipeline run).
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "DOTIE") {
+		t.Errorf("-list output missing DOTIE:\n%s", stdout.String())
+	}
+}

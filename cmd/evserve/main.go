@@ -31,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -41,25 +42,37 @@ import (
 	evedge "evedge"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stderr)) }
+
+// run parses flags and serves; it returns the process exit status so
+// the flag error paths are testable (2 = bad flag syntax, 1 = bad
+// configuration or serve failure).
+func run(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = flag.String("addr", ":7733", "listen address")
-		platform = flag.String("platform", "xavier", "platform model: xavier or orin")
-		workers  = flag.Int("workers", 4, "worker pool size")
-		queue    = flag.Int("queue", 64, "default per-session ingest queue capacity (frames)")
-		drop     = flag.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
-		mapper   = flag.String("mapper", "rr", "session placement policy: rr (round-robin) or nmp (evolutionary search)")
-		adapt    = flag.Bool("adapt", false, "enable the online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
-		adaptInt = flag.Duration("adapt-interval", 50*time.Millisecond, "minimum stream time between retune decisions")
-		cooldown = flag.Duration("remap-cooldown", 250*time.Millisecond, "minimum virtual time between NMP remaps")
+		addr     = fs.String("addr", ":7733", "listen address")
+		platform = fs.String("platform", "xavier", "platform model: xavier or orin")
+		workers  = fs.Int("workers", 4, "worker pool size")
+		queue    = fs.Int("queue", 64, "default per-session ingest queue capacity (frames)")
+		drop     = fs.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
+		mapper   = fs.String("mapper", "rr", "session placement policy: rr (round-robin) or nmp (evolutionary search)")
+		adapt    = fs.Bool("adapt", false, "enable the online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
+		adaptInt = fs.Duration("adapt-interval", 50*time.Millisecond, "minimum stream time between retune decisions")
+		cooldown = fs.Duration("remap-cooldown", 250*time.Millisecond, "minimum virtual time between NMP remaps")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	cfg := evedge.DefaultServeConfig()
 	p, err := evedge.PlatformByName(*platform)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evserve:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evserve:", err)
+		return 1
 	}
 	cfg.Platform = p
 	cfg.Workers = *workers
@@ -67,8 +80,8 @@ func main() {
 	cfg.Mapper = evedge.MapperPolicy(*mapper)
 	cfg.DropPolicy, err = evedge.ParseDropPolicy(*drop)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evserve:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evserve:", err)
+		return 1
 	}
 	if *adapt {
 		cfg.Adapt = evedge.ServeAdaptConfig{
@@ -83,8 +96,8 @@ func main() {
 
 	srv, err := evedge.NewServer(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evserve:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evserve:", err)
+		return 1
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -104,8 +117,9 @@ func main() {
 	log.Printf("evserve: listening on %s (platform=%s, workers=%d, queue=%d, mapper=%s, adapt=%v)",
 		*addr, cfg.Platform.Name, cfg.Workers, cfg.QueueCap, cfg.Mapper, *adapt)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintln(os.Stderr, "evserve:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evserve:", err)
+		return 1
 	}
 	<-done
+	return 0
 }

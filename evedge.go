@@ -32,6 +32,7 @@ import (
 	"evedge/internal/control"
 	"evedge/internal/events"
 	"evedge/internal/experiments"
+	"evedge/internal/harness"
 	"evedge/internal/hw"
 	"evedge/internal/nmp"
 	"evedge/internal/nn"
@@ -288,6 +289,42 @@ func ParseNodeSpecs(s string) ([]ClusterNodeSpec, error) { return cluster.ParseN
 // least-loaded).
 func ParsePlacementPolicy(s string) (PlacementPolicy, error) {
 	return cluster.ParsePlacementPolicy(s)
+}
+
+// Scenario-harness aliases: the deterministic chaos/soak engine
+// (cmd/evscenario) that scripts fleets of sessions, bursts, dynamics
+// shifts and node kill/drain/revive against an embedded cluster (or a
+// single server) on a virtual clock, and checks system-wide invariants
+// on the recorded timeline.
+type (
+	// Scenario is a declarative chaos/soak script.
+	Scenario = harness.Script
+	// ScenarioPhase is one stage of a scenario.
+	ScenarioPhase = harness.Phase
+	// ScenarioResult is a recorded run: timeline + terminal state.
+	ScenarioResult = harness.Result
+	// ScenarioViolation is one failed invariant or expectation.
+	ScenarioViolation = harness.Violation
+)
+
+// ScenarioNames lists the built-in scenario library.
+func ScenarioNames() []string { return harness.Names() }
+
+// ScenarioByName returns a built-in scenario script.
+func ScenarioByName(name string) (Scenario, error) { return harness.Get(name) }
+
+// RunScenario executes a scenario script under a seed. The run is
+// deterministic: same (script, seed), byte-identical Encode output.
+func RunScenario(sc Scenario, seed int64) (*ScenarioResult, error) { return harness.Run(sc, seed) }
+
+// CheckScenario verifies the system-wide invariants (frame
+// conservation, monotonic totals, no loss on drain, migration
+// cooldown) on a recorded run.
+func CheckScenario(res *ScenarioResult) []ScenarioViolation { return harness.Check(res) }
+
+// CheckScenarioExpect verifies the scenario's own outcome contract.
+func CheckScenarioExpect(sc Scenario, res *ScenarioResult) []ScenarioViolation {
+	return harness.CheckExpect(sc, res)
 }
 
 // EncodeEvents serializes a stream in the EVAR binary wire format —

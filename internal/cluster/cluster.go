@@ -53,6 +53,16 @@ type NodeSpec struct {
 	Workers int
 }
 
+// DefaultNodeName is the name New gives the i-th node when its spec
+// leaves Name empty — the single source of the "<platform><index>"
+// convention admin endpoints and scenario scripts address nodes by.
+func DefaultNodeName(spec NodeSpec, i int) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	return fmt.Sprintf("%s%d", strings.ToLower(spec.Platform), i)
+}
+
 // ParseNodeSpecs parses the -nodes flag syntax: a comma-separated list
 // of "platform[:count]" groups, e.g. "xavier:4,orin:4" for four Xavier
 // nodes plus four Orin nodes, or "xavier" for a single node.
@@ -107,17 +117,41 @@ type Config struct {
 	// RebalanceCooldown is the minimum wall time between load-driven
 	// migrations (default 5s), bounding migration churn.
 	RebalanceCooldown time.Duration
+	// Elapsed reports time since the cluster started, feeding the load
+	// rebalancer's cooldown gate. nil uses the wall clock; a
+	// deterministic driver (the scenario harness) injects its virtual
+	// clock so migration pacing replays identically under one seed.
+	Elapsed func() time.Duration
 	// Node is the base per-node server config; Platform is overridden
 	// by each NodeSpec, Workers only when the spec sets it.
 	Node serve.Config
 }
 
 // node is one fleet member: an embedded server plus liveness state.
+// The server pointer is swappable: reviving a killed node installs a
+// fresh incarnation while the dead one is retired — kept, not dropped,
+// because its stranded sessions and counters stay part of the fleet's
+// accounting (frame conservation, monotonic totals).
 type node struct {
 	name     string
 	platform string
-	srv      *serve.Server
+	cfg      serve.Config // per-node server config, reused by revive
+	srv      atomic.Pointer[serve.Server]
 	state    atomic.Int32
+
+	retiredMu sync.Mutex
+	retired   []*serve.Server
+}
+
+func (n *node) server() *serve.Server { return n.srv.Load() }
+
+// incarnations returns every server the node has run, retired first,
+// current last.
+func (n *node) incarnations() []*serve.Server {
+	n.retiredMu.Lock()
+	out := append([]*serve.Server(nil), n.retired...)
+	n.retiredMu.Unlock()
+	return append(out, n.server())
 }
 
 func (n *node) alive() bool { return n.state.Load() == stateUp }
@@ -156,11 +190,16 @@ type Cluster struct {
 	start time.Time
 
 	// mu guards the routing table; migMu serializes failover and drain
-	// migrations so a node's sessions move exactly once.
-	mu     sync.Mutex
-	routes map[string]*route
-	order  []string // external IDs in creation order
-	migMu  sync.Mutex
+	// migrations so a node's sessions move exactly once; adminMu
+	// serializes node state transitions (kill/drain/revive/undrain) so
+	// concurrent admin requests cannot interleave a transition — e.g.
+	// two revives double-building servers, or a drain/undrain pair
+	// leaving the node up but refusing sessions.
+	mu      sync.Mutex
+	routes  map[string]*route
+	order   []string // external IDs in creation order
+	migMu   sync.Mutex
+	adminMu sync.Mutex
 
 	nextID           atomic.Uint64
 	failoverSessions atomic.Uint64
@@ -218,10 +257,7 @@ func New(cfg Config) (*Cluster, error) {
 			c.closeNodes()
 			return nil, err
 		}
-		name := spec.Name
-		if name == "" {
-			name = fmt.Sprintf("%s%d", strings.ToLower(spec.Platform), i)
-		}
+		name := DefaultNodeName(spec, i)
 		if names[name] {
 			c.closeNodes()
 			return nil, fmt.Errorf("cluster: duplicate node name %q", name)
@@ -237,7 +273,9 @@ func New(cfg Config) (*Cluster, error) {
 			c.closeNodes()
 			return nil, fmt.Errorf("cluster: node %s: %w", name, err)
 		}
-		c.nodes = append(c.nodes, &node{name: name, platform: spec.Platform, srv: srv})
+		n := &node{name: name, platform: spec.Platform, cfg: ncfg}
+		n.srv.Store(srv)
+		c.nodes = append(c.nodes, n)
 	}
 	if cfg.ProbeInterval > 0 {
 		c.probeWG.Add(1)
@@ -246,11 +284,23 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// closeNodes stops every constructed node (New error paths, Close).
+// closeNodes stops every constructed node (New error paths, Close),
+// retired incarnations included.
 func (c *Cluster) closeNodes() {
 	for _, n := range c.nodes {
-		n.srv.Close()
+		for _, srv := range n.incarnations() {
+			srv.Close()
+		}
 	}
+}
+
+// elapsed is time since start on the configured clock (wall by
+// default; the harness injects its virtual clock).
+func (c *Cluster) elapsed() time.Duration {
+	if c.cfg.Elapsed != nil {
+		return c.cfg.Elapsed()
+	}
+	return time.Since(c.start)
 }
 
 // Close stops the probe loop and every node's worker pool.
@@ -305,11 +355,11 @@ func (c *Cluster) maybeRebalance() {
 	if len(alive) < 2 {
 		return
 	}
-	nowUS := float64(time.Since(c.start).Microseconds())
+	nowUS := float64(c.elapsed().Microseconds())
 	loads := make([]serve.NodeLoad, len(alive))
 	devs := make([]control.DeviceSignals, len(alive))
 	for i, n := range alive {
-		loads[i] = n.srv.Load()
+		loads[i] = n.server().Load()
 		// BacklogUS stays 0: node-level queue depth is in frames, not
 		// virtual time, so the gate decides on utilization alone (the
 		// queued-frame gauges remain visible in /metrics).
@@ -347,6 +397,7 @@ func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
 		return false
 	}
 	hotN, coldN := alive[hot], alive[cold]
+	hotSrv, coldSrv := hotN.server(), coldN.server()
 
 	c.mu.Lock()
 	var candidates []*route
@@ -396,7 +447,7 @@ func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
 	// before the old session closes, so concurrent ingest never lands in
 	// a window where neither node owns the stream, and a failed create
 	// leaves the session running on the hot node untouched.
-	sess, err := coldN.srv.CreateSession(best.cfg)
+	sess, err := coldSrv.CreateSession(best.cfg)
 	if err != nil {
 		return false
 	}
@@ -404,7 +455,7 @@ func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
 	if best.closed || best.node != hotN || best.localID != oldID {
 		// A client close (or another sweep) won the race; undo ours.
 		c.mu.Unlock()
-		_, _ = coldN.srv.CloseSession(sess.ID)
+		_, _ = coldSrv.CloseSession(sess.ID)
 		return false
 	}
 	best.node = coldN
@@ -412,7 +463,7 @@ func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
 	best.migrations++
 	c.mu.Unlock()
 	// Graceful: the old session's queued frames execute during close.
-	_, _ = hotN.srv.CloseSession(oldID)
+	_, _ = hotSrv.CloseSession(oldID)
 	c.migrations.Add(1)
 	return true
 }
@@ -432,6 +483,8 @@ func (c *Cluster) nodeByName(name string) (*node, error) {
 // probe (or any request that hits the dead route) fails its sessions
 // over to surviving nodes and counts the shed frames.
 func (c *Cluster) KillNode(name string) error {
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
 	n, err := c.nodeByName(name)
 	if err != nil {
 		return err
@@ -439,7 +492,53 @@ func (c *Cluster) KillNode(name string) error {
 	if n.state.Swap(stateDead) == stateDead {
 		return fmt.Errorf("cluster: node %q already dead", name)
 	}
-	n.srv.Close()
+	n.server().Close()
+	return nil
+}
+
+// ReviveNode brings a killed node back: any session still routed to
+// the dead incarnation is failed over first (so no route dangles into
+// the new server), then a fresh server starts under the node's
+// original config. The dead incarnation is retired, not discarded —
+// its stranded sessions and counters stay part of the fleet's
+// accounting, exactly like the pre-revive corpse did.
+func (c *Cluster) ReviveNode(name string) error {
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
+	n, err := c.nodeByName(name)
+	if err != nil {
+		return err
+	}
+	if n.state.Load() != stateDead {
+		return fmt.Errorf("cluster: node %q is %s, not dead", name, n.stateName())
+	}
+	c.failoverNode(n)
+	srv, err := serve.New(n.cfg)
+	if err != nil {
+		return fmt.Errorf("cluster: reviving node %s: %w", name, err)
+	}
+	old := n.srv.Swap(srv)
+	n.retiredMu.Lock()
+	n.retired = append(n.retired, old)
+	n.retiredMu.Unlock()
+	n.state.Store(stateUp)
+	return nil
+}
+
+// UndrainNode returns a draining node to service: it accepts new
+// sessions again. Sessions drained off it earlier stay where they
+// landed; placement repopulates the node as traffic arrives.
+func (c *Cluster) UndrainNode(name string) error {
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
+	n, err := c.nodeByName(name)
+	if err != nil {
+		return err
+	}
+	if !n.state.CompareAndSwap(stateDraining, stateUp) {
+		return fmt.Errorf("cluster: node %q is %s, not draining", name, n.stateName())
+	}
+	n.server().SetDraining(false)
 	return nil
 }
 
@@ -448,6 +547,8 @@ func (c *Cluster) KillNode(name string) error {
 // queued frames execute — nothing is shed) and re-created on a
 // surviving node under the same config, keeping its fleet-wide ID.
 func (c *Cluster) DrainNode(name string) error {
+	c.adminMu.Lock()
+	defer c.adminMu.Unlock()
 	n, err := c.nodeByName(name)
 	if err != nil {
 		return err
@@ -455,7 +556,7 @@ func (c *Cluster) DrainNode(name string) error {
 	if !n.state.CompareAndSwap(stateUp, stateDraining) {
 		return fmt.Errorf("cluster: node %q is %s", name, n.stateName())
 	}
-	n.srv.SetDraining(true)
+	n.server().SetDraining(true)
 	c.migrate(n, true)
 	return nil
 }
@@ -472,6 +573,7 @@ func (c *Cluster) failoverNode(n *node) {
 func (c *Cluster) migrate(n *node, graceful bool) {
 	c.migMu.Lock()
 	defer c.migMu.Unlock()
+	srv := n.server()
 	c.mu.Lock()
 	var affected []*route
 	for _, id := range c.order {
@@ -484,14 +586,14 @@ func (c *Cluster) migrate(n *node, graceful bool) {
 	for _, rt := range affected {
 		var shed uint64
 		if graceful {
-			if _, err := n.srv.CloseSession(rt.localID); err != nil {
+			if _, err := srv.CloseSession(rt.localID); err != nil {
 				// The session may have raced a client close; count what
 				// its queue still held and move on.
-				if snap, serr := n.srv.Snapshot(rt.localID); serr == nil {
+				if snap, serr := srv.Snapshot(rt.localID); serr == nil {
 					shed = uint64(snap.QueueLen)
 				}
 			}
-		} else if snap, err := n.srv.Snapshot(rt.localID); err == nil {
+		} else if snap, err := srv.Snapshot(rt.localID); err == nil {
 			// Dead node: whatever sat in the ingest queue is lost.
 			shed = uint64(snap.QueueLen)
 		}
@@ -506,7 +608,7 @@ func (c *Cluster) migrate(n *node, graceful bool) {
 			c.failoverShed.Add(shed)
 			continue
 		}
-		sess, err := target.srv.CreateSession(rt.cfg)
+		sess, err := target.server().CreateSession(rt.cfg)
 		if err != nil {
 			c.mu.Lock()
 			rt.closed = true
@@ -523,7 +625,7 @@ func (c *Cluster) migrate(n *node, graceful bool) {
 			// fleet's load signal would count forever.
 			rt.shedFrames += shed
 			c.mu.Unlock()
-			_, _ = target.srv.CloseSession(sess.ID)
+			_, _ = target.server().CloseSession(sess.ID)
 			c.failoverShed.Add(shed)
 			continue
 		}
@@ -548,7 +650,7 @@ func (c *Cluster) CreateSession(cfg serve.SessionConfig) (serve.SessionSnapshot,
 	if err != nil {
 		return serve.SessionSnapshot{}, err
 	}
-	sess, err := n.srv.CreateSession(cfg)
+	sess, err := n.server().CreateSession(cfg)
 	if err != nil {
 		return serve.SessionSnapshot{}, err
 	}
@@ -605,7 +707,7 @@ func (c *Cluster) Ingest(extID string, chunk *events.Stream) (serve.IngestResult
 		if err != nil {
 			return serve.IngestResult{}, err
 		}
-		res, err := n.srv.Ingest(localID, chunk)
+		res, err := n.server().Ingest(localID, chunk)
 		if err == nil {
 			return res, nil
 		}
@@ -638,7 +740,7 @@ func (c *Cluster) snapshotRoute(rt *route) (serve.SessionSnapshot, error) {
 	extID := rt.extID
 	failovers, shed, migrations := rt.failovers, rt.shedFrames, rt.migrations
 	c.mu.Unlock()
-	snap, err := n.srv.Snapshot(localID)
+	snap, err := n.server().Snapshot(localID)
 	if err != nil {
 		if closed {
 			// Lost to a total failover or evicted after close: report the
@@ -696,7 +798,7 @@ func (c *Cluster) CloseSession(extID string) (serve.SessionSnapshot, error) {
 		if err != nil {
 			return serve.SessionSnapshot{}, err
 		}
-		snap, err = n.srv.CloseSession(localID)
+		snap, err = n.server().CloseSession(localID)
 		if err != nil {
 			return serve.SessionSnapshot{}, err
 		}
@@ -745,6 +847,81 @@ func (c *Cluster) aliveNodes(exclude *node) []*node {
 		}
 	}
 	return out
+}
+
+// Pump synchronously drains every live node's scheduled sessions —
+// the fleet-wide twin of serve.Server.Pump, only meaningful when the
+// per-node config sets ManualDrain. Dead nodes are skipped; their
+// queues are frozen evidence for the failover accounting.
+func (c *Cluster) Pump() {
+	for _, n := range c.nodes {
+		if n.state.Load() != stateDead {
+			n.server().Pump()
+		}
+	}
+}
+
+// NodeStats is one node's deterministic accounting view, summed over
+// every incarnation the node has run (a killed-then-revived node keeps
+// its corpse's counters). Residuals count frames sitting in local
+// active sessions — ingest queues plus DSFA aggregators — which is
+// exactly the term that closes fleet-wide frame conservation:
+//
+//	FramesIn == RawFramesDone + FramesDropped + FramesDroppedDSFA
+//	            + ResidualQueued + ResidualAgg
+//
+// at any quiescent point (queues pumped, no requests in flight).
+type NodeStats struct {
+	Name     string
+	Platform string
+	State    string
+	Totals   serve.SessionTotals
+	// Residual* count the current incarnation's in-flight frames;
+	// Retired* the frames stranded forever in killed incarnations
+	// (evidence of past failovers, still part of conservation).
+	ResidualQueued int
+	ResidualAgg    int
+	RetiredQueued  int
+	RetiredAgg     int
+}
+
+// NodeStats reports every node's accounting view in construction
+// order.
+func (c *Cluster) NodeStats() []NodeStats {
+	out := make([]NodeStats, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		st := NodeStats{Name: n.name, Platform: n.platform, State: n.stateName()}
+		incs := n.incarnations()
+		for i, srv := range incs {
+			st.Totals.Merge(srv.Totals())
+			var q, a int
+			for _, snap := range srv.Snapshots() {
+				if snap.State == "active" {
+					q += snap.QueueLen
+					a += snap.AggPending
+				}
+			}
+			if i == len(incs)-1 {
+				st.ResidualQueued, st.ResidualAgg = st.ResidualQueued+q, st.ResidualAgg+a
+			} else {
+				st.RetiredQueued, st.RetiredAgg = st.RetiredQueued+q, st.RetiredAgg+a
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// FleetTotals sums the monotonic session roll-up across every node and
+// incarnation.
+func (c *Cluster) FleetTotals() serve.SessionTotals {
+	var t serve.SessionTotals
+	for _, n := range c.nodes {
+		for _, srv := range n.incarnations() {
+			t.Merge(srv.Totals())
+		}
+	}
+	return t
 }
 
 // sessionsOn counts open routed sessions per node name.

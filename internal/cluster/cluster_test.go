@@ -487,7 +487,7 @@ func TestFailoverShedsQueuedFrames(t *testing.T) {
 	// White-box: push a burst straight into the dead node's session —
 	// the window where a request lands between the kill and the probe.
 	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 3, 100_000)
-	res, err := owner.srv.Ingest(localID, stream)
+	res, err := owner.server().Ingest(localID, stream)
 	if err != nil {
 		t.Fatalf("Ingest onto dead node: %v", err)
 	}

@@ -71,10 +71,10 @@ func (c *Cluster) Health() Health {
 			State:          n.stateName(),
 			SessionsActive: perNode[n.name],
 		}
-		sh := n.srv.Health()
+		sh := n.server().Health()
 		nh.SessionsTotal = sh.SessionsTotal
 		nh.Workers = sh.Workers
-		nh.Load = n.srv.Load()
+		nh.Load = n.server().Load()
 		if n.alive() {
 			h.NodesUp++
 			h.Workers += nh.Workers
@@ -126,11 +126,13 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Counter("evcluster_sessions_lost_total", "Sessions lost because no node survived.", "", float64(h.LostSessions))
 	pw.Counter("evcluster_rebalance_migrations_total", "Load-driven session migrations.", "", float64(h.RebalanceMigrations))
 
-	// Fleet totals from every node's monotonic roll-up, dead nodes
-	// included: closed sessions are folded in at close time, so the
-	// counters do not depend on closed-session retention, and the
-	// in-process corpse of a killed node carries exactly the last-seen
-	// totals a real router would have cached before losing the scrape.
+	// Fleet totals from every node's monotonic roll-up, dead nodes and
+	// retired incarnations included: closed sessions are folded in at
+	// close time, so the counters do not depend on closed-session
+	// retention, the in-process corpse of a killed node carries exactly
+	// the last-seen totals a real router would have cached before
+	// losing the scrape, and a revive retires that corpse instead of
+	// zeroing its contribution.
 	var events, frames, dropped, invocs, rawDone, retunes, remaps float64
 	for i, n := range c.nodes {
 		nh := h.Nodes[i]
@@ -144,7 +146,10 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pw.Gauge("evcluster_node_utilization", "Capacity-weighted active-session cost.", lbl, nh.Load.Utilization)
 		pw.Gauge("evcluster_node_queued_frames", "Frames waiting in the node's ingest queues.", lbl, float64(nh.Load.QueuedFrames))
 		pw.Gauge("evcluster_node_capacity_macs", "Aggregate peak MAC rate of the node.", lbl, nh.Load.CapacityMACs)
-		nt := n.srv.Totals()
+		var nt serve.SessionTotals
+		for _, srv := range n.incarnations() {
+			nt.Merge(srv.Totals())
+		}
 		events += float64(nt.EventsIn)
 		frames += float64(nt.FramesIn)
 		dropped += float64(nt.FramesDropped)
@@ -166,7 +171,7 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if n.state.Load() == stateDead {
 			continue
 		}
-		n.srv.WriteMetrics(pw, "evserve", serve.PromLabels("node", n.name))
+		n.server().WriteMetrics(pw, "evserve", serve.PromLabels("node", n.name))
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = w.Write([]byte(pw.String()))

@@ -52,9 +52,9 @@ func (c *Cluster) place(extID string, exclude *node) (*node, error) {
 	// Least-loaded: lowest utilization, then fewest active sessions,
 	// then construction order — deterministic under ties.
 	best := candidates[0]
-	bestLoad := best.srv.Load()
+	bestLoad := best.server().Load()
 	for _, n := range candidates[1:] {
-		l := n.srv.Load()
+		l := n.server().Load()
 		if l.Utilization < bestLoad.Utilization ||
 			(l.Utilization == bestLoad.Utilization && l.SessionsActive < bestLoad.SessionsActive) {
 			best, bestLoad = n, l

@@ -22,6 +22,8 @@ import (
 //	GET    /v1/nodes                  node health list
 //	POST   /v1/nodes/{name}/kill      simulate a node failure
 //	POST   /v1/nodes/{name}/drain     graceful drain + migration
+//	POST   /v1/nodes/{name}/revive    restart a killed node (fresh server)
+//	POST   /v1/nodes/{name}/undrain   return a draining node to service
 func (c *Cluster) Handler() http.Handler {
 	c.muxOnce.Do(func() {
 		mux := http.NewServeMux()
@@ -36,6 +38,8 @@ func (c *Cluster) Handler() http.Handler {
 		mux.HandleFunc("GET /v1/nodes", c.handleNodes)
 		mux.HandleFunc("POST /v1/nodes/{name}/kill", c.handleKill)
 		mux.HandleFunc("POST /v1/nodes/{name}/drain", c.handleDrain)
+		mux.HandleFunc("POST /v1/nodes/{name}/revive", c.handleRevive)
+		mux.HandleFunc("POST /v1/nodes/{name}/undrain", c.handleUndrain)
 		c.mux = mux
 	})
 	return c.mux
@@ -142,6 +146,22 @@ func (c *Cluster) handleKill(w http.ResponseWriter, r *http.Request) {
 
 func (c *Cluster) handleDrain(w http.ResponseWriter, r *http.Request) {
 	if err := c.DrainNode(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Health())
+}
+
+func (c *Cluster) handleRevive(w http.ResponseWriter, r *http.Request) {
+	if err := c.ReviveNode(r.PathValue("name")); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Health())
+}
+
+func (c *Cluster) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	if err := c.UndrainNode(r.PathValue("name")); err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
 	}

@@ -73,7 +73,15 @@ func ReadBinary(r io.Reader) (*Stream, error) {
 	s := NewStream(int(binary.LittleEndian.Uint16(hdr[2:])), int(binary.LittleEndian.Uint16(hdr[4:])))
 	count := binary.LittleEndian.Uint64(hdr[6:])
 	if count > 0 {
-		s.Events = make([]Event, 0, count)
+		// The header count sizes the buffer but is untrusted input: a
+		// malformed stream can claim 2^64 events where the body holds
+		// none. Cap the preallocation and let append grow the slice from
+		// what the reader actually delivers.
+		pre := count
+		if pre > 1<<16 {
+			pre = 1 << 16
+		}
+		s.Events = make([]Event, 0, pre)
 	}
 	rec := make([]byte, recordSize)
 	for {

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestScenarioLibrary runs every library scenario and checks the
+// generic invariants plus each scenario's own outcome contract.
+func TestScenarioLibrary(t *testing.T) {
+	names := Names()
+	if len(names) < 8 {
+		t.Fatalf("scenario library has %d entries, want >= 8: %v", len(names), names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			sc, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(sc, 7)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, v := range Check(res) {
+				t.Errorf("invariant: %s", v)
+			}
+			for _, v := range CheckExpect(sc, res) {
+				t.Errorf("expectation: %s", v)
+			}
+			if res.Final.Totals.FramesIn == 0 {
+				t.Error("scenario produced no frames; the script drives nothing")
+			}
+		})
+	}
+}
+
+// TestScenarioDeterminism replays every scenario under the same seed
+// and requires byte-identical JSON timelines; a different seed must
+// still satisfy the invariants (and, being a different event stream,
+// should not produce the identical timeline).
+func TestScenarioDeterminism(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			a, err := RunScenario(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunScenario(name, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ja, err := a.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jb, err := b.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ja, jb) {
+				i := 0
+				for i < len(ja) && i < len(jb) && ja[i] == jb[i] {
+					i++
+				}
+				lo := i - 80
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("same seed, different timelines; first divergence at byte %d:\n...%s\nvs\n...%s",
+					i, ja[lo:min(i+80, len(ja))], jb[lo:min(i+80, len(jb))])
+			}
+			c, err := RunScenario(name, 43)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range Check(c) {
+				t.Errorf("invariant (seed 43): %s", v)
+			}
+		})
+	}
+}
+
+// TestScriptValidate covers the script compiler's error paths.
+func TestScriptValidate(t *testing.T) {
+	base := func() Script {
+		return Script{
+			Name:   "t",
+			Mix:    []SessionSpec{{Network: "DOTIE", Level: 2, RateHz: 1000}},
+			Phases: []Phase{{Name: "p", Ticks: 5}},
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Script)
+		want string
+	}{
+		{"no name", func(s *Script) { s.Name = "" }, "no name"},
+		{"no phases", func(s *Script) { s.Phases = nil }, "no phases"},
+		{"no mix", func(s *Script) { s.Mix = nil }, "no session mix"},
+		{"bad network", func(s *Script) { s.Mix[0].Network = "NoSuchNet" }, "NoSuchNet"},
+		{"bad drop policy", func(s *Script) { s.Mix[0].DropPolicy = "drop-random" }, "drop-random"},
+		{"zero rate", func(s *Script) { s.Mix[0].RateHz = 0 }, "rate must be positive"},
+		{"bad nodes", func(s *Script) { s.Nodes = "tpu:2" }, "tpu"},
+		{"bad policy", func(s *Script) { s.Nodes = "xavier:2"; s.Policy = "round-robin" }, "placement policy"},
+		{"zero ticks", func(s *Script) { s.Phases[0].Ticks = 0 }, "ticks must be >= 1"},
+		{"chaos without cluster", func(s *Script) { s.Phases[0].Kill = []string{"xavier0"} }, "needs a cluster"},
+		{"unknown node", func(s *Script) { s.Nodes = "xavier:2"; s.Phases[0].Kill = []string{"orin7"} }, "unknown node"},
+		{"burst outside phase", func(s *Script) { s.Phases[0].Burst = &Burst{FromTick: 4, Ticks: 3, Gain: 2} }, "outside phase"},
+		{"bad burst gain", func(s *Script) { s.Phases[0].Burst = &Burst{FromTick: 0, Ticks: 2, Gain: 0} }, "gain must be positive"},
+		{"rebalance without cluster", func(s *Script) { s.RebalanceGap = 0.1 }, "needs a cluster"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mut(&sc)
+			err := sc.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken script")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid script rejected: %v", err)
+	}
+}
+
+// TestCompile pins the plan shape: action ordering inside a tick and
+// the per-tick gain series.
+func TestCompile(t *testing.T) {
+	sc := Script{
+		Name: "t",
+		Mix:  []SessionSpec{{Network: "DOTIE", Level: 2, RateHz: 1000}},
+		Phases: []Phase{
+			{Name: "a", Ticks: 4, Arrive: 2, Burst: &Burst{FromTick: 1, Ticks: 2, Gain: 3}},
+			{Name: "b", Ticks: 3, Depart: 1, ArriveEvery: 2, RateGain: 2},
+		},
+	}.normalized()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := compile(sc)
+	wantGains := []float64{1, 3, 3, 1, 2, 2, 2}
+	if len(p.gains) != len(wantGains) {
+		t.Fatalf("gains len = %d, want %d", len(p.gains), len(wantGains))
+	}
+	for i, g := range wantGains {
+		if p.gains[i] != g {
+			t.Errorf("gain[%d] = %g, want %g", i, p.gains[i], g)
+		}
+	}
+	var kinds []string
+	for _, a := range p.actions {
+		kinds = append(kinds, fmt.Sprintf("%d:%d", a.tick, a.kind))
+	}
+	// Tick 4 is phase b's start: phase marker, then depart, then the
+	// spread arrival lands at tick 6.
+	want := []string{"0:0", "0:6", "4:0", "4:5", "6:6"}
+	if strings.Join(kinds, " ") != strings.Join(want, " ") {
+		t.Fatalf("plan = %v, want %v", kinds, want)
+	}
+}

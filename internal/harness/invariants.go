@@ -1,0 +1,171 @@
+package harness
+
+import "fmt"
+
+// Violation is one failed invariant, anchored at the timeline instant
+// that exposed it.
+type Violation struct {
+	TUS       int64  `json:"t_us"`
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%dus %s: %s", v.TUS, v.Invariant, v.Detail)
+}
+
+// Check verifies the system-wide invariants on a recorded run and
+// returns every violation found (empty = pass):
+//
+//   - conservation: at every recorded instant, fleet-wide
+//     frames_in == raw_frames_done + frames_dropped +
+//     frames_dropped_dsfa + Σ node residuals (ingest queues + DSFA
+//     aggregators, dead incarnations included). Nothing appears or
+//     vanishes unaccounted — kills shed into counted residuals, drains
+//     and migrations execute what they moved.
+//   - monotonic: every *_total counter and the chaos counters never
+//     decrease across the timeline, failovers and revives included.
+//   - no-loss-on-drain: no scenario may lose a session while any node
+//     survives; a scenario that never kills a node must also shed zero
+//     frames (drains are lossless by contract).
+//   - cooldown: consecutive load-driven migrations are at least the
+//     configured rebalance cooldown of virtual time apart (quantized
+//     by the sampling tick).
+//   - terminal: after teardown every live node's residual is zero and
+//     every recorded session final is closed.
+func Check(res *Result) []Violation {
+	var out []Violation
+	entries := append(append([]Entry(nil), res.Timeline...), res.Final)
+
+	// conservation, at every recorded instant.
+	for _, e := range entries {
+		var rq, ra uint64
+		for _, n := range e.Nodes {
+			rq += uint64(n.ResidualQueued) + uint64(n.RetiredQueued)
+			ra += uint64(n.ResidualAgg) + uint64(n.RetiredAgg)
+		}
+		accounted := e.Totals.RawFramesDone + e.Totals.FramesDropped + e.Totals.FramesDroppedDSFA + rq + ra
+		if e.Totals.FramesIn != accounted {
+			out = append(out, Violation{e.TUS, "conservation",
+				fmt.Sprintf("frames_in=%d but done+dropped+residual=%d (done=%d qdrop=%d dsfadrop=%d residual=%d+%d)",
+					e.Totals.FramesIn, accounted, e.Totals.RawFramesDone,
+					e.Totals.FramesDropped, e.Totals.FramesDroppedDSFA, rq, ra)})
+		}
+	}
+
+	// monotonic counters.
+	type counter struct {
+		name string
+		get  func(Entry) uint64
+	}
+	counters := []counter{
+		{"sessions_total", func(e Entry) uint64 { return e.Totals.Sessions }},
+		{"events_total", func(e Entry) uint64 { return e.Totals.EventsIn }},
+		{"frames_total", func(e Entry) uint64 { return e.Totals.FramesIn }},
+		{"frames_dropped_total", func(e Entry) uint64 { return e.Totals.FramesDropped }},
+		{"frames_dropped_dsfa_total", func(e Entry) uint64 { return e.Totals.FramesDroppedDSFA }},
+		{"invocations_total", func(e Entry) uint64 { return e.Totals.Invocations }},
+		{"raw_frames_done_total", func(e Entry) uint64 { return e.Totals.RawFramesDone }},
+		{"retunes_total", func(e Entry) uint64 { return e.Totals.Retunes }},
+		{"remaps_total", func(e Entry) uint64 { return e.Totals.Remaps }},
+		{"latency_count", func(e Entry) uint64 { return e.Totals.LatencyCount }},
+		{"failover_sessions_total", func(e Entry) uint64 { return e.Failovers }},
+		{"failover_shed_frames_total", func(e Entry) uint64 { return e.ShedFrames }},
+		{"sessions_lost_total", func(e Entry) uint64 { return e.Lost }},
+		{"rebalance_migrations_total", func(e Entry) uint64 { return e.Migrations }},
+	}
+	for _, c := range counters {
+		prev := uint64(0)
+		for i, e := range entries {
+			v := c.get(e)
+			if v < prev {
+				out = append(out, Violation{e.TUS, "monotonic",
+					fmt.Sprintf("%s fell %d -> %d at entry %d", c.name, prev, v, i)})
+			}
+			prev = v
+		}
+	}
+
+	// no-loss-on-drain.
+	if res.Final.Lost != 0 {
+		out = append(out, Violation{res.Final.TUS, "no-loss-on-drain",
+			fmt.Sprintf("%d sessions lost with survivors in the fleet", res.Final.Lost)})
+	}
+	if res.NoKills && res.Final.ShedFrames != 0 {
+		out = append(out, Violation{res.Final.TUS, "no-loss-on-drain",
+			fmt.Sprintf("scenario kills no node but shed %d frames (drains must be lossless)", res.Final.ShedFrames)})
+	}
+
+	// cooldown: the spacing between observed migration-count increments
+	// is at least the cooldown, minus one observation quantum (an
+	// increment becomes visible only at the next recorded entry, up to
+	// SampleEvery ticks after it happened).
+	if res.CooldownUS > 0 {
+		slack := res.SampleUS
+		if slack <= 0 {
+			slack = res.TickUS
+		}
+		lastT := int64(-1)
+		prev := uint64(0)
+		for _, e := range entries {
+			if e.Migrations > prev {
+				// Two increments inside one observation interval are only
+				// legal when the cooldown is shorter than the interval.
+				if e.Migrations-prev > 1 && res.CooldownUS >= slack {
+					out = append(out, Violation{e.TUS, "cooldown",
+						fmt.Sprintf("migrations jumped %d -> %d inside one sampling interval", prev, e.Migrations)})
+				}
+				if lastT >= 0 && e.TUS-lastT < res.CooldownUS-slack {
+					out = append(out, Violation{e.TUS, "cooldown",
+						fmt.Sprintf("migrations %dus apart, cooldown %dus", e.TUS-lastT, res.CooldownUS)})
+				}
+				lastT = e.TUS
+				prev = e.Migrations
+			}
+		}
+	}
+
+	// terminal state: live nodes drained dry, every session closed.
+	for _, n := range res.Final.Nodes {
+		if n.State == "dead" {
+			continue
+		}
+		if n.ResidualQueued != 0 || n.ResidualAgg != 0 {
+			out = append(out, Violation{res.Final.TUS, "terminal",
+				fmt.Sprintf("node %s still holds %d queued + %d aggregated frames after teardown",
+					n.Name, n.ResidualQueued, n.ResidualAgg)})
+		}
+	}
+	for _, s := range res.Sessions {
+		if s.State != "closed" {
+			out = append(out, Violation{res.Final.TUS, "terminal",
+				fmt.Sprintf("session %s ended %q, want closed", s.ID, s.State)})
+		}
+	}
+	return out
+}
+
+// CheckExpect verifies the scenario's own outcome contract on top of
+// the generic invariants.
+func CheckExpect(sc Script, res *Result) []Violation {
+	var out []Violation
+	t := res.Final.TUS
+	if res.Final.Totals.Retunes < sc.Expect.MinRetunes {
+		out = append(out, Violation{t, "expect",
+			fmt.Sprintf("retunes %d < expected %d", res.Final.Totals.Retunes, sc.Expect.MinRetunes)})
+	}
+	if res.Final.Migrations < sc.Expect.MinMigrations {
+		out = append(out, Violation{t, "expect",
+			fmt.Sprintf("migrations %d < expected %d", res.Final.Migrations, sc.Expect.MinMigrations)})
+	}
+	if res.Final.Failovers < sc.Expect.MinFailovers {
+		out = append(out, Violation{t, "expect",
+			fmt.Sprintf("failovers %d < expected %d", res.Final.Failovers, sc.Expect.MinFailovers)})
+	}
+	if sc.Expect.Drops {
+		if res.Final.Totals.FramesDropped+res.Final.Totals.FramesDroppedDSFA+res.Final.ShedFrames == 0 {
+			out = append(out, Violation{t, "expect", "expected load shedding, saw none"})
+		}
+	}
+	return out
+}

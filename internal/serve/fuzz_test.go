@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"bytes"
+	"mime"
+	"testing"
+
+	"evedge/internal/events"
+)
+
+// FuzzDecodeChunk hammers the ingest-body decoder — the first code
+// that touches untrusted client bytes on a serving node — across both
+// wire formats (content-type selects JSON vs EVAR binary). It must
+// never panic; accepted JSON chunks must carry positive geometry
+// (DecodeChunk's contract with the session converter).
+func FuzzDecodeChunk(f *testing.F) {
+	s := events.NewStream(8, 6)
+	s.Append(events.Event{X: 1, Y: 2, TS: 100, Pol: events.On})
+	var bin bytes.Buffer
+	if err := events.WriteBinary(&bin, s); err != nil {
+		f.Fatal(err)
+	}
+	f.Add("application/octet-stream", bin.Bytes())
+	f.Add("", bin.Bytes()[:7])
+	f.Add("application/json", []byte(`{"width":8,"height":6,"events":[{"x":1,"y":2,"ts":100,"p":1}]}`))
+	f.Add("application/json", []byte(`{"width":-1,"height":6,"events":[]}`))
+	f.Add("application/json; charset=utf-8", []byte(`{"width":8,"height":6}`))
+	f.Add("application/json", []byte(`{`))
+	f.Add("text/plain;;;", []byte("garbage"))
+
+	f.Fuzz(func(t *testing.T, contentType string, body []byte) {
+		s, err := DecodeChunk(contentType, bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		if mt, _, merr := mime.ParseMediaType(contentType); merr == nil && mt == "application/json" {
+			if s.Width <= 0 || s.Height <= 0 {
+				t.Fatalf("accepted JSON chunk with geometry %dx%d", s.Width, s.Height)
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"evedge/internal/sparse"
+)
+
+// TestFrameQueueProperty hammers the bounded ingest queue with
+// randomized concurrent pushers and a concurrent drainer under both
+// drop policies, then checks the queue's contracts:
+//
+//   - capacity is never exceeded (observed at every drain and at the
+//     end);
+//   - accounting conserves: pushed == dropped + drained + remaining;
+//   - no frame is duplicated or invented: every frame that comes out
+//     went in exactly once (frames carry unique T0 stamps).
+func TestFrameQueueProperty(t *testing.T) {
+	for _, policy := range []DropPolicy{DropOldest, DropNewest} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			const (
+				pushers   = 4
+				perPusher = 500
+				capacity  = 17
+			)
+			rng := rand.New(rand.NewSource(42))
+			seeds := make([]int64, pushers)
+			for i := range seeds {
+				seeds[i] = rng.Int63()
+			}
+			q := newFrameQueue(capacity, policy)
+
+			var pushWG sync.WaitGroup
+			for p := 0; p < pushers; p++ {
+				pushWG.Add(1)
+				go func(p int) {
+					defer pushWG.Done()
+					prng := rand.New(rand.NewSource(seeds[p]))
+					for i := 0; i < perPusher; i++ {
+						// Unique T0 identifies the frame across its lifetime.
+						id := int64(p*perPusher + i)
+						q.push(sparse.NewFrame(2, 2, id, id+1))
+						if prng.Intn(8) == 0 {
+							// Yield occasionally to vary the interleaving.
+							for s := prng.Intn(64); s > 0; s-- {
+								_ = s
+							}
+						}
+					}
+				}(p)
+			}
+
+			drained := make(map[int64]int) // T0 -> times seen out
+			overCap := 0
+			var drainWG sync.WaitGroup
+			stop := make(chan struct{})
+			drainWG.Add(1)
+			go func() {
+				defer drainWG.Done()
+				drng := rand.New(rand.NewSource(7))
+				for {
+					out := q.drain(drng.Intn(5)) // 0 = drain all
+					if len(out) > capacity {
+						overCap++
+					}
+					for _, f := range out {
+						drained[f.T0]++
+					}
+					select {
+					case <-stop:
+						if q.len() == 0 {
+							return
+						}
+					default:
+					}
+				}
+			}()
+			pushWG.Wait()
+			close(stop)
+			drainWG.Wait()
+
+			pushed, dropped := q.stats()
+			if pushed != uint64(pushers*perPusher) {
+				t.Fatalf("pushed = %d, want %d", pushed, pushers*perPusher)
+			}
+			if n := q.len(); n > capacity {
+				t.Errorf("queue holds %d frames, capacity %d", n, capacity)
+			}
+			if overCap > 0 {
+				t.Errorf("drainer observed over-capacity batches %d times", overCap)
+			}
+			var outN uint64
+			for t0, n := range drained {
+				if n != 1 {
+					t.Errorf("frame T0=%d drained %d times", t0, n)
+				}
+				outN += uint64(n)
+			}
+			// The drainer exits only on an empty queue after the last
+			// push, so nothing remains and every frame either drained
+			// exactly once or was dropped.
+			if rest := q.drain(0); len(rest) != 0 {
+				t.Errorf("queue still holds %d frames after the drainer finished", len(rest))
+			}
+			if outN+dropped != pushed {
+				t.Errorf("conservation: drained %d + dropped %d != pushed %d", outN, dropped, pushed)
+			}
+		})
+	}
+}

@@ -62,6 +62,12 @@ type Config struct {
 	// and /metrics before the oldest are evicted (default 64), keeping
 	// a long-lived server's memory and scrape size bounded.
 	MaxClosed int
+	// ManualDrain disables the background worker pool: sessions queue
+	// work as usual, but nothing executes until the owner calls Pump.
+	// A single-threaded driver (the scenario harness) uses it to drain
+	// queues at deterministic points on a virtual clock; a production
+	// server leaves it false.
+	ManualDrain bool
 	// Adapt wires the online adaptation plane (internal/control) into
 	// the server; the zero value leaves both loops off, freezing the
 	// DSFA tuning and the placement at session creation as before.
@@ -169,8 +175,10 @@ func (t *SessionTotals) add(s SessionSnapshot) {
 	t.LatencyCount += s.Latency.Count
 }
 
-// merge folds another roll-up (a late-execute delta) into the totals.
-func (t *SessionTotals) merge(d SessionTotals) {
+// Merge folds another roll-up into the totals: a late-execute delta on
+// the close path, or a whole node incarnation's totals when a fleet
+// aggregates across revives.
+func (t *SessionTotals) Merge(d SessionTotals) {
 	t.Sessions += d.Sessions
 	t.EventsIn += d.EventsIn
 	t.FramesIn += d.FramesIn
@@ -301,9 +309,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if !cfg.ManualDrain {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	return s, nil
 }
@@ -328,6 +338,22 @@ func (s *Server) worker() {
 			return
 		case sess := <-s.runq:
 			s.drainSession(sess)
+		}
+	}
+}
+
+// Pump synchronously drains every session currently scheduled on the
+// run queue and returns when it is empty. Only meaningful under
+// Config.ManualDrain, where no background workers exist: the caller
+// owns execution order, which is exactly the run-queue FIFO order —
+// deterministic for a single-threaded driver.
+func (s *Server) Pump() {
+	for {
+		select {
+		case sess := <-s.runq:
+			s.drainSession(sess)
+		default:
+			return
 		}
 	}
 }
@@ -396,7 +422,7 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 			}
 			if d != (SessionTotals{}) {
 				s.totalsMu.Lock()
-				s.closedTotals.merge(d)
+				s.closedTotals.Merge(d)
 				s.totalsMu.Unlock()
 			}
 		}()
@@ -546,6 +572,10 @@ func (s *Server) CloseSession(id string) (*SessionSnapshot, error) {
 	var err error
 	if !alreadyClosed {
 		tail, err = sess.conv.flush()
+		// Flushed partial frames are E2SF output like any other: count
+		// them, or frame conservation (frames_in == done + dropped +
+		// in-flight) breaks by one per count-framed close.
+		sess.framesIn += uint64(len(tail))
 	}
 	sess.mu.Unlock()
 	s.sessMu.Unlock()

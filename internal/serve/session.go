@@ -66,18 +66,24 @@ type SessionSnapshot struct {
 	FramesDropped      uint64    `json:"frames_dropped"`
 	// FramesDroppedDSFA counts raw frames the aggregator's bounded
 	// inference queue shed, on top of the ingest-queue drops above.
-	FramesDroppedDSFA uint64         `json:"frames_dropped_dsfa"`
-	QueueLen          int            `json:"queue_len"`
-	QueueCap          int            `json:"queue_cap"`
-	DropPolicy        string         `json:"drop_policy"`
-	Invocations       uint64         `json:"invocations"`
-	BatchedUnits      uint64         `json:"batched_units"`
-	RawFramesDone     uint64         `json:"raw_frames_done"`
-	MergeRatio        float64        `json:"merge_ratio"`
-	StreamTimeUS      int64          `json:"stream_time_us"`
-	ThroughputFPS     float64        `json:"throughput_fps"`
-	Latency           LatencySummary `json:"latency"`
-	Devices           []string       `json:"devices"`
+	FramesDroppedDSFA uint64 `json:"frames_dropped_dsfa"`
+	// AggPending counts raw frames buffered inside the DSFA aggregator
+	// (open buckets plus the merged queue) — with QueueLen, the
+	// session's whole in-flight residual, so harnesses can check frame
+	// conservation: FramesIn == RawFramesDone + FramesDropped +
+	// FramesDroppedDSFA + QueueLen + AggPending at any quiescent point.
+	AggPending    int            `json:"agg_pending,omitempty"`
+	QueueLen      int            `json:"queue_len"`
+	QueueCap      int            `json:"queue_cap"`
+	DropPolicy    string         `json:"drop_policy"`
+	Invocations   uint64         `json:"invocations"`
+	BatchedUnits  uint64         `json:"batched_units"`
+	RawFramesDone uint64         `json:"raw_frames_done"`
+	MergeRatio    float64        `json:"merge_ratio"`
+	StreamTimeUS  int64          `json:"stream_time_us"`
+	ThroughputFPS float64        `json:"throughput_fps"`
+	Latency       LatencySummary `json:"latency"`
+	Devices       []string       `json:"devices"`
 	// Retunes counts DSFA tuning changes the online controller applied
 	// to this session; Remaps counts execution plans installed after
 	// the first (placement rebalances plus adaptive NMP remaps).
@@ -247,6 +253,7 @@ func (s *Session) snapshotLocked() SessionSnapshot {
 	}
 	_, snap.FramesDropped = s.queue.stats()
 	snap.FramesDroppedDSFA = uint64(s.stepper.Stats().DroppedFrames)
+	snap.AggPending = s.stepper.Pending()
 	snap.Remaps = s.plan.Swaps()
 	if s.retuner != nil {
 		snap.Retunes = s.retuner.Retunes()

@@ -79,21 +79,34 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 		int64(binary.LittleEndian.Uint64(hdr[14:])),
 	)
 	nnz := binary.LittleEndian.Uint32(hdr[22:])
+	// Entries are strictly (Y, X)-sorted coordinates inside the frame,
+	// so more than H*W of them cannot validate — reject the header
+	// before trusting it.
+	if uint64(nnz) > uint64(f.H)*uint64(f.W) {
+		return nil, fmt.Errorf("sparse: frame claims %d entries for %dx%d", nnz, f.H, f.W)
+	}
 	if nnz > 0 {
-		f.Ys = make([]int32, nnz)
-		f.Xs = make([]int32, nnz)
-		f.Pos = make([]float32, nnz)
-		f.Neg = make([]float32, nnz)
+		// Still untrusted: a 65535x65535 header admits ~4e9 entries the
+		// body need not hold. Preallocate a bounded amount and grow from
+		// what the reader actually delivers.
+		pre := nnz
+		if pre > 1<<16 {
+			pre = 1 << 16
+		}
+		f.Ys = make([]int32, 0, pre)
+		f.Xs = make([]int32, 0, pre)
+		f.Pos = make([]float32, 0, pre)
+		f.Neg = make([]float32, 0, pre)
 	}
 	rec := make([]byte, 2+2+4+4)
 	for i := uint32(0); i < nnz; i++ {
 		if _, err := io.ReadFull(r, rec); err != nil {
 			return nil, fmt.Errorf("sparse: reading frame entry %d: %w", i, err)
 		}
-		f.Ys[i] = int32(binary.LittleEndian.Uint16(rec[0:]))
-		f.Xs[i] = int32(binary.LittleEndian.Uint16(rec[2:]))
-		f.Pos[i] = math.Float32frombits(binary.LittleEndian.Uint32(rec[4:]))
-		f.Neg[i] = math.Float32frombits(binary.LittleEndian.Uint32(rec[8:]))
+		f.Ys = append(f.Ys, int32(binary.LittleEndian.Uint16(rec[0:])))
+		f.Xs = append(f.Xs, int32(binary.LittleEndian.Uint16(rec[2:])))
+		f.Pos = append(f.Pos, math.Float32frombits(binary.LittleEndian.Uint32(rec[4:])))
+		f.Neg = append(f.Neg, math.Float32frombits(binary.LittleEndian.Uint32(rec[8:])))
 	}
 	if err := f.Validate(); err != nil {
 		return nil, fmt.Errorf("sparse: decoded frame invalid: %w", err)
@@ -123,7 +136,13 @@ func ReadFrames(r io.Reader) ([]*Frame, error) {
 		return nil, fmt.Errorf("sparse: reading frame count: %w", err)
 	}
 	n := binary.LittleEndian.Uint32(cnt[:])
-	out := make([]*Frame, 0, n)
+	// The count is untrusted input; bound the preallocation (each frame
+	// is at least a 30-byte header, append grows past the cap fine).
+	pre := n
+	if pre > 1<<12 {
+		pre = 1 << 12
+	}
+	out := make([]*Frame, 0, pre)
 	for i := uint32(0); i < n; i++ {
 		f, err := ReadFrame(r)
 		if err != nil {

@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// validFrameBytes builds a small well-formed EVSF frame for the seed
+// corpus.
+func validFrameBytes(t testing.TB) []byte {
+	f := NewFrame(6, 8, 0, 1000)
+	f.Set(1, 2, 3, 0)
+	f.Set(2, 5, 0, 2)
+	f.Set(4, 7, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadFrame hammers the sparse-frame decoder with malformed
+// input: it must never panic, never trust the header's entry count,
+// and anything it accepts must satisfy Validate and roundtrip.
+func FuzzReadFrame(f *testing.F) {
+	valid := validFrameBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // truncated entry
+	f.Add(valid[:9])            // truncated header
+	f.Add([]byte("EVSF"))
+	f.Add([]byte("XXXX\x01\x00"))
+	// Header claiming ~4e9 entries on a 65535x65535 frame with an empty
+	// body: the allocation bomb the bounded preallocation defuses.
+	bomb := []byte("EVSF")
+	hdr := make([]byte, 26)
+	binary.LittleEndian.PutUint16(hdr[0:], 1)
+	binary.LittleEndian.PutUint16(hdr[2:], 65535)
+	binary.LittleEndian.PutUint16(hdr[4:], 65535)
+	binary.LittleEndian.PutUint32(hdr[22:], 1<<31)
+	f.Add(append(bomb, hdr...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := fr.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid frame: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, fr); err != nil {
+			t.Fatalf("re-encoding accepted frame: %v", err)
+		}
+		fr2, err := ReadFrame(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		if fr2.NNZ() != fr.NNZ() || fr2.H != fr.H || fr2.W != fr.W {
+			t.Fatalf("roundtrip mismatch: %dx%d/%d vs %dx%d/%d",
+				fr.H, fr.W, fr.NNZ(), fr2.H, fr2.W, fr2.NNZ())
+		}
+	})
+}
+
+// FuzzReadFrames covers the count-prefixed sequence decoder: the
+// prefix is untrusted, truncated sequences must error cleanly.
+func FuzzReadFrames(f *testing.F) {
+	frame := validFrameBytes(f)
+	var seq bytes.Buffer
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], 2)
+	seq.Write(cnt[:])
+	seq.Write(frame)
+	seq.Write(frame)
+	f.Add(seq.Bytes())
+	f.Add(seq.Bytes()[:seq.Len()-7])
+	// A count of 2^32-1 frames over an empty body.
+	binary.LittleEndian.PutUint32(cnt[:], 1<<32-1)
+	f.Add(cnt[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, err := ReadFrames(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, fr := range frames {
+			if err := fr.Validate(); err != nil {
+				t.Fatalf("decoder accepted invalid frame %d: %v", i, err)
+			}
+		}
+		var out bytes.Buffer
+		if err := WriteFrames(&out, frames); err != nil {
+			t.Fatalf("re-encoding accepted frames: %v", err)
+		}
+		frames2, err := ReadFrames(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		if len(frames2) != len(frames) {
+			t.Fatalf("roundtrip frame count %d != %d", len(frames2), len(frames))
+		}
+	})
+}
