@@ -11,7 +11,7 @@ FUZZ_TARGETS := \
 	./internal/serve:FuzzDecodeChunk
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint bench serve cluster scenarios fuzz cover clean
+.PHONY: build test race lint bench bench-json serve cluster scenarios fuzz cover clean
 
 build:
 	@mkdir -p $(BIN)
@@ -36,6 +36,12 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Serialized-vs-batched serving comparison: emits BENCH_serve.json
+# (virtual throughput, p50/p99, batch occupancy) — the perf-trajectory
+# artifact CI uploads on every run.
+bench-json:
+	BENCH_JSON=$(abspath BENCH_serve.json) $(GO) test -run '^TestServeBenchJSON$$' -count=1 ./internal/serve
 
 # Run the deterministic scenario suite (the chaos/soak regression bed)
 # under the race detector.

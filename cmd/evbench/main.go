@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -19,21 +21,33 @@ import (
 	evedge "evedge"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run parses flags and regenerates the selected experiments; it
+// returns the process exit status so the flag and experiment-selection
+// error paths are testable (2 = bad flag syntax, 1 = bad experiment).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		quick = flag.Bool("quick", false, "reduced fidelity (half-scale camera, smaller search)")
-		seed  = flag.Int64("seed", 7, "random seed for all stochastic components")
-		dur   = flag.Int64("dur", 2_000_000, "simulated stream duration in microseconds")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		runIDs = fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		quick  = fs.Bool("quick", false, "reduced fidelity (half-scale camera, smaller search)")
+		seed   = fs.Int64("seed", 7, "random seed for all stochastic components")
+		dur    = fs.Int64("dur", 2_000_000, "simulated stream duration in microseconds")
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, id := range evedge.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return 0
 	}
 
 	cfg := evedge.FullExperimentConfig()
@@ -44,18 +58,19 @@ func main() {
 	cfg.DurUS = *dur
 
 	ids := evedge.Experiments()
-	if *run != "all" {
-		ids = strings.Split(*run, ",")
+	if *runIDs != "all" {
+		ids = strings.Split(*runIDs, ",")
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
 		res, err := evedge.RunExperiment(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "evbench: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "evbench: %s: %v\n", id, err)
+			return 1
 		}
-		fmt.Print(evedge.RenderExperiment(res))
-		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		fmt.Fprint(stdout, evedge.RenderExperiment(res))
+		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
+	return 0
 }

@@ -11,8 +11,9 @@
 //	evcluster [-addr :7734] [-nodes xavier:4,orin:4]
 //	          [-policy least-loaded|hash] [-probe 1s]
 //	          [-workers 4] [-queue 64] [-drop drop-oldest]
-//	          [-mapper rr|nmp] [-adapt]
-//	          [-rebalance-gap 0.25] [-rebalance-cooldown 5s]
+//	          [-mapper rr|nmp] [-batch-max 8] [-batch-window 0]
+//	          [-adapt] [-rebalance-gap 0.25] [-rebalance-queue 8]
+//	          [-rebalance-cooldown 5s]
 //
 // -adapt enables each node's online control plane (DSFA retuning, and
 // NMP remaps under -mapper nmp). -rebalance-gap > 0 additionally lets
@@ -63,8 +64,11 @@ func run(args []string, stderr io.Writer) int {
 		queue    = fs.Int("queue", 64, "default per-session ingest queue capacity (frames)")
 		drop     = fs.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
 		mapper   = fs.String("mapper", "rr", "per-node session placement: rr (round-robin) or nmp (evolutionary search)")
+		batchMax = fs.Int("batch-max", 8, "max compatible invocations coalesced per micro-batch on each node (1 = serialized)")
+		batchWin = fs.Duration("batch-window", 0, "how long a node's dispatcher holds work open for more compatible arrivals")
 		adapt    = fs.Bool("adapt", false, "enable each node's online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
 		gap      = fs.Float64("rebalance-gap", 0, "node-utilization spread that triggers a load-driven session migration (0 disables)")
+		queueTh  = fs.Int("rebalance-queue", 0, "pending-invocation spread across nodes that also triggers a migration (0 disables; needs -rebalance-gap > 0)")
 		cooldown = fs.Duration("rebalance-cooldown", 5*time.Second, "minimum time between load-driven migrations")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +92,16 @@ func run(args []string, stderr io.Writer) int {
 	node.Workers = *workers
 	node.QueueCap = *queue
 	node.Mapper = evedge.MapperPolicy(*mapper)
+	if *batchMax < 1 {
+		fmt.Fprintf(stderr, "evcluster: -batch-max must be >= 1, got %d\n", *batchMax)
+		return 1
+	}
+	if *batchWin < 0 {
+		fmt.Fprintf(stderr, "evcluster: -batch-window must be >= 0, got %s\n", *batchWin)
+		return 1
+	}
+	node.BatchMax = *batchMax
+	node.BatchWindow = *batchWin
 	node.DropPolicy, err = evedge.ParseDropPolicy(*drop)
 	if err != nil {
 		fmt.Fprintln(stderr, "evcluster:", err)
@@ -101,12 +115,13 @@ func run(args []string, stderr io.Writer) int {
 	}
 
 	c, err := evedge.NewCluster(evedge.ClusterConfig{
-		Nodes:             specs,
-		Policy:            pol,
-		ProbeInterval:     *probe,
-		RebalanceGap:      *gap,
-		RebalanceCooldown: *cooldown,
-		Node:              node,
+		Nodes:               specs,
+		Policy:              pol,
+		ProbeInterval:       *probe,
+		RebalanceGap:        *gap,
+		RebalanceQueueDepth: *queueTh,
+		RebalanceCooldown:   *cooldown,
+		Node:                node,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "evcluster:", err)

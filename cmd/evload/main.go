@@ -17,8 +17,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -81,37 +83,53 @@ type loadReport struct {
 	Nodes             []nodeDist `json:"nodes,omitempty"`
 }
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run parses flags and drives the load; it returns the process exit
+// status so the flag error paths are testable (2 = bad flag syntax,
+// 1 = bad configuration, unreachable server or a failed session).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		addr     = flag.String("addr", "http://localhost:7733", "evserve base URL")
-		sessions = flag.Int("sessions", 4, "concurrent sessions")
-		netsFlag = flag.String("nets", "DOTIE,HALSIE,SpikeFlowNet,HidalgoDepth",
+		addr     = fs.String("addr", "http://localhost:7733", "evserve base URL")
+		sessions = fs.Int("sessions", 4, "concurrent sessions")
+		netsFlag = fs.String("nets", "DOTIE,HALSIE,SpikeFlowNet,HidalgoDepth",
 			"comma-separated networks, cycled over sessions")
-		level   = flag.String("level", "2", "optimization level by name or number: 0|all-gpu, 1|e2sf, 2|dsfa, 3|nmp")
-		dur     = flag.Int64("dur", 1_000_000, "sensor-time duration per session (us)")
-		chunk   = flag.Int64("chunk", 25_000, "chunk duration per POST (us)")
-		rate    = flag.Float64("rate", 0, "subsample to ~N events/s (0 = native rate)")
-		speed   = flag.Float64("speed", 0, "replay speed vs sensor time (1 = real time, 0 = flat out)")
-		wire    = flag.String("wire", "evar", "wire format: evar (binary) or json")
-		seed    = flag.Int64("seed", 42, "base random seed")
-		jsonOut = flag.Bool("json", false, "emit the report as JSON")
+		level   = fs.String("level", "2", "optimization level by name or number: 0|all-gpu, 1|e2sf, 2|dsfa, 3|nmp")
+		dur     = fs.Int64("dur", 1_000_000, "sensor-time duration per session (us)")
+		chunk   = fs.Int64("chunk", 25_000, "chunk duration per POST (us)")
+		rate    = fs.Float64("rate", 0, "subsample to ~N events/s (0 = native rate)")
+		speed   = fs.Float64("speed", 0, "replay speed vs sensor time (1 = real time, 0 = flat out)")
+		wire    = fs.String("wire", "evar", "wire format: evar (binary) or json")
+		seed    = fs.Int64("seed", 42, "base random seed")
+		jsonOut = fs.Bool("json", false, "emit the report as JSON")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *sessions < 1 {
+		fmt.Fprintf(stderr, "evload: -sessions must be >= 1, got %d\n", *sessions)
+		return 1
+	}
 	if *wire != "evar" && *wire != "json" {
-		fmt.Fprintf(os.Stderr, "evload: unknown wire format %q\n", *wire)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "evload: unknown wire format %q\n", *wire)
+		return 1
 	}
 	lvl, err := evedge.ParseLevel(*level)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evload:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evload:", err)
+		return 1
 	}
 
 	names := strings.Split(*netsFlag, ",")
 	cl := evedge.NewServeClient(*addr, nil)
 	if _, err := cl.Health(); err != nil {
-		fmt.Fprintf(os.Stderr, "evload: server not reachable: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "evload: server not reachable: %v\n", err)
+		return 1
 	}
 
 	reports := make([]sessionReport, *sessions)
@@ -176,18 +194,19 @@ func main() {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, "evload:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "evload:", err)
+			return 1
 		}
 	} else {
-		printReport(rep)
+		printReport(stdout, rep)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runSession streams one session end to end and collapses it into a
@@ -289,7 +308,7 @@ func pick(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
-func printReport(rep loadReport) {
+func printReport(w io.Writer, rep loadReport) {
 	clustered := len(rep.Nodes) > 0
 	node := func(r sessionReport) string {
 		if !clustered {
@@ -301,27 +320,27 @@ func printReport(rep loadReport) {
 	if clustered {
 		head = fmt.Sprintf(" %-10s", "node")
 	}
-	fmt.Printf("%-6s%s %-18s %9s %8s %7s %7s %7s %7s %9s %9s %9s %9s\n",
+	fmt.Fprintf(w, "%-6s%s %-18s %9s %8s %7s %7s %7s %7s %9s %9s %9s %9s\n",
 		"sess", head, "network", "events", "frames", "drops", "invoc", "retunes", "remaps", "fps", "sim p50", "sim p99", "wall p99")
 	for _, r := range rep.Sessions {
 		if r.Err != "" {
-			fmt.Printf("%-6s%s %-18s ERROR: %s\n", r.Session, node(r), r.Network, r.Err)
+			fmt.Fprintf(w, "%-6s%s %-18s ERROR: %s\n", r.Session, node(r), r.Network, r.Err)
 			continue
 		}
-		fmt.Printf("%-6s%s %-18s %9d %8d %7d %7d %7d %7d %9.1f %7.2fms %7.2fms %7.2fms\n",
+		fmt.Fprintf(w, "%-6s%s %-18s %9d %8d %7d %7d %7d %7d %9.1f %7.2fms %7.2fms %7.2fms\n",
 			r.Session, node(r), r.Network, r.Events, r.FramesIn, r.FramesDropped, r.Invocations,
 			r.Retunes, r.Remaps, r.ThroughputFPS, r.SimP50MS, r.SimP99MS, r.WallP99MS)
 	}
-	fmt.Printf("\ntotal: %d events in %.2fs (%.0f events/s), worst sim p99 %.2f ms\n",
+	fmt.Fprintf(w, "\ntotal: %d events in %.2fs (%.0f events/s), worst sim p99 %.2f ms\n",
 		rep.TotalEvents, rep.WallSeconds, rep.EventsPerSec, rep.MaxSimP99MS)
-	fmt.Printf("shed:  %d of %d frames dropped (%.2f%% shed rate)\n",
+	fmt.Fprintf(w, "shed:  %d of %d frames dropped (%.2f%% shed rate)\n",
 		rep.TotalFramesDropped, rep.TotalFramesIn, rep.ShedRate*100)
-	fmt.Printf("adapt: %.1f retunes/session, %.1f remaps/session\n",
+	fmt.Fprintf(w, "adapt: %.1f retunes/session, %.1f remaps/session\n",
 		rep.RetunesPerSession, rep.RemapsPerSession)
 	if clustered {
-		fmt.Printf("\n%-10s %9s %9s %8s %7s\n", "node", "sessions", "events", "frames", "drops")
+		fmt.Fprintf(w, "\n%-10s %9s %9s %8s %7s\n", "node", "sessions", "events", "frames", "drops")
 		for _, d := range rep.Nodes {
-			fmt.Printf("%-10s %9d %9d %8d %7d\n", d.Node, d.Sessions, d.Events, d.FramesIn, d.FramesDropped)
+			fmt.Fprintf(w, "%-10s %9d %9d %8d %7d\n", d.Node, d.Sessions, d.Events, d.FramesIn, d.FramesDropped)
 		}
 	}
 }

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors drives the flag and configuration error paths
+// through the testable run entry point.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+		errs string
+	}{
+		{"bad flag syntax", []string{"-nope"}, 2, "flag provided but not defined"},
+		{"help", []string{"-h"}, 0, "Usage of evload"},
+		{"bad wire format", []string{"-wire", "carrier-pigeon"}, 1, `unknown wire format "carrier-pigeon"`},
+		{"bad level", []string{"-level", "9"}, 1, "level"},
+		{"bad level name", []string{"-level", "turbo"}, 1, "turbo"},
+		{"zero sessions", []string{"-sessions", "0"}, 1, "-sessions must be >= 1"},
+		{"unreachable server", []string{"-addr", "http://127.0.0.1:1", "-sessions", "1"}, 1, "server not reachable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.errs != "" && !strings.Contains(stderr.String(), tc.errs) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.errs)
+			}
+		})
+	}
+}

@@ -7,7 +7,16 @@
 //
 //	evserve [-addr :7733] [-platform xavier|orin] [-workers 4]
 //	        [-queue 64] [-drop drop-oldest] [-mapper rr|nmp]
+//	        [-batch-max 8] [-batch-window 0]
 //	        [-adapt] [-adapt-interval 50ms] [-remap-cooldown 250ms]
+//
+// Execution flows through the shared scheduler (internal/sched):
+// per-device run queues coalesce compatible invocations from
+// concurrent sessions into micro-batches. -batch-max caps members per
+// batch (1 = serialized baseline); -batch-window lets a dispatcher
+// hold work open for more compatible arrivals (0 = opportunistic
+// coalescing only). Occupancy is exposed in /metrics
+// (evserve_sched_batch_occupancy).
 //
 // -adapt turns on the online control plane: per-session DSFA retuning
 // that tracks scene dynamics and backlog, and (under -mapper nmp)
@@ -57,6 +66,8 @@ func run(args []string, stderr io.Writer) int {
 		queue    = fs.Int("queue", 64, "default per-session ingest queue capacity (frames)")
 		drop     = fs.String("drop", "drop-oldest", "default queue shed policy: drop-oldest or drop-newest")
 		mapper   = fs.String("mapper", "rr", "session placement policy: rr (round-robin) or nmp (evolutionary search)")
+		batchMax = fs.Int("batch-max", 8, "max compatible invocations coalesced per micro-batch (1 = serialized)")
+		batchWin = fs.Duration("batch-window", 0, "how long a dispatcher holds work open for more compatible arrivals")
 		adapt    = fs.Bool("adapt", false, "enable the online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
 		adaptInt = fs.Duration("adapt-interval", 50*time.Millisecond, "minimum stream time between retune decisions")
 		cooldown = fs.Duration("remap-cooldown", 250*time.Millisecond, "minimum virtual time between NMP remaps")
@@ -78,6 +89,16 @@ func run(args []string, stderr io.Writer) int {
 	cfg.Workers = *workers
 	cfg.QueueCap = *queue
 	cfg.Mapper = evedge.MapperPolicy(*mapper)
+	if *batchMax < 1 {
+		fmt.Fprintf(stderr, "evserve: -batch-max must be >= 1, got %d\n", *batchMax)
+		return 1
+	}
+	if *batchWin < 0 {
+		fmt.Fprintf(stderr, "evserve: -batch-window must be >= 0, got %s\n", *batchWin)
+		return 1
+	}
+	cfg.BatchMax = *batchMax
+	cfg.BatchWindow = *batchWin
 	cfg.DropPolicy, err = evedge.ParseDropPolicy(*drop)
 	if err != nil {
 		fmt.Fprintln(stderr, "evserve:", err)
@@ -114,8 +135,8 @@ func run(args []string, stderr io.Writer) int {
 		srv.Close()
 	}()
 
-	log.Printf("evserve: listening on %s (platform=%s, workers=%d, queue=%d, mapper=%s, adapt=%v)",
-		*addr, cfg.Platform.Name, cfg.Workers, cfg.QueueCap, cfg.Mapper, *adapt)
+	log.Printf("evserve: listening on %s (platform=%s, workers=%d, queue=%d, mapper=%s, batch-max=%d, adapt=%v)",
+		*addr, cfg.Platform.Name, cfg.Workers, cfg.QueueCap, cfg.Mapper, cfg.BatchMax, *adapt)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, "evserve:", err)
 		return 1

@@ -20,6 +20,8 @@ func TestRunFlagErrors(t *testing.T) {
 		{"unknown drop policy", []string{"-drop", "drop-random"}, 1, `unknown drop policy "drop-random"`},
 		{"unknown mapper", []string{"-mapper", "greedy"}, 1, `unknown mapper policy "greedy"`},
 		{"adapt remap needs nmp mapper", []string{"-adapt", "-mapper", "greedy"}, 1, "unknown mapper policy"},
+		{"zero batch max", []string{"-batch-max", "0"}, 1, "-batch-max must be >= 1"},
+		{"negative batch window", []string{"-batch-window", "-5ms"}, 1, "-batch-window must be >= 0"},
 		{"bad flag syntax", []string{"-workers", "many"}, 2, "invalid value"},
 		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
 	}

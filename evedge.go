@@ -39,6 +39,7 @@ import (
 	"evedge/internal/perf"
 	"evedge/internal/pipeline"
 	"evedge/internal/scene"
+	"evedge/internal/sched"
 	"evedge/internal/serve"
 )
 
@@ -220,10 +221,17 @@ type (
 	ServeAdaptConfig = serve.AdaptConfig
 	// ServeTotals is a server's monotonic session-counter roll-up.
 	ServeTotals = serve.SessionTotals
+	// ServeNodeLoad is the node-load signal a fleet router places
+	// against, including the execution scheduler's backlog signals.
+	ServeNodeLoad = serve.NodeLoad
 	// RetunerConfig tunes the per-session DSFA retune controller.
 	RetunerConfig = control.DSFAConfig
 	// RemapPlannerConfig tunes the remap/migration gate.
 	RemapPlannerConfig = control.RemapConfig
+	// SchedStats is the execution scheduler's counter snapshot:
+	// submissions, micro-batch dispatches, coalesced members and the
+	// derived batch occupancy (Server.SchedStats, Cluster.SchedTotals).
+	SchedStats = sched.Stats
 )
 
 // Session placement policies and queue drop policies.

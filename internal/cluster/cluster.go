@@ -32,6 +32,7 @@ import (
 	"evedge/internal/events"
 	"evedge/internal/hw"
 	"evedge/internal/nn"
+	"evedge/internal/sched"
 	"evedge/internal/serve"
 )
 
@@ -117,6 +118,12 @@ type Config struct {
 	// RebalanceCooldown is the minimum wall time between load-driven
 	// migrations (default 5s), bounding migration churn.
 	RebalanceCooldown time.Duration
+	// RebalanceQueueDepth lets the rebalancer trigger on the spread of
+	// live scheduler queue depths across nodes (pending invocations,
+	// max - min) even when the utilization gap sits below RebalanceGap.
+	// 0 disables the queue-depth trigger; it only applies while
+	// RebalanceGap > 0 (the rebalancer itself must be enabled).
+	RebalanceQueueDepth int
 	// Elapsed reports time since the cluster started, feeding the load
 	// rebalancer's cooldown gate. nil uses the wall clock; a
 	// deterministic driver (the scenario harness) injects its virtual
@@ -248,6 +255,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.rebalancer = control.NewRemapPlanner(control.RemapConfig{
 			ImbalanceTh: cfg.RebalanceGap,
 			CooldownUS:  float64(cooldown.Microseconds()),
+			QueueTh:     cfg.RebalanceQueueDepth,
 		})
 	}
 	names := map[string]bool{}
@@ -360,12 +368,19 @@ func (c *Cluster) maybeRebalance() {
 	devs := make([]control.DeviceSignals, len(alive))
 	for i, n := range alive {
 		loads[i] = n.server().Load()
-		// BacklogUS stays 0: node-level queue depth is in frames, not
-		// virtual time, so the gate decides on utilization alone (the
-		// queued-frame gauges remain visible in /metrics).
+		// Queued is the node's live scheduler queue depth
+		// (serve.NodeLoad.PendingInvocations) — the execution
+		// scheduler's signal, gated by Config.RebalanceQueueDepth — so
+		// the fleet rebalancer reacts to real queue pressure, not only
+		// the static capacity-weighted session cost. BacklogUS stays 0:
+		// the node's drain-time spread is cumulative over its lifetime
+		// (it never decays once work completes), so comparing it
+		// against the gate's time threshold would migrate sessions off
+		// healthy idle fleets forever.
 		devs[i] = control.DeviceSignals{
 			Device:      n.name,
 			Utilization: loads[i].Utilization,
+			Queued:      loads[i].PendingInvocations,
 		}
 	}
 	if !c.rebalancer.ShouldRemap(nowUS, devs) {
@@ -919,6 +934,19 @@ func (c *Cluster) FleetTotals() serve.SessionTotals {
 	for _, n := range c.nodes {
 		for _, srv := range n.incarnations() {
 			t.Merge(srv.Totals())
+		}
+	}
+	return t
+}
+
+// SchedTotals sums every node's execution-scheduler counters across
+// incarnations — the fleet's micro-batching roll-up (dispatches,
+// coalesced members, occupancy).
+func (c *Cluster) SchedTotals() sched.Stats {
+	var t sched.Stats
+	for _, n := range c.nodes {
+		for _, srv := range n.incarnations() {
+			t.Merge(srv.SchedStats())
 		}
 	}
 	return t

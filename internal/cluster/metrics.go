@@ -146,6 +146,8 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pw.Gauge("evcluster_node_utilization", "Capacity-weighted active-session cost.", lbl, nh.Load.Utilization)
 		pw.Gauge("evcluster_node_queued_frames", "Frames waiting in the node's ingest queues.", lbl, float64(nh.Load.QueuedFrames))
 		pw.Gauge("evcluster_node_capacity_macs", "Aggregate peak MAC rate of the node.", lbl, nh.Load.CapacityMACs)
+		pw.Gauge("evcluster_node_pending_invocations", "Invocations waiting in the node's scheduler run queues.", lbl, float64(nh.Load.PendingInvocations))
+		pw.Gauge("evcluster_node_backlog_us", "Deepest device queue relative to the idlest on the node (virtual us).", lbl, nh.Load.BacklogUS)
 		var nt serve.SessionTotals
 		for _, srv := range n.incarnations() {
 			nt.Merge(srv.Totals())
@@ -165,6 +167,14 @@ func (c *Cluster) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Counter("evcluster_raw_frames_done_total", "Raw frames completed across the fleet.", "", rawDone)
 	pw.Counter("evcluster_retunes_total", "DSFA retunes applied across the fleet.", "", retunes)
 	pw.Counter("evcluster_remaps_total", "Execution plans installed after the first across the fleet.", "", remaps)
+
+	// Fleet-wide execution-scheduler roll-up: how much cross-session
+	// work the per-node schedulers coalesced into micro-batches.
+	st := c.SchedTotals()
+	pw.Counter("evcluster_sched_submitted_total", "Invocations submitted to node schedulers across the fleet.", "", float64(st.Submitted))
+	pw.Counter("evcluster_sched_dispatches_total", "Micro-batches dispatched across the fleet.", "", float64(st.Dispatches))
+	pw.Counter("evcluster_sched_coalesced_total", "Invocations that rode multi-member micro-batches across the fleet.", "", float64(st.Coalesced))
+	pw.Gauge("evcluster_sched_batch_occupancy", "Mean invocations per dispatch across the fleet (1 = serialized).", "", st.Occupancy())
 
 	// Every alive node's own series, scoped by node.
 	for _, n := range c.nodes {

@@ -70,6 +70,12 @@ type DeviceSignals struct {
 	// cannot express backlog in time units leave it 0; the remap gate
 	// then decides on utilization alone.
 	BacklogUS float64
+	// Queued counts invocations waiting in the execution scheduler's
+	// run queue for this PE (0 when the producer has no scheduler) —
+	// the queue-depth signal internal/sched exposes. The remap gate
+	// treats a queued-invocation spread past RemapConfig.QueueTh as a
+	// third trigger.
+	Queued int
 }
 
 // Signals is a whole-node telemetry snapshot: every active session's
@@ -288,6 +294,11 @@ type RemapConfig struct {
 	// Budget caps the warm-started search's generations so a remap
 	// completes at control-loop latency.
 	Budget int
+	// QueueTh is the scheduler queue-depth spread (max - min queued
+	// invocations across PEs) that justifies a remap search on its own.
+	// 0 disables the trigger (the default): utilization and backlog
+	// spreads keep gating as before.
+	QueueTh int
 }
 
 // DefaultRemapConfig returns the planner defaults.
@@ -377,6 +388,24 @@ func BacklogSpread(devs []DeviceSignals) float64 {
 	return max - min
 }
 
+// QueuedSpread is the scheduler queue-depth spread across devices
+// (max - min of Queued invocations).
+func QueuedSpread(devs []DeviceSignals) int {
+	if len(devs) == 0 {
+		return 0
+	}
+	min, max := devs[0].Queued, devs[0].Queued
+	for _, d := range devs[1:] {
+		if d.Queued < min {
+			min = d.Queued
+		}
+		if d.Queued > max {
+			max = d.Queued
+		}
+	}
+	return max - min
+}
+
 // Ready reports whether a remap attempt could be claimed at nowUS —
 // the cheap pre-gate (no signals needed) callers on hot paths check
 // before paying for a telemetry snapshot. It claims nothing.
@@ -392,9 +421,10 @@ func (p *RemapPlanner) Ready(nowUS float64) bool {
 // ShouldRemap reports whether the device signals at virtual time nowUS
 // justify starting a warm remap search, and claims the attempt (a
 // second caller gets false until Done/Committed releases it). Two
-// signals trigger: lifetime-utilization spread past ImbalanceTh, or
+// signals trigger: lifetime-utilization spread past ImbalanceTh,
 // instantaneous queue-depth spread worth more than one cooldown of
-// work (one device drowning while another idles).
+// work (one device drowning while another idles), or — when QueueTh
+// is configured — a scheduler queued-invocation spread past it.
 func (p *RemapPlanner) ShouldRemap(nowUS float64, devs []DeviceSignals) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -404,7 +434,8 @@ func (p *RemapPlanner) ShouldRemap(nowUS float64, devs []DeviceSignals) bool {
 	if p.hasRemap && nowUS-p.lastUS < p.cfg.CooldownUS {
 		return false
 	}
-	if Imbalance(devs) < p.cfg.ImbalanceTh && BacklogSpread(devs) < p.cfg.CooldownUS {
+	queuedHot := p.cfg.QueueTh > 0 && QueuedSpread(devs) >= p.cfg.QueueTh
+	if Imbalance(devs) < p.cfg.ImbalanceTh && BacklogSpread(devs) < p.cfg.CooldownUS && !queuedHot {
 		return false
 	}
 	p.inFlight = true

@@ -347,3 +347,31 @@ func TestRemapPlannerGating(t *testing.T) {
 		t.Fatalf("stats = %d searches, %d committed, gain %v", searches, committed, gain)
 	}
 }
+
+// TestShouldRemapQueueTrigger pins the third remap trigger: a live
+// scheduler queue-depth spread past QueueTh justifies a search on its
+// own, while QueueTh = 0 (the default) leaves the trigger disabled.
+func TestShouldRemapQueueTrigger(t *testing.T) {
+	calm := []control.DeviceSignals{{Device: "GPU", Queued: 5}, {Device: "DLA0", Queued: 2}}
+	hot := []control.DeviceSignals{{Device: "GPU", Queued: 9}, {Device: "DLA0", Queued: 2}}
+	if got := control.QueuedSpread(hot); got != 7 {
+		t.Fatalf("control.QueuedSpread = %d, want 7", got)
+	}
+
+	// Enabled: spread >= QueueTh triggers with zero utilization
+	// imbalance and zero backlog.
+	p := control.NewRemapPlanner(control.RemapConfig{ImbalanceTh: 0.9, CooldownUS: 1, QueueTh: 5})
+	if p.ShouldRemap(0, calm) {
+		t.Fatal("spread 3 < QueueTh 5 triggered a remap")
+	}
+	if !p.ShouldRemap(10, hot) {
+		t.Fatal("spread 7 >= QueueTh 5 did not trigger a remap")
+	}
+	p.Done(10)
+
+	// Disabled (QueueTh 0): the same spread must not trigger.
+	q := control.NewRemapPlanner(control.RemapConfig{ImbalanceTh: 0.9, CooldownUS: 1})
+	if q.ShouldRemap(0, hot) {
+		t.Fatal("QueueTh 0 (disabled) still triggered on queue spread")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"evedge/internal/cluster"
 	"evedge/internal/events"
+	"evedge/internal/sched"
 	"evedge/internal/serve"
 )
 
@@ -23,6 +24,7 @@ type driver interface {
 	chaos(kind int, name string) error
 	totals() serve.SessionTotals
 	counters() (failovers, shed, lost, migrations uint64)
+	schedStats() sched.Stats
 	nodes() []NodeSample
 	close()
 }
@@ -56,6 +58,7 @@ func (d *clusterDriver) chaos(kind int, name string) error {
 	return fmt.Errorf("harness: unknown chaos kind %d", kind)
 }
 func (d *clusterDriver) totals() serve.SessionTotals { return d.c.FleetTotals() }
+func (d *clusterDriver) schedStats() sched.Stats     { return d.c.SchedTotals() }
 func (d *clusterDriver) counters() (uint64, uint64, uint64, uint64) {
 	h := d.c.Health()
 	return h.FailoverSessions, h.FailoverShedFrames, h.LostSessions, h.RebalanceMigrations
@@ -109,6 +112,7 @@ func (d *serveDriver) chaos(kind int, name string) error {
 	return fmt.Errorf("harness: node action on a single-server scenario")
 }
 func (d *serveDriver) totals() serve.SessionTotals { return d.s.Totals() }
+func (d *serveDriver) schedStats() sched.Stats     { return d.s.SchedStats() }
 func (d *serveDriver) counters() (uint64, uint64, uint64, uint64) {
 	return 0, 0, 0, 0
 }
@@ -205,6 +209,7 @@ func Run(sc Script, seed int64) (*Result, error) {
 	nodeCfg := serve.DefaultConfig()
 	nodeCfg.ManualDrain = true
 	nodeCfg.Mapper = serve.MapperPolicy(sc.Mapper)
+	nodeCfg.BatchMax = sc.BatchMax
 	if sc.Adapt {
 		nodeCfg.Adapt = serve.AdaptConfig{Retune: true}
 	}
@@ -373,17 +378,21 @@ func (r *runner) depart(n int) error {
 // entry builds one timeline record from the current fleet observation.
 func (r *runner) entry(kind, note string) Entry {
 	fo, shed, lost, mig := r.drv.counters()
+	st := r.drv.schedStats()
 	return Entry{
-		TUS:        r.nowUS,
-		Kind:       kind,
-		Note:       note,
-		Sessions:   len(r.open),
-		Totals:     totalsSample(r.drv.totals()),
-		Failovers:  fo,
-		ShedFrames: shed,
-		Lost:       lost,
-		Migrations: mig,
-		Nodes:      r.drv.nodes(),
+		TUS:             r.nowUS,
+		Kind:            kind,
+		Note:            note,
+		Sessions:        len(r.open),
+		Totals:          totalsSample(r.drv.totals()),
+		Failovers:       fo,
+		ShedFrames:      shed,
+		Lost:            lost,
+		Migrations:      mig,
+		SchedSubmitted:  st.Submitted,
+		SchedDispatched: st.Dispatched,
+		SchedDispatches: st.Dispatches,
+		Nodes:           r.drv.nodes(),
 	}
 }
 

@@ -73,6 +73,9 @@ func Check(res *Result) []Violation {
 		{"failover_shed_frames_total", func(e Entry) uint64 { return e.ShedFrames }},
 		{"sessions_lost_total", func(e Entry) uint64 { return e.Lost }},
 		{"rebalance_migrations_total", func(e Entry) uint64 { return e.Migrations }},
+		{"sched_submitted_total", func(e Entry) uint64 { return e.SchedSubmitted }},
+		{"sched_dispatched_total", func(e Entry) uint64 { return e.SchedDispatched }},
+		{"sched_dispatches_total", func(e Entry) uint64 { return e.SchedDispatches }},
 	}
 	for _, c := range counters {
 		prev := uint64(0)
@@ -165,6 +168,20 @@ func CheckExpect(sc Script, res *Result) []Violation {
 	if sc.Expect.Drops {
 		if res.Final.Totals.FramesDropped+res.Final.Totals.FramesDroppedDSFA+res.Final.ShedFrames == 0 {
 			out = append(out, Violation{t, "expect", "expected load shedding, saw none"})
+		}
+	}
+	if sc.Expect.MinBatchOccupancy > 0 {
+		// Same formula as sched.Stats.Occupancy: dispatched members per
+		// dispatch, so pending (not yet executed) submissions can never
+		// inflate the contract.
+		occ := 0.0
+		if res.Final.SchedDispatches > 0 {
+			occ = float64(res.Final.SchedDispatched) / float64(res.Final.SchedDispatches)
+		}
+		if occ < sc.Expect.MinBatchOccupancy {
+			out = append(out, Violation{t, "expect",
+				fmt.Sprintf("micro-batch occupancy %.3f (%d dispatched / %d dispatches) < expected %.3f",
+					occ, res.Final.SchedDispatched, res.Final.SchedDispatches, sc.Expect.MinBatchOccupancy)})
 		}
 	}
 	return out

@@ -117,6 +117,19 @@ func scenarios() []Script {
 			Expect: Expect{MinMigrations: 1},
 		},
 		{
+			Name: "batched-burst",
+			Notes: "Six same-network sessions on one node under a flash-crowd burst: the execution scheduler must coalesce " +
+				"compatible invocations into cross-session micro-batches (occupancy > 1) while conservation holds exactly.",
+			Mix:       []SessionSpec{{Network: nn.DOTIE, Level: 2, QueueCap: 64, RateHz: 80_000}},
+			PumpEvery: 2,
+			Phases: []Phase{
+				{Name: "fill", Ticks: 10, Arrive: 6},
+				{Name: "crowd", Ticks: 30, Burst: &Burst{FromTick: 5, Ticks: 15, Gain: 4}},
+				{Name: "drain", Ticks: 15, Depart: 3},
+			},
+			Expect: Expect{MinBatchOccupancy: 1.5},
+		},
+		{
 			Name:  "mixed-platform",
 			Notes: "Heterogeneous Xavier+Orin fleet under least-loaded placement with churn and one maintenance drain.",
 			Nodes: "xavier:2,orin:2",

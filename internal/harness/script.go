@@ -95,6 +95,10 @@ type Expect struct {
 	// Drops requires at least one shed frame somewhere (ingest queue,
 	// DSFA queue, or failover shed).
 	Drops bool `json:"drops,omitempty"`
+	// MinBatchOccupancy requires the final fleet-wide micro-batch
+	// occupancy (scheduler submissions per dispatch) to reach at least
+	// this value — > 1 proves cross-invocation coalescing happened.
+	MinBatchOccupancy float64 `json:"min_batch_occupancy,omitempty"`
 }
 
 // Script is a declarative scenario. The zero values of most fields
@@ -112,6 +116,9 @@ type Script struct {
 	Policy string `json:"policy,omitempty"`
 	// Mapper is the per-node session placement ("" = rr).
 	Mapper string `json:"mapper,omitempty"`
+	// BatchMax caps the execution scheduler's micro-batches on every
+	// node (0 = serve default; 1 = serialized, no coalescing).
+	BatchMax int `json:"batch_max,omitempty"`
 	// Adapt enables the online control plane (DSFA retuning) on every
 	// node for the whole run.
 	Adapt bool `json:"adapt,omitempty"`

@@ -72,7 +72,15 @@ type Entry struct {
 	ShedFrames uint64       `json:"shed_frames"`
 	Lost       uint64       `json:"lost"`
 	Migrations uint64       `json:"migrations"`
-	Nodes      []NodeSample `json:"nodes"`
+	// SchedSubmitted/SchedDispatched/SchedDispatches roll up the
+	// execution schedulers' counters fleet-wide; dispatched members
+	// over dispatches is the micro-batch occupancy the batched-burst
+	// contract checks (submitted minus dispatched is the in-flight
+	// backlog at the instant of the entry).
+	SchedSubmitted  uint64       `json:"sched_submitted"`
+	SchedDispatched uint64       `json:"sched_dispatched"`
+	SchedDispatches uint64       `json:"sched_dispatches"`
+	Nodes           []NodeSample `json:"nodes"`
 }
 
 // SessionFinal is one fleet session's terminal record.

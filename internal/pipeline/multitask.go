@@ -10,6 +10,7 @@ import (
 	"evedge/internal/nn"
 	"evedge/internal/perf"
 	"evedge/internal/scene"
+	"evedge/internal/sched"
 	"evedge/internal/sparse"
 	"evedge/internal/taskgraph"
 )
@@ -119,7 +120,6 @@ func RunMultiTask(cfg MultiTaskConfig) (*MultiTaskReport, error) {
 	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].readyUS < jobs[j].readyUS })
 
 	engine := hw.NewEngine(cfg.Platform, false)
-	umBusy := 0.0
 	plans := make([]*ExecPlan, len(cfg.Nets))
 	for t := range cfg.Nets {
 		p, err := PlanFromAssignment(cfg.Assignment, t, true)
@@ -128,18 +128,43 @@ func RunMultiTask(cfg MultiTaskConfig) (*MultiTaskReport, error) {
 		}
 		plans[t] = p
 	}
+	// The offline runner routes through the execution scheduler like
+	// every other engine consumer, in virtual mode with MaxBatch 1:
+	// dispatch order is exactly submission order (ready-time sorted), so
+	// the report matches the paper's one-inference-per-frame schedule
+	// while the lock-the-engine path stays dead.
 	latencies := make([][]float64, len(cfg.Nets))
-	for _, job := range jobs {
-		net := cfg.Nets[job.task]
-		inv := &Invocation{
-			Frames:  []*sparse.Frame{job.frame},
-			ReadyUS: job.readyUS,
-			Raw:     1,
-			PerRaw:  []RawRef{{job.readyUS, 1}},
-		}
-		end := ScheduleOnEngine(engine, model, net, plans[job.task], inv, &umBusy, net.Name)
-		latencies[job.task] = append(latencies[job.task], end-job.readyUS)
+	runner, err := sched.New(sched.Config{
+		Virtual:  true,
+		MaxBatch: 1,
+		Dispatch: func(batch []*sched.Request) float64 {
+			job := batch[0].Payload.(invocationJob)
+			net := cfg.Nets[job.task]
+			inv := &Invocation{
+				Frames:  []*sparse.Frame{job.frame},
+				ReadyUS: job.readyUS,
+				Raw:     1,
+				PerRaw:  []RawRef{{job.readyUS, 1}},
+			}
+			return ScheduleOnEngine(engine, model, net, plans[job.task], inv, net.Name)
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
+	for _, job := range jobs {
+		job := job
+		runner.Submit(&sched.Request{
+			Session: cfg.Nets[job.task].Name,
+			Key:     sched.Key{Device: plans[job.task].Device[0], Net: cfg.Nets[job.task].Name},
+			Units:   1,
+			Payload: job,
+			Done: func(end float64) {
+				latencies[job.task] = append(latencies[job.task], end-job.readyUS)
+			},
+		})
+	}
+	runner.Drain()
 
 	var makespan float64
 	for t := range cfg.Nets {
@@ -158,8 +183,8 @@ func RunMultiTask(cfg MultiTaskConfig) (*MultiTaskReport, error) {
 		}
 	}
 	makespan = engine.Makespan()
-	if umBusy > makespan {
-		makespan = umBusy
+	if um := engine.UMBusyUntil(); um > makespan {
+		makespan = um
 	}
 	horizon := math.Max(makespan, float64(cfg.DurUS))
 	rep.MakespanUS = makespan

@@ -395,11 +395,13 @@ func InvocationCost(model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invoca
 // ScheduleOnEngine pushes one batched inference through the shared
 // per-device FIFO queues of a live engine — Eq. 3 semantics with
 // cross-task contention: layers start no earlier than their producers
-// (plus unified-memory transfers, serialized through umBusy) and queue
-// behind whatever other tasks occupy their device. It returns the
-// invocation completion time. The multi-task runner and the serving
-// layer both schedule through this.
-func ScheduleOnEngine(engine *hw.Engine, model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invocation, umBusy *float64, tag string) float64 {
+// (plus unified-memory transfers, serialized through the engine's
+// shared bus) and queue behind whatever other tasks occupy their
+// device. It returns the invocation completion time. The engine is
+// internally synchronized, so scheduler dispatchers for different
+// devices call this concurrently; the execution scheduler
+// (internal/sched) is the path everything routes through.
+func ScheduleOnEngine(engine *hw.Engine, model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invocation, tag string) float64 {
 	batch := len(inv.Frames)
 	if batch == 0 {
 		return 0
@@ -416,9 +418,7 @@ func ScheduleOnEngine(engine *hw.Engine, model *perf.Model, net *nn.Network, p *
 			pready := end[pr]
 			if p.Device[pr] != p.Device[i] {
 				c := model.CommUS(net.Layers[pr], platform.Devices[p.Device[pr]], dev, p.Prec[pr])
-				cs := math.Max(pready, *umBusy)
-				*umBusy = cs + c
-				pready = *umBusy
+				_, pready = engine.ReserveUM(pready, c)
 			}
 			if pready > ready {
 				ready = pready
@@ -431,4 +431,27 @@ func ScheduleOnEngine(engine *hw.Engine, model *perf.Model, net *nn.Network, p *
 		}
 	}
 	return last
+}
+
+// MergeInvocations coalesces several invocations of the same network
+// under the same plan into one micro-batched inference: the members'
+// frames ride one launch, the batch becomes ready when its newest
+// member is, and the per-raw-frame attribution is concatenated so each
+// submitter can still account its own latencies against the shared
+// completion time. The execution scheduler calls this when compatible
+// cross-session work lands inside one coalescing window.
+func MergeInvocations(invs []*Invocation) *Invocation {
+	if len(invs) == 1 {
+		return invs[0]
+	}
+	out := &Invocation{}
+	for _, inv := range invs {
+		out.Frames = append(out.Frames, inv.Frames...)
+		out.Raw += inv.Raw
+		out.PerRaw = append(out.PerRaw, inv.PerRaw...)
+		if inv.ReadyUS > out.ReadyUS {
+			out.ReadyUS = inv.ReadyUS
+		}
+	}
+	return out
 }

@@ -1,0 +1,430 @@
+// Package sched is the fleet-wide execution scheduler: the shared
+// substrate that owns per-device run queues and replaces the
+// lock-the-engine-and-submit path everywhere work reaches the
+// simulated accelerators. Producers (serving sessions, the multi-task
+// runner, benchmarks) submit Requests; the scheduler coalesces
+// compatible ones — same coalescing Key: primary device, network,
+// plan signature — into micro-batches within a bounded window and
+// hands each batch to a consumer-supplied Dispatch function exactly
+// once. Keeping dispatch a callback keeps the substrate decoupled from
+// any one consumer: serve merges pipeline invocations and prices them
+// on the shared hw.Engine, the multi-task runner replays its offline
+// job list, tests dispatch synthetic work.
+//
+// The scheduler runs in two modes:
+//
+//   - Wall-clock (evserve / evcluster): one dispatcher goroutine per
+//     device queue. A dispatcher pops the head request, gathers
+//     compatible work already queued, optionally sleeps out the
+//     remaining coalescing window to let more arrive, then dispatches.
+//     Queues for different devices run concurrently — the engine is
+//     internally synchronized per device.
+//
+//   - Virtual-clock (the scenario harness, ManualDrain servers): no
+//     goroutines at all. Submit only enqueues; Pump drains everything
+//     pending in deterministic submission order, coalescing compatible
+//     requests across the whole pending set. The same (scenario, seed)
+//     pair replays byte-identically because dispatch order is a pure
+//     function of submission order.
+//
+// Fairness: queues are FIFO by submission; coalescing only ever pulls
+// *compatible* requests forward. An incompatible request behind a
+// flash-crowd backlog of B compatible ones therefore waits at most
+// ceil(B/MaxBatch) dispatches plus one coalescing window — it can
+// never be starved by other sessions' merging (see the starvation
+// test).
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Key identifies coalesceable work: requests with equal keys may ride
+// one micro-batch. Device routes the request to its run queue (the
+// plan's primary device); Net and Sig pin the network and the exact
+// plan mapping so merged members price identically.
+type Key struct {
+	Device int
+	Net    string
+	Sig    string
+}
+
+// Request is one unit of submitted work.
+type Request struct {
+	// Session names the submitter; Wait blocks on it.
+	Session string
+	// Key is the coalescing identity (see Key).
+	Key Key
+	// Units is the request's raw-frame weight, reported in Stats.
+	Units int
+	// Payload carries the consumer's data (e.g. the invocation plus its
+	// plan) through to Dispatch untouched.
+	Payload any
+	// Done, if non-nil, is called with the batch completion time after
+	// the request's batch dispatched. Batches complete in dispatch
+	// order and members in submission order, so virtual-mode callbacks
+	// are deterministic.
+	Done func(endUS float64)
+}
+
+// Config tunes a scheduler.
+type Config struct {
+	// Dispatch executes one micro-batch (1..MaxBatch compatible
+	// requests, submission-ordered) and returns its completion time in
+	// virtual microseconds. Required.
+	Dispatch func(batch []*Request) float64
+	// MaxBatch caps micro-batch members; <= 0 takes DefaultMaxBatch,
+	// 1 disables coalescing (the serialized baseline).
+	MaxBatch int
+	// Window bounds how long a wall-clock dispatcher holds the head
+	// request open for more compatible arrivals. 0 coalesces
+	// opportunistically (only work already queued). Ignored in virtual
+	// mode, where Pump boundaries are the window.
+	Window time.Duration
+	// Virtual selects the deterministic no-goroutine mode driven by
+	// Pump.
+	Virtual bool
+}
+
+// DefaultMaxBatch is the micro-batch cap when Config.MaxBatch is 0.
+const DefaultMaxBatch = 8
+
+// Stats is the scheduler's monotonic counter snapshot.
+type Stats struct {
+	// Submitted counts requests accepted; Dispatched counts requests
+	// whose batch has executed (Submitted - Dispatched is the live
+	// backlog); Dispatches counts batches handed to Dispatch.
+	Submitted  uint64 `json:"submitted"`
+	Dispatched uint64 `json:"dispatched"`
+	Dispatches uint64 `json:"dispatches"`
+	// Coalesced counts requests that rode a batch with at least one
+	// other member.
+	Coalesced uint64 `json:"coalesced"`
+	// Units sums the dispatched requests' raw-frame weights.
+	Units uint64 `json:"units"`
+	// MaxBatchLen is the largest batch dispatched so far.
+	MaxBatchLen int `json:"max_batch_len"`
+}
+
+// Occupancy is the mean number of requests per executed dispatch
+// (1 = fully serialized, >1 = micro-batching is coalescing
+// cross-submission work). It counts dispatched members, not accepted
+// submissions, so a backlogged live server does not overstate it.
+func (s Stats) Occupancy() float64 {
+	if s.Dispatches == 0 {
+		return 0
+	}
+	return float64(s.Dispatched) / float64(s.Dispatches)
+}
+
+// Merge folds another snapshot in (fleet aggregation across nodes and
+// incarnations).
+func (s *Stats) Merge(o Stats) {
+	s.Submitted += o.Submitted
+	s.Dispatched += o.Dispatched
+	s.Dispatches += o.Dispatches
+	s.Coalesced += o.Coalesced
+	s.Units += o.Units
+	if o.MaxBatchLen > s.MaxBatchLen {
+		s.MaxBatchLen = o.MaxBatchLen
+	}
+}
+
+// devQueue is one device's wall-clock run queue.
+type devQueue struct {
+	reqs []*Request
+}
+
+// Scheduler owns the run queues. Create with New, submit with Submit;
+// stop wall-clock dispatchers with Close (remaining work dispatches
+// first).
+type Scheduler struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on completion and state changes
+	stats   Stats
+	queues  map[int]*devQueue // wall mode, by Key.Device
+	pending []*Request        // virtual mode, submission order
+	// outstanding counts submitted-but-not-completed requests, total
+	// and per session; Wait and Drain block on them.
+	outstanding int
+	perSession  map[string]int
+	waiters     int // active Wait/Drain calls: dispatchers skip windows
+	stopped     bool
+
+	wg sync.WaitGroup
+}
+
+// New validates cfg and returns a scheduler; wall-clock dispatchers
+// start lazily, one per device queue, on first submission.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Dispatch == nil {
+		return nil, fmt.Errorf("sched: Config.Dispatch is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		queues:     map[int]*devQueue{},
+		perSession: map[string]int{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Stats returns the counter snapshot.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// QueueDepths reports pending requests per device — the queue-depth
+// signal the control plane and the fleet router consume.
+func (s *Scheduler) QueueDepths() map[int]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := map[int]int{}
+	if s.cfg.Virtual {
+		for _, r := range s.pending {
+			out[r.Key.Device]++
+		}
+		return out
+	}
+	for dev, q := range s.queues {
+		if len(q.reqs) > 0 {
+			out[dev] = len(q.reqs)
+		}
+	}
+	return out
+}
+
+// Pending reports the total number of queued requests.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Virtual {
+		return len(s.pending)
+	}
+	n := 0
+	for _, q := range s.queues {
+		n += len(q.reqs)
+	}
+	return n
+}
+
+// Submit accepts one request. In virtual mode it only enqueues (Pump
+// dispatches); in wall-clock mode it lands on the device's run queue
+// and wakes its dispatcher. Submit never blocks on dispatch. A submit
+// that races Close (a late HTTP handler on a shutting-down server)
+// dispatches inline instead of enqueueing: the dispatchers are gone,
+// so an enqueued request would never complete and Wait/Drain would
+// hang (and a fresh queue's wg.Add would race Close's wg.Wait).
+func (s *Scheduler) Submit(r *Request) {
+	s.mu.Lock()
+	s.stats.Submitted++
+	s.outstanding++
+	s.perSession[r.Session]++
+	if s.cfg.Virtual {
+		s.pending = append(s.pending, r)
+		s.mu.Unlock()
+		return
+	}
+	if s.stopped {
+		s.mu.Unlock()
+		s.dispatch([]*Request{r})
+		return
+	}
+	q, ok := s.queues[r.Key.Device]
+	if !ok {
+		q = &devQueue{}
+		s.queues[r.Key.Device] = q
+		s.wg.Add(1)
+		go s.dispatcher(q)
+	}
+	q.reqs = append(q.reqs, r)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// gatherLocked removes up to max-len(batch) requests compatible with
+// key from q (preserving submission order) and appends them to batch.
+func gatherLocked(q *devQueue, key Key, batch []*Request, max int) []*Request {
+	kept := q.reqs[:0]
+	for _, r := range q.reqs {
+		if len(batch) < max && r.Key == key {
+			batch = append(batch, r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	// Zero the freed tail so dropped requests do not leak.
+	for i := len(kept); i < len(q.reqs); i++ {
+		q.reqs[i] = nil
+	}
+	q.reqs = kept
+	return batch
+}
+
+// dispatcher drains one device's run queue until Close — the
+// wall-clock hot loop: pop the head, gather compatible work, sleep out
+// the coalescing window if there is room, dispatch.
+func (s *Scheduler) dispatcher(q *devQueue) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(q.reqs) == 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if len(q.reqs) == 0 && s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		head := q.reqs[0]
+		q.reqs[0] = nil
+		q.reqs = q.reqs[1:]
+		batch := gatherLocked(q, head.Key, []*Request{head}, s.cfg.MaxBatch)
+		window := s.cfg.Window
+		if s.stopped || s.waiters > 0 {
+			window = 0 // hurry: someone is draining or shutting down
+		}
+		s.mu.Unlock()
+		if window > 0 && len(batch) < s.cfg.MaxBatch {
+			time.Sleep(window)
+			s.mu.Lock()
+			batch = gatherLocked(q, head.Key, batch, s.cfg.MaxBatch)
+			s.mu.Unlock()
+		}
+		s.dispatch(batch)
+	}
+}
+
+// dispatch executes one batch and completes its members.
+func (s *Scheduler) dispatch(batch []*Request) {
+	end := s.cfg.Dispatch(batch)
+	s.mu.Lock()
+	s.stats.Dispatches++
+	s.stats.Dispatched += uint64(len(batch))
+	if len(batch) > s.stats.MaxBatchLen {
+		s.stats.MaxBatchLen = len(batch)
+	}
+	if len(batch) > 1 {
+		s.stats.Coalesced += uint64(len(batch))
+	}
+	for _, r := range batch {
+		s.stats.Units += uint64(r.Units)
+	}
+	s.mu.Unlock()
+	for _, r := range batch {
+		if r.Done != nil {
+			r.Done(end)
+		}
+	}
+	s.mu.Lock()
+	for _, r := range batch {
+		s.outstanding--
+		if s.perSession[r.Session]--; s.perSession[r.Session] == 0 {
+			delete(s.perSession, r.Session)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Pump dispatches everything pending in virtual mode and reports
+// whether anything ran. Requests submitted by Done callbacks during
+// the pass land in the next pending set; callers loop until Pump
+// returns false to reach quiescence. Batches form over the whole
+// pending set: walking it in submission order, each request opens a
+// batch and pulls later compatible requests forward (up to MaxBatch) —
+// the Pump boundary is the virtual coalescing window.
+func (s *Scheduler) Pump() bool {
+	if !s.cfg.Virtual {
+		return false
+	}
+	worked := false
+	for {
+		s.mu.Lock()
+		pending := s.pending
+		s.pending = nil
+		s.mu.Unlock()
+		if len(pending) == 0 {
+			return worked
+		}
+		worked = true
+		taken := make([]bool, len(pending))
+		for i, r := range pending {
+			if taken[i] {
+				continue
+			}
+			batch := []*Request{r}
+			for j := i + 1; j < len(pending) && len(batch) < s.cfg.MaxBatch; j++ {
+				if !taken[j] && pending[j].Key == r.Key {
+					batch = append(batch, pending[j])
+					taken[j] = true
+				}
+			}
+			s.dispatch(batch)
+		}
+	}
+}
+
+// Wait blocks until the session has no submitted-but-uncompleted work.
+// In virtual mode it pumps inline (single-threaded callers own the
+// clock); in wall-clock mode it marks itself a waiter so dispatchers
+// skip their coalescing windows and drain promptly.
+func (s *Scheduler) Wait(session string) {
+	if s.cfg.Virtual {
+		s.mu.Lock()
+		for s.perSession[session] > 0 {
+			s.mu.Unlock()
+			if !s.Pump() {
+				return // nothing pending: callbacks owe the rest
+			}
+			s.mu.Lock()
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.waiters++
+	s.cond.Broadcast()
+	for s.perSession[session] > 0 {
+		s.cond.Wait()
+	}
+	s.waiters--
+	s.mu.Unlock()
+}
+
+// Drain blocks until no work is outstanding anywhere (virtual mode:
+// pumps to quiescence).
+func (s *Scheduler) Drain() {
+	if s.cfg.Virtual {
+		for s.Pump() {
+		}
+		return
+	}
+	s.mu.Lock()
+	s.waiters++
+	s.cond.Broadcast()
+	for s.outstanding > 0 {
+		s.cond.Wait()
+	}
+	s.waiters--
+	s.mu.Unlock()
+}
+
+// Close stops the wall-clock dispatchers after they drain their
+// queues. Virtual schedulers have no goroutines; Close only marks the
+// scheduler stopped.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

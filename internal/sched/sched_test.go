@@ -1,0 +1,231 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder is a test Dispatch that logs batches deterministically.
+type recorder struct {
+	mu      sync.Mutex
+	batches [][]string // member session IDs per dispatch
+}
+
+func (r *recorder) dispatch(batch []*Request) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, len(batch))
+	for i, req := range batch {
+		ids[i] = req.Session
+	}
+	r.batches = append(r.batches, ids)
+	return float64(len(r.batches)) * 100
+}
+
+func key(dev int, net string) Key { return Key{Device: dev, Net: net, Sig: net} }
+
+// TestVirtualCoalescing pumps a mixed pending set and checks
+// compatible requests merge up to MaxBatch while incompatible ones
+// dispatch alone, in deterministic submission order.
+func TestVirtualCoalescing(t *testing.T) {
+	rec := &recorder{}
+	s, err := New(Config{Virtual: true, MaxBatch: 3, Dispatch: rec.dispatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a a b a a c a: key A coalesces into [a a a] [a a], b and c alone.
+	for i, k := range []string{"a", "a", "b", "a", "a", "c", "a"} {
+		s.Submit(&Request{Session: fmt.Sprintf("%s%d", k, i), Key: key(0, k), Units: 1})
+	}
+	if !s.Pump() {
+		t.Fatal("Pump dispatched nothing")
+	}
+	want := [][]string{{"a0", "a1", "a3"}, {"b2"}, {"a4", "a6"}, {"c5"}}
+	if len(rec.batches) != len(want) {
+		t.Fatalf("batches %v, want %v", rec.batches, want)
+	}
+	for i := range want {
+		if fmt.Sprint(rec.batches[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("batch %d = %v, want %v", i, rec.batches[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.Submitted != 7 || st.Dispatches != 4 || st.Coalesced != 5 || st.MaxBatchLen != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+	if occ := st.Occupancy(); occ != 7.0/4.0 {
+		t.Fatalf("occupancy %f, want 1.75", occ)
+	}
+}
+
+// TestVirtualDeterminism replays the same submission sequence twice
+// and requires the identical dispatch transcript.
+func TestVirtualDeterminism(t *testing.T) {
+	run := func() [][]string {
+		rec := &recorder{}
+		s, _ := New(Config{Virtual: true, MaxBatch: 4, Dispatch: rec.dispatch})
+		for i := 0; i < 40; i++ {
+			k := []string{"a", "b", "c"}[i%3]
+			s.Submit(&Request{Session: fmt.Sprintf("s%d", i), Key: key(i%2, k)})
+		}
+		s.Drain()
+		return rec.batches
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same submissions, different dispatch order:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestVirtualDoneResubmits checks Pump-to-quiescence: work submitted
+// by a completion callback dispatches in the next pass.
+func TestVirtualDoneResubmits(t *testing.T) {
+	rec := &recorder{}
+	var s *Scheduler
+	s, _ = New(Config{Virtual: true, MaxBatch: 2, Dispatch: rec.dispatch})
+	resubmitted := false
+	s.Submit(&Request{Session: "root", Key: key(0, "a"), Done: func(float64) {
+		if !resubmitted {
+			resubmitted = true
+			s.Submit(&Request{Session: "child", Key: key(0, "a")})
+		}
+	}})
+	s.Drain()
+	if len(rec.batches) != 2 {
+		t.Fatalf("expected 2 dispatches (root, then child), got %v", rec.batches)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d after Drain", s.Pending())
+	}
+}
+
+// TestWallCoalescingWindow exercises the wall-clock path: requests
+// submitted within one window ride one batch.
+func TestWallCoalescingWindow(t *testing.T) {
+	rec := &recorder{}
+	s, _ := New(Config{MaxBatch: 8, Window: 50 * time.Millisecond, Dispatch: rec.dispatch})
+	defer s.Close()
+	done := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		s.Submit(&Request{Session: fmt.Sprintf("s%d", i), Key: key(0, "a"),
+			Done: func(float64) { done <- struct{}{} }})
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("request never completed")
+		}
+	}
+	st := s.Stats()
+	if st.Submitted != 4 || st.Dispatches >= 4 {
+		t.Fatalf("no coalescing happened: %+v", st)
+	}
+}
+
+// TestStarvationBound is the fairness contract: a single low-rate
+// session's request queued behind a flash-crowd backlog on the same
+// device must dispatch within the bounded number of batches —
+// ceil(backlog/MaxBatch) — rather than waiting for the crowd to drain
+// one by one, and in wall-clock mode it completes promptly.
+func TestStarvationBound(t *testing.T) {
+	// Virtual mode: exact bound on the dispatch position.
+	rec := &recorder{}
+	s, _ := New(Config{Virtual: true, MaxBatch: 8, Dispatch: rec.dispatch})
+	const crowd = 40
+	for i := 0; i < crowd; i++ {
+		s.Submit(&Request{Session: "flood", Key: key(0, "crowd")})
+	}
+	s.Submit(&Request{Session: "quiet", Key: key(0, "trickle")})
+	s.Drain()
+	pos := -1
+	for i, b := range rec.batches {
+		for _, id := range b {
+			if id == "quiet" {
+				pos = i
+			}
+		}
+	}
+	if pos < 0 {
+		t.Fatal("low-rate request never dispatched")
+	}
+	// The crowd collapses into ceil(40/8)=5 batches; the trickle must
+	// dispatch no later than right after them.
+	if pos > crowd/8 {
+		t.Fatalf("low-rate request dispatched at batch %d, want <= %d (crowd must coalesce, not starve)", pos, crowd/8)
+	}
+
+	// Wall-clock mode: the same shape completes within a small multiple
+	// of the coalescing window.
+	slow := &recorder{}
+	w, _ := New(Config{MaxBatch: 8, Window: 10 * time.Millisecond, Dispatch: slow.dispatch})
+	defer w.Close()
+	for i := 0; i < crowd; i++ {
+		w.Submit(&Request{Session: "flood", Key: key(0, "crowd")})
+	}
+	got := make(chan struct{})
+	w.Submit(&Request{Session: "quiet", Key: key(0, "trickle"), Done: func(float64) { close(got) }})
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("low-rate session starved behind the flash crowd")
+	}
+}
+
+// TestWaitAndDrain covers the blocking primitives in wall mode.
+func TestWaitAndDrain(t *testing.T) {
+	rec := &recorder{}
+	s, _ := New(Config{MaxBatch: 2, Window: 5 * time.Millisecond, Dispatch: rec.dispatch})
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Submit(&Request{Session: "w", Key: key(i%3, "a")})
+	}
+	s.Wait("w")
+	if n := s.Pending(); n != 0 {
+		t.Fatalf("Wait returned with %d pending", n)
+	}
+	s.Drain()
+	if st := s.Stats(); st.Submitted != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSubmitAfterClose pins the shutdown race: a submit landing after
+// Close (a late HTTP handler on a stopping server) must dispatch
+// inline — never strand on a dispatcherless queue where Done would
+// never fire and Wait would hang.
+func TestSubmitAfterClose(t *testing.T) {
+	rec := &recorder{}
+	s, _ := New(Config{MaxBatch: 4, Dispatch: rec.dispatch})
+	s.Submit(&Request{Session: "early", Key: key(0, "a")})
+	s.Close()
+	completed := false
+	s.Submit(&Request{Session: "late", Key: key(0, "a"), Done: func(float64) { completed = true }})
+	if !completed {
+		t.Fatal("post-Close submit did not dispatch inline")
+	}
+	s.Wait("late") // must not hang
+	if st := s.Stats(); st.Submitted != 2 || st.Dispatched != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestConfigErrors pins the constructor contract.
+func TestConfigErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a nil Dispatch")
+	}
+	s, err := New(Config{Dispatch: func([]*Request) float64 { return 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.MaxBatch != DefaultMaxBatch {
+		t.Fatalf("MaxBatch default %d, want %d", s.cfg.MaxBatch, DefaultMaxBatch)
+	}
+	if s.Pump() {
+		t.Fatal("Pump on a wall-clock scheduler reported work")
+	}
+	s.Close()
+}

@@ -125,6 +125,7 @@ func TestAdaptiveRetuneFires(t *testing.T) {
 			t.Fatalf("ingest: %v", err)
 		}
 		srv.execute(sess, sess.queue.drain(0), false)
+		srv.sched.Drain()
 	}
 	snap := sess.snapshot()
 	if snap.FramesDropped == 0 {
@@ -195,6 +196,7 @@ func TestAdaptiveRemapSearches(t *testing.T) {
 			t.Fatalf("ingest: %v", err)
 		}
 		srv.execute(sess, sess.queue.drain(0), false)
+		srv.sched.Drain()
 	}
 	srv.maybeRemap()
 	searches, _, _ := srv.planner.Stats()

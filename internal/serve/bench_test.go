@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"evedge/internal/events"
+	"evedge/internal/nn"
+	"evedge/internal/scene"
+)
+
+// benchWorkload is the fixed multi-session shape both sides of the
+// serialized-vs-batched comparison run: N same-network sessions (their
+// round-robin plans collide pairwise on the platform's devices, so
+// compatible invocations exist every drain round) streaming
+// deterministic synthetic event chunks through a ManualDrain server.
+type benchWorkload struct {
+	Sessions int    `json:"sessions"`
+	DurUS    int64  `json:"dur_us"`
+	ChunkUS  int64  `json:"chunk_us"`
+	Network  string `json:"network"`
+}
+
+func defaultBenchWorkload() benchWorkload {
+	return benchWorkload{Sessions: 9, DurUS: 400_000, ChunkUS: 20_000, Network: nn.SpikeFlowNet}
+}
+
+// benchOutcome is one side of the comparison. The headline metric is
+// virtual throughput — raw frames completed per second of simulated
+// hardware time: micro-batching pays the per-launch overhead once per
+// batch and fills narrow kernels, so the same workload occupies the
+// accelerators for less virtual time. Wall time (the scheduling code
+// itself) rides along as a sanity column.
+type benchOutcome struct {
+	BatchMax       int     `json:"batch_max"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	RawFramesDone  uint64  `json:"raw_frames_done"`
+	FramesPerSec   float64 `json:"frames_per_wall_sec"`
+	MakespanUS     float64 `json:"engine_makespan_us"`
+	VirtualFPS     float64 `json:"frames_per_virtual_sec"`
+	P50US          float64 `json:"sim_p50_us"`
+	P99US          float64 `json:"sim_p99_us"`
+	Occupancy      float64 `json:"batch_occupancy"`
+	Dispatches     uint64  `json:"dispatches"`
+}
+
+// runBenchWorkload streams the workload through a fresh server with
+// the given micro-batch cap and returns the outcome. ManualDrain keeps
+// it deterministic (and single-threaded, so wall time measures the
+// scheduling/pricing work itself, not goroutine luck).
+func runBenchWorkload(tb testing.TB, w benchWorkload, batchMax int) benchOutcome {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	cfg.BatchMax = batchMax
+	srv, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	net := nn.MustByName(w.Network)
+	ids := make([]string, w.Sessions)
+	var all [][]*events.Stream
+	for i := 0; i < w.Sessions; i++ {
+		sess, err := srv.CreateSession(SessionConfig{Network: w.Network, Level: 2})
+		if err != nil {
+			tb.Fatalf("CreateSession: %v", err)
+		}
+		ids[i] = sess.ID
+		seq, err := scene.NewSequence(net.Input.Preset, scene.Half, int64(100+i))
+		if err != nil {
+			tb.Fatalf("NewSequence: %v", err)
+		}
+		stream, err := seq.Generate(w.DurUS)
+		if err != nil {
+			tb.Fatalf("Generate: %v", err)
+		}
+		all = append(all, chunks(stream, w.DurUS, w.ChunkUS))
+	}
+
+	// Time only the execution path — queue drain, scheduling, dispatch,
+	// completion — not the E2SF event conversion in Ingest, which is
+	// identical on both sides of the comparison and would otherwise
+	// drown the dispatch cost it exists to measure.
+	var execT time.Duration
+	rounds := len(all[0])
+	for r := 0; r < rounds; r++ {
+		for i, id := range ids {
+			if all[i][r].Len() == 0 {
+				continue
+			}
+			if _, err := srv.Ingest(id, all[i][r]); err != nil {
+				tb.Fatalf("Ingest: %v", err)
+			}
+		}
+		t0 := time.Now()
+		srv.Pump()
+		execT += time.Since(t0)
+	}
+	out := benchOutcome{BatchMax: batchMax}
+	t0 := time.Now()
+	for _, id := range ids {
+		fin, err := srv.CloseSession(id)
+		if err != nil {
+			tb.Fatalf("CloseSession: %v", err)
+		}
+		out.RawFramesDone += fin.RawFramesDone
+		out.P50US += fin.Latency.P50US / float64(len(ids))
+		if fin.Latency.P99US > out.P99US {
+			out.P99US = fin.Latency.P99US
+		}
+	}
+	execT += time.Since(t0)
+	out.WallSeconds = execT.Seconds()
+	out.MakespanUS = srv.engine.Makespan()
+	st := srv.SchedStats()
+	out.Occupancy = st.Occupancy()
+	out.Dispatches = st.Dispatches
+	if out.WallSeconds > 0 {
+		out.FramesPerSec = float64(out.RawFramesDone) / out.WallSeconds
+		out.SessionsPerSec = float64(w.Sessions) / out.WallSeconds
+	}
+	if out.MakespanUS > 0 {
+		out.VirtualFPS = float64(out.RawFramesDone) / (out.MakespanUS * 1e-6)
+	}
+	return out
+}
+
+// BenchmarkMultiSessionSerialized is the BatchMax=1 baseline: every
+// invocation dispatches alone (the old lock-the-engine behaviour,
+// minus the lock).
+func BenchmarkMultiSessionSerialized(b *testing.B) {
+	w := defaultBenchWorkload()
+	for i := 0; i < b.N; i++ {
+		out := runBenchWorkload(b, w, 1)
+		b.ReportMetric(out.VirtualFPS, "vframes/s")
+	}
+}
+
+// BenchmarkMultiSessionBatched coalesces compatible cross-session
+// invocations into micro-batches (BatchMax=8).
+func BenchmarkMultiSessionBatched(b *testing.B) {
+	w := defaultBenchWorkload()
+	for i := 0; i < b.N; i++ {
+		out := runBenchWorkload(b, w, 8)
+		b.ReportMetric(out.VirtualFPS, "vframes/s")
+		b.ReportMetric(out.Occupancy, "occupancy")
+	}
+}
+
+// serveBenchReport is the BENCH_serve.json schema: the perf trajectory
+// artifact `make bench-json` emits and CI uploads.
+type serveBenchReport struct {
+	Workload   benchWorkload `json:"workload"`
+	Serialized benchOutcome  `json:"serialized"`
+	Batched    benchOutcome  `json:"batched"`
+	// Speedup is the batched-over-serialized virtual-throughput ratio
+	// (equivalently, the makespan reduction for the same workload) —
+	// deterministic, unlike wall time.
+	Speedup float64 `json:"speedup"`
+}
+
+// TestServeBenchJSON runs the serialized-vs-batched comparison and
+// writes BENCH_serve.json to the path in the BENCH_JSON environment
+// variable (skipped when unset — `make bench-json` is the entry
+// point). Occupancy assertions are deterministic; the wall-clock
+// speedup is recorded, not asserted, so a noisy CI box cannot flake
+// the suite.
+func TestServeBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("BENCH_JSON not set; run via `make bench-json`")
+	}
+	w := defaultBenchWorkload()
+	rep := serveBenchReport{Workload: w}
+	rep.Serialized = runBenchWorkload(t, w, 1)
+	rep.Batched = runBenchWorkload(t, w, 8)
+	if rep.Serialized.VirtualFPS > 0 {
+		rep.Speedup = rep.Batched.VirtualFPS / rep.Serialized.VirtualFPS
+	}
+	if rep.Speedup <= 1 {
+		t.Errorf("batched virtual throughput %.0f <= serialized %.0f (speedup %.3f): micro-batching must amortize launch overhead",
+			rep.Batched.VirtualFPS, rep.Serialized.VirtualFPS, rep.Speedup)
+	}
+	if rep.Serialized.Occupancy != 1 {
+		t.Errorf("serialized occupancy %f, want exactly 1", rep.Serialized.Occupancy)
+	}
+	if rep.Batched.Occupancy <= 1 {
+		t.Errorf("batched occupancy %f, want > 1 (no coalescing happened)", rep.Batched.Occupancy)
+	}
+	// Under saturation the serialized side backs up more and its DSFA
+	// queues shed more; batching must never complete *less* work.
+	if rep.Batched.RawFramesDone < rep.Serialized.RawFramesDone {
+		t.Errorf("batched completed %d raw frames, serialized %d — batching must not lose work",
+			rep.Batched.RawFramesDone, rep.Serialized.RawFramesDone)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("bench-json: serialized %.0f vframes/s, batched %.0f vframes/s (%.2fx), p99 %.0f -> %.0f us, occupancy %.2f -> %s\n",
+		rep.Serialized.VirtualFPS, rep.Batched.VirtualFPS, rep.Speedup,
+		rep.Serialized.P99US, rep.Batched.P99US, rep.Batched.Occupancy, path)
+}

@@ -497,15 +497,18 @@ func TestConcurrentSessionsSharedPlatform(t *testing.T) {
 		t.Fatalf("four RR sessions used %d device(s), want >= 2", len(devices))
 	}
 
-	// The shared engine saw cross-session work.
+	// The shared engine saw cross-session work (the engine is
+	// internally synchronized now — no server-side lock to take), and
+	// every invocation went through the execution scheduler.
 	busy := 0.0
-	srv.engMu.Lock()
 	for _, d := range srv.cfg.Platform.Devices {
 		busy += srv.engine.BusyTime(d)
 	}
-	srv.engMu.Unlock()
 	if busy <= 0 {
 		t.Fatal("shared engine recorded no busy time")
+	}
+	if st := srv.SchedStats(); st.Submitted == 0 || st.Dispatches == 0 {
+		t.Fatalf("execution scheduler saw no work: %+v", st)
 	}
 }
 

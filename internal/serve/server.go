@@ -8,6 +8,7 @@ import (
 	"mime"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"evedge/internal/perf"
 	"evedge/internal/pipeline"
 	"evedge/internal/quant"
+	"evedge/internal/sched"
 	"evedge/internal/sparse"
 	"evedge/internal/taskgraph"
 )
@@ -56,6 +58,16 @@ type Config struct {
 	// DrainBatch caps frames a worker drains per pass so one flooding
 	// session cannot monopolize a worker (default 32).
 	DrainBatch int
+	// BatchMax caps how many compatible invocations — same (device,
+	// network, precision plan) — the execution scheduler coalesces into
+	// one micro-batched inference (default sched.DefaultMaxBatch; 1
+	// disables coalescing, the serialized baseline).
+	BatchMax int
+	// BatchWindow bounds how long a scheduler dispatcher holds work
+	// open for more compatible arrivals before dispatching (wall-clock
+	// servers only; 0 coalesces opportunistically without waiting).
+	// Ignored under ManualDrain, where Pump boundaries are the window.
+	BatchWindow time.Duration
 	// MaxBodyBytes bounds one ingest request body (default 64 MiB).
 	MaxBodyBytes int64
 	// MaxClosed bounds how many closed sessions are retained for stats
@@ -139,6 +151,16 @@ type NodeLoad struct {
 	CostMACs       float64 `json:"cost_macs"`
 	CapacityMACs   float64 `json:"capacity_macs"`
 	Utilization    float64 `json:"utilization"`
+	// PendingInvocations counts invocations sitting in the execution
+	// scheduler's run queues right now — the live queue-depth signal
+	// the fleet rebalancer consumes on top of the capacity-weighted
+	// utilization. BacklogUS is the cumulative drain-time spread
+	// between the node's busiest and idlest device (virtual us): it
+	// grows over the node's lifetime and never decays, so it is an
+	// operator-facing imbalance gauge, not a live backlog — the
+	// migration gate must not compare it against time thresholds.
+	PendingInvocations int     `json:"pending_invocations"`
+	BacklogUS          float64 `json:"backlog_us"`
 }
 
 // SessionTotals is the monotonic roll-up of session counters: active
@@ -194,19 +216,24 @@ func (t *SessionTotals) Merge(d SessionTotals) {
 
 // Server multiplexes client sessions onto one shared platform. The
 // ingest path (HTTP) converts events to frames and enqueues them; the
-// worker pool drains queues through each session's Stepper and
-// schedules invocations on the shared engine with cross-session
-// contention — the serving analogue of the paper's multi-task runs.
+// worker pool drains queues through each session's Stepper, which
+// submits invocations to the shared execution scheduler
+// (internal/sched). The scheduler owns per-device run queues,
+// coalesces compatible cross-session invocations into micro-batches,
+// and dispatches them on the internally-synchronized engine — the
+// serving analogue of the paper's multi-task runs, without the old
+// global engine lock.
 type Server struct {
 	cfg   Config
 	model *perf.Model
 	mux   *http.ServeMux
 	start time.Time
 
-	// engMu serializes the shared discrete-event engine (the hardware).
-	engMu  sync.Mutex
+	// engine is the shared discrete-event executor; it synchronizes
+	// internally per device, so no server-side lock guards it. All
+	// execution flows through sched, never by submitting directly.
 	engine *hw.Engine
-	umBusy float64
+	sched  *sched.Scheduler
 
 	// sessMu guards the session table and placement bookkeeping. The
 	// placement search itself runs outside it (see rebalance).
@@ -291,6 +318,16 @@ func New(cfg Config) (*Server, error) {
 		stopped:  make(chan struct{}),
 		start:    time.Now(),
 	}
+	scheduler, err := sched.New(sched.Config{
+		Dispatch: s.dispatchBatch,
+		MaxBatch: cfg.BatchMax,
+		Window:   cfg.BatchWindow,
+		Virtual:  cfg.ManualDrain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.sched = scheduler
 	for _, d := range cfg.Platform.Devices {
 		s.capacityMACs += d.PeakMACs[d.BestPrecision()]
 	}
@@ -322,11 +359,12 @@ func New(cfg Config) (*Server, error) {
 // real listener).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the worker pool. In-flight work finishes; queued frames
-// of never-closed sessions are abandoned.
+// Close stops the worker pool and the execution scheduler. In-flight
+// work finishes; queued frames of never-closed sessions are abandoned.
 func (s *Server) Close() {
 	s.stop.Do(func() { close(s.stopped) })
 	s.wg.Wait()
+	s.sched.Close()
 }
 
 // worker drains scheduled sessions until the server stops.
@@ -343,16 +381,30 @@ func (s *Server) worker() {
 }
 
 // Pump synchronously drains every session currently scheduled on the
-// run queue and returns when it is empty. Only meaningful under
-// Config.ManualDrain, where no background workers exist: the caller
-// owns execution order, which is exactly the run-queue FIFO order —
-// deterministic for a single-threaded driver.
+// run queue, dispatches the scheduler's pending micro-batches, and
+// loops until both are quiescent. Only meaningful under
+// Config.ManualDrain, where no background goroutines exist: the
+// caller owns execution order — run-queue FIFO, then scheduler
+// submission order — deterministic for a single-threaded driver.
+// Completion callbacks can re-schedule sessions (the virtual clock
+// advanced, making more DSFA buckets dispatchable), hence the loop.
 func (s *Server) Pump() {
 	for {
-		select {
-		case sess := <-s.runq:
-			s.drainSession(sess)
-		default:
+		worked := false
+	drainq:
+		for {
+			select {
+			case sess := <-s.runq:
+				s.drainSession(sess)
+				worked = true
+			default:
+				break drainq
+			}
+		}
+		if s.sched.Pump() {
+			worked = true
+		}
+		if !worked {
 			return
 		}
 	}
@@ -372,25 +424,49 @@ func (s *Server) schedule(sess *Session) {
 // drainSession drains the session's ingest queue in bounded batches.
 // Clearing the scheduled flag before draining guarantees no lost
 // wakeup: a push that lands after the flag clears re-enqueues the
-// session.
+// session. An empty pass still runs execute once — a completion
+// callback re-schedules the session exactly so that newly-dispatchable
+// DSFA buckets (the virtual clock advanced) reach the scheduler.
 func (s *Server) drainSession(sess *Session) {
 	sess.scheduled.Store(false)
 	for {
 		frames := sess.queue.drain(s.cfg.DrainBatch)
+		s.execute(sess, frames, false)
 		if len(frames) == 0 {
 			s.maybeRemap()
 			return
 		}
-		s.execute(sess, frames, false)
 	}
 }
 
-// execute pushes frames through the session's stepper and schedules
-// every ready invocation on the shared engine. flush drains open
-// aggregator buckets too (session close).
+// invPayload is what a session submission carries through the
+// scheduler to dispatch: the invocation (ready time already shifted
+// into engine virtual time) and a snapshot of the plan it priced
+// under.
+type invPayload struct {
+	inv  *pipeline.Invocation
+	net  *nn.Network
+	plan pipeline.ExecPlan
+}
+
+// planSig fingerprints a plan's pricing-relevant identity — device and
+// precision per layer, sparse path, framing overhead — so the
+// scheduler coalesces only invocations that cost identically.
+func planSig(p *pipeline.ExecPlan) string {
+	return fmt.Sprintf("%v|%v|%v|%d", p.Device, p.Prec, p.Sparse, p.FramingOps)
+}
+
+// execute pushes frames through the session's stepper and submits
+// every ready invocation to the execution scheduler. flush drains open
+// aggregator buckets too (session close). Execution is asynchronous:
+// completion lands in complete, which records latencies, advances the
+// session clock and re-schedules the session. Invocation-side counters
+// (invocs, rawDone, batched) advance at submission — the frames have
+// irrevocably left the stepper — so frame conservation holds at every
+// scheduler-quiescent point.
 func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
+	var reqs []*sched.Request
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
 	// A worker can lose the race with CloseSession: it drained frames
 	// before the close but acquires the session lock after the final
 	// flush ran. Serving those frames in flush mode keeps them from
@@ -400,32 +476,14 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 	if sess.closed {
 		flush = true
 	}
-	if sess.tallied {
-		preInvocs, preRaw := sess.invocs, sess.rawDone
-		preDrops := uint64(sess.stepper.Stats().DroppedFrames)
-		var preRetunes uint64
+	tallied := sess.tallied
+	var preInvocs, preRaw, preDrops, preRetunes uint64
+	if tallied {
+		preInvocs, preRaw = sess.invocs, sess.rawDone
+		preDrops = uint64(sess.stepper.Stats().DroppedFrames)
 		if sess.retuner != nil {
 			preRetunes = sess.retuner.Retunes()
 		}
-		preLat := sess.lat.snapshot()
-		defer func() {
-			postLat := sess.lat.snapshot()
-			d := SessionTotals{
-				Invocations:       sess.invocs - preInvocs,
-				RawFramesDone:     sess.rawDone - preRaw,
-				FramesDroppedDSFA: uint64(sess.stepper.Stats().DroppedFrames) - preDrops,
-				LatencyCount:      postLat.Count - preLat.Count,
-				LatencySumUS:      postLat.MeanUS*float64(postLat.Count) - preLat.MeanUS*float64(preLat.Count),
-			}
-			if sess.retuner != nil {
-				d.Retunes = sess.retuner.Retunes() - preRetunes
-			}
-			if d != (SessionTotals{}) {
-				s.totalsMu.Lock()
-				s.closedTotals.Merge(d)
-				s.totalsMu.Unlock()
-			}
-		}()
 	}
 	for _, f := range frames {
 		sess.stepper.Push(f)
@@ -438,39 +496,122 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 		inv := sess.stepper.Next(sess.clockUS)
 		if inv == nil {
 			if !flush {
-				return
+				break
 			}
 			inv = sess.stepper.Flush()
 			if inv == nil {
-				return
+				break
 			}
 		}
 		plan := sess.plan.Load()
-		// Shift the invocation into the engine's virtual timeline, then
-		// attribute latencies back in session stream time.
+		// Shift the invocation into the engine's virtual timeline; the
+		// completion path attributes latencies back in stream time. The
+		// plan is snapshotted by value so a later SetFramingOps cannot
+		// race the dispatcher pricing this invocation.
 		ginv := *inv
 		ginv.ReadyUS += sess.epochUS
-		engEnd := func() float64 {
-			s.engMu.Lock()
-			defer s.engMu.Unlock()
-			return pipeline.ScheduleOnEngine(s.engine, s.model, sess.Net, plan, &ginv, &s.umBusy, sess.ID)
-		}()
-		end := engEnd - sess.epochUS
-		for _, rr := range inv.PerRaw {
-			lat := end - rr.ReadyUS
-			for k := 0; k < rr.N; k++ {
-				sess.lat.observe(lat)
-			}
-		}
 		for _, d := range plan.Device {
 			sess.usedDevs[d] = true
 		}
 		sess.invocs++
 		sess.batched += uint64(len(inv.Frames))
 		sess.rawDone += uint64(inv.Raw)
-		if end > sess.clockUS {
-			sess.clockUS = end
+		perRaw := inv.PerRaw
+		if sess.sigPlan != plan {
+			// Plan swaps install a new pointer; FramingOps is fixed before
+			// the first invocation, so pointer identity keys the cache.
+			sess.sigPlan, sess.planSig = plan, planSig(plan)
 		}
+		reqs = append(reqs, &sched.Request{
+			Session: sess.ID,
+			Key:     sched.Key{Device: plan.Device[0], Net: sess.Net.Name, Sig: sess.planSig},
+			Units:   inv.Raw,
+			Payload: &invPayload{inv: &ginv, net: sess.Net, plan: *plan},
+			Done:    func(end float64) { s.complete(sess, perRaw, end) },
+		})
+	}
+	if tallied {
+		// The session's finals were already folded into the closed
+		// roll-up; contribute this pass's submission-side deltas directly
+		// (completion-side latency deltas fold in complete).
+		d := SessionTotals{
+			Invocations:       sess.invocs - preInvocs,
+			RawFramesDone:     sess.rawDone - preRaw,
+			FramesDroppedDSFA: uint64(sess.stepper.Stats().DroppedFrames) - preDrops,
+		}
+		if sess.retuner != nil {
+			d.Retunes = sess.retuner.Retunes() - preRetunes
+		}
+		if d != (SessionTotals{}) {
+			s.totalsMu.Lock()
+			s.closedTotals.Merge(d)
+			s.totalsMu.Unlock()
+		}
+	}
+	sess.mu.Unlock()
+	// Submit outside sess.mu: a wall-clock dispatcher may complete a
+	// request inline-fast, and complete re-acquires the session lock.
+	for _, r := range reqs {
+		s.sched.Submit(r)
+	}
+}
+
+// dispatchBatch executes one scheduler micro-batch: compatible
+// invocations (same network, identical plan) merge into a single
+// batched inference priced once on the shared engine. All members
+// complete at the batch end — early members pay the coalescing delay,
+// which is exactly the latency/throughput trade the batch window
+// bounds.
+func (s *Server) dispatchBatch(batch []*sched.Request) float64 {
+	first := batch[0].Payload.(*invPayload)
+	inv := first.inv
+	tag := batch[0].Session
+	if len(batch) > 1 {
+		invs := make([]*pipeline.Invocation, len(batch))
+		ids := make([]string, len(batch))
+		for i, r := range batch {
+			invs[i] = r.Payload.(*invPayload).inv
+			ids[i] = r.Session
+		}
+		inv = pipeline.MergeInvocations(invs)
+		tag = strings.Join(ids, "+")
+	}
+	return pipeline.ScheduleOnEngine(s.engine, s.model, first.net, &first.plan, inv, tag)
+}
+
+// complete is the scheduler's completion callback for one session
+// submission: attribute per-raw-frame latencies in stream time,
+// advance the session's virtual hardware-available clock, and
+// re-schedule the session so DSFA buckets that became stale under the
+// new clock get drained. A session already handed off to the closed
+// roll-up folds its latency deltas into the server totals directly.
+func (s *Server) complete(sess *Session, perRaw []pipeline.RawRef, engEnd float64) {
+	sess.mu.Lock()
+	end := engEnd - sess.epochUS
+	var dCount uint64
+	var dSum float64
+	for _, rr := range perRaw {
+		lat := end - rr.ReadyUS
+		for k := 0; k < rr.N; k++ {
+			sess.lat.observe(lat)
+		}
+		dCount += uint64(rr.N)
+		dSum += lat * float64(rr.N)
+	}
+	advanced := false
+	if end > sess.clockUS {
+		sess.clockUS = end
+		advanced = true
+	}
+	tallied := sess.tallied
+	sess.mu.Unlock()
+	if tallied && dCount > 0 {
+		s.totalsMu.Lock()
+		s.closedTotals.Merge(SessionTotals{LatencyCount: dCount, LatencySumUS: dSum})
+		s.totalsMu.Unlock()
+	}
+	if advanced {
+		s.schedule(sess)
 	}
 }
 
@@ -526,9 +667,7 @@ func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.engMu.Lock()
 	sess.epochUS = s.engine.Makespan()
-	s.engMu.Unlock()
 	s.sessMu.Lock()
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
@@ -586,6 +725,11 @@ func (s *Server) CloseSession(id string) (*SessionSnapshot, error) {
 		// now rejects ingest.
 		tail = append(sess.queue.drain(0), tail...)
 		s.execute(sess, tail, true)
+		// Settle the session's scheduler backlog before taking finals:
+		// the flush submissions must complete (latencies observed, clock
+		// advanced) so the terminal snapshot is whole. Under ManualDrain
+		// this pumps inline; on a live server it hurries the dispatchers.
+		s.sched.Wait(sess.ID)
 		// Hand the session from the active roll-up to the closed one in
 		// a single sessMu critical section (sessMu -> sess.mu, the same
 		// order the create/close paths use): the tallied flag and the
@@ -740,15 +884,18 @@ func (s *Server) Signals() control.Signals {
 	return sig
 }
 
-// deviceSignals snapshots per-device utilization and queue depth from
-// the shared engine. Backlog is measured relative to the least-
-// backlogged device: at the makespan every absolute backlog is zero by
-// definition, but the spread between device drain times is exactly the
-// queue imbalance the remap gate wants to see.
+// deviceSignals snapshots per-device utilization, engine backlog and
+// scheduler queue depth — the control plane's per-PE input, sourced
+// from the execution scheduler's signals instead of ad-hoc engine
+// reads. Backlog is measured relative to the least-backlogged device:
+// at the makespan every absolute backlog is zero by definition, but
+// the spread between device drain times is exactly the queue imbalance
+// the remap gate wants to see. Queued adds the not-yet-dispatched
+// invocations sitting in the scheduler's run queues.
 func (s *Server) deviceSignals() ([]control.DeviceSignals, float64) {
-	s.engMu.Lock()
 	now := s.engine.Makespan()
 	loads := s.engine.Loads(now)
+	depths := s.sched.QueueDepths()
 	busyUntil := make([]float64, len(s.cfg.Platform.Devices))
 	minFree := 0.0
 	for i, d := range s.cfg.Platform.Devices {
@@ -757,13 +904,21 @@ func (s *Server) deviceSignals() ([]control.DeviceSignals, float64) {
 			minFree = busyUntil[i]
 		}
 	}
-	s.engMu.Unlock()
 	devs := make([]control.DeviceSignals, len(loads))
 	for i, l := range loads {
-		devs[i] = control.DeviceSignals{Device: l.Device, Utilization: l.Utilization, BacklogUS: busyUntil[i] - minFree}
+		devs[i] = control.DeviceSignals{
+			Device:      l.Device,
+			Utilization: l.Utilization,
+			BacklogUS:   busyUntil[i] - minFree,
+			Queued:      depths[s.cfg.Platform.Devices[i].ID],
+		}
 	}
 	return devs, now
 }
+
+// SchedStats exposes the execution scheduler's counters (dispatches,
+// coalesced members, occupancy) for metrics and fleet aggregation.
+func (s *Server) SchedStats() sched.Stats { return s.sched.Stats() }
 
 // SetDraining toggles drain mode: a draining server refuses new
 // sessions (ErrDraining) while existing sessions keep ingesting and
@@ -806,6 +961,20 @@ func (s *Server) Load() NodeLoad {
 	if l.CapacityMACs > 0 {
 		l.Utilization = l.CostMACs / l.CapacityMACs
 	}
+	for _, n := range s.sched.QueueDepths() {
+		l.PendingInvocations += n
+	}
+	var minBusy, maxBusy float64
+	for i, d := range s.cfg.Platform.Devices {
+		b := s.engine.BusyUntil(d)
+		if i == 0 || b < minBusy {
+			minBusy = b
+		}
+		if b > maxBusy {
+			maxBusy = b
+		}
+	}
+	l.BacklogUS = maxBusy - minBusy
 	return l
 }
 
@@ -887,10 +1056,8 @@ func (s *Server) maybeRemap() {
 	}
 	// Cheap gate first: maybeRemap runs on every drain completion, and
 	// during cooldown (or with a search in flight) the full signals
-	// snapshot — engMu plus allocations — would be discarded anyway.
-	s.engMu.Lock()
+	// snapshot would be discarded anyway.
 	clock := s.engine.Makespan()
-	s.engMu.Unlock()
 	if !s.planner.Ready(clock) {
 		return
 	}
@@ -1101,18 +1268,21 @@ func (s *Server) WriteMetrics(pw *PromWriter, ns, extraLabels string) {
 	pw.Gauge(ns+"_uptime_seconds", "Server uptime.", lbls(), time.Since(s.start).Seconds())
 	pw.Gauge(ns+"_sessions_active", "Sessions currently accepting events.", lbls(), float64(active))
 	pw.Gauge(ns+"_sessions_total", "Sessions created since start.", lbls(), float64(s.nextID.Load()))
-	s.engMu.Lock()
 	makespan := s.engine.Makespan()
-	busy := make([]float64, len(s.cfg.Platform.Devices))
-	for i, d := range s.cfg.Platform.Devices {
-		busy[i] = s.engine.BusyTime(d)
-	}
-	s.engMu.Unlock()
 	pw.Gauge(ns+"_engine_makespan_us", "Virtual time the last device queue drains.", lbls(), makespan)
-	for i, d := range s.cfg.Platform.Devices {
+	depths := s.sched.QueueDepths()
+	for _, d := range s.cfg.Platform.Devices {
 		pw.Counter(ns+"_device_busy_us", "Accumulated busy time per device.",
-			lbls("device", d.Name), busy[i])
+			lbls("device", d.Name), s.engine.BusyTime(d))
+		pw.Gauge(ns+"_sched_queue_depth", "Invocations waiting in the device's scheduler run queue.",
+			lbls("device", d.Name), float64(depths[d.ID]))
 	}
+	st := s.sched.Stats()
+	pw.Counter(ns+"_sched_submitted_total", "Invocations submitted to the execution scheduler.", lbls(), float64(st.Submitted))
+	pw.Counter(ns+"_sched_dispatches_total", "Micro-batches dispatched on the engine.", lbls(), float64(st.Dispatches))
+	pw.Counter(ns+"_sched_coalesced_total", "Invocations that rode a multi-member micro-batch.", lbls(), float64(st.Coalesced))
+	pw.Gauge(ns+"_sched_batch_occupancy", "Mean invocations per dispatch (1 = serialized).", lbls(), st.Occupancy())
+	pw.Gauge(ns+"_sched_batch_max_len", "Largest micro-batch dispatched so far.", lbls(), float64(st.MaxBatchLen))
 
 	// One snapshot pass feeds both the totals and the per-session
 	// series. Reading closedTotals and the active set under one lock

@@ -120,8 +120,14 @@ type Session struct {
 	stepper  *pipeline.Stepper
 	retuner  *control.Retuner // nil when adaptation is off or below LevelDSFA
 	usedDevs map[int]bool     // devices invocations actually ran on
-	created  time.Time
-	closed   bool
+	// sigPlan/planSig cache the coalescing signature of the installed
+	// plan so the submit hot path does not re-format the per-layer
+	// slices on every invocation; a plan swap installs a new pointer,
+	// invalidating the cache. Guarded by mu.
+	sigPlan *pipeline.ExecPlan
+	planSig string
+	created time.Time
+	closed  bool
 	// tallied marks the final counters as folded into the server's
 	// closed-session totals; an execute that finishes afterwards (a
 	// worker holding frames drained before the close) contributes its
