@@ -42,6 +42,7 @@ bench:
 # artifact CI uploads on every run.
 bench-json:
 	BENCH_JSON=$(abspath BENCH_serve.json) $(GO) test -run '^TestServeBenchJSON$$' -count=1 ./internal/serve
+	BENCH_OBS_JSON=$(abspath BENCH_obs.json) $(GO) test -run '^TestObsBenchJSON$$' -count=1 ./internal/serve
 
 # Run the deterministic scenario suite (the chaos/soak regression bed)
 # under the race detector.

@@ -70,6 +70,7 @@ func run(args []string, stderr io.Writer) int {
 		gap      = fs.Float64("rebalance-gap", 0, "node-utilization spread that triggers a load-driven session migration (0 disables)")
 		queueTh  = fs.Int("rebalance-queue", 0, "pending-invocation spread across nodes that also triggers a migration (0 disables; needs -rebalance-gap > 0)")
 		cooldown = fs.Duration("rebalance-cooldown", 5*time.Second, "minimum time between load-driven migrations")
+		trace    = fs.String("trace", "", "enable fleet-wide frame-lifecycle tracing and write merged Chrome trace-event JSON here on shutdown (also served live at /v1/trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -113,6 +114,9 @@ func run(args []string, stderr io.Writer) int {
 			Remap:  node.Mapper == evedge.MapperNMP,
 		}
 	}
+	if *trace != "" {
+		node.Trace = evedge.TraceConfig{Enabled: true}
+	}
 
 	c, err := evedge.NewCluster(evedge.ClusterConfig{
 		Nodes:               specs,
@@ -139,6 +143,13 @@ func run(args []string, stderr io.Writer) int {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
+		if *trace != "" {
+			if err := writeTraceFile(c, *trace); err != nil {
+				log.Println("evcluster:", err)
+			} else {
+				log.Printf("evcluster: wrote merged trace to %s", *trace)
+			}
+		}
 		c.Close()
 	}()
 
@@ -150,4 +161,19 @@ func run(args []string, stderr io.Writer) int {
 	}
 	<-done
 	return 0
+}
+
+// writeTraceFile dumps the fleet's merged frame-lifecycle trace (every
+// node incarnation plus the router's fleet track) as Chrome trace-event
+// JSON.
+func writeTraceFile(c *evedge.Cluster, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	if err := c.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }

@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,31 +20,43 @@ import (
 	"evedge/internal/perf"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run parses flags and prints the profile; it returns the process exit
+// status so the flag error paths are testable (2 = bad flag syntax,
+// 1 = bad configuration or profiling failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evprof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		netsFlag = flag.String("nets", evedge.SpikeFlowNet, "comma-separated network names")
-		density  = flag.Float64("density", 0.05, "input event-frame density for the sparse path")
-		dense    = flag.Bool("dense", false, "profile the dense path only (no kernel selection)")
-		summary  = flag.Bool("summary", false, "print per-layer network summaries instead of the profile")
+		netsFlag = fs.String("nets", evedge.SpikeFlowNet, "comma-separated network names")
+		density  = fs.Float64("density", 0.05, "input event-frame density for the sparse path")
+		dense    = fs.Bool("dense", false, "profile the dense path only (no kernel selection)")
+		summary  = fs.Bool("summary", false, "print per-layer network summaries instead of the profile")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var nets []*nn.Network
 	var dens []float64
 	for _, name := range strings.Split(*netsFlag, ",") {
 		net, err := nn.ByName(strings.TrimSpace(name))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "evprof:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "evprof:", err)
+			return 1
 		}
 		nets = append(nets, net)
 		dens = append(dens, *density)
 	}
 	if *summary {
 		for _, net := range nets {
-			fmt.Println(net.Summary())
+			fmt.Fprintln(stdout, net.Summary())
 		}
-		return
+		return 0
 	}
 	platform := evedge.Xavier()
 	model := perf.NewModel(platform)
@@ -51,13 +65,14 @@ func main() {
 	}
 	db, err := perf.BuildProfileDB(model, nets, !*dense, dens)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evprof:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evprof:", err)
+		return 1
 	}
-	fmt.Printf("%-18s %-12s %-6s %-5s %12s\n", "NETWORK", "LAYER", "DEVICE", "PREC", "TIME(us)")
+	fmt.Fprintf(stdout, "%-18s %-12s %-6s %-5s %12s\n", "NETWORK", "LAYER", "DEVICE", "PREC", "TIME(us)")
 	for _, row := range db.Rows() {
-		fmt.Printf("%-18s %-12s %-6s %-5s %12.1f\n",
+		fmt.Fprintf(stdout, "%-18s %-12s %-6s %-5s %12.1f\n",
 			row.Network, row.Layer, row.Device, row.Precision, row.TimeUS)
 	}
-	fmt.Printf("\n%d entries (%s path)\n", db.Len(), map[bool]string{true: "dense", false: "best-kernel"}[*dense])
+	fmt.Fprintf(stdout, "\n%d entries (%s path)\n", db.Len(), map[bool]string{true: "dense", false: "best-kernel"}[*dense])
+	return 0
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors drives the flag and configuration error paths:
+// exit status and message are part of the CLI contract.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		msg  string
+	}{
+		{"bad flag syntax", []string{"-density", "thick"}, 2, "invalid value"},
+		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{"unknown network", []string{"-nets", "SkyNet"}, 1, "SkyNet"},
+		{"empty network name", []string{"-nets", "DOTIE,,SpikeFlowNet"}, 1, "unknown network"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.exit {
+				t.Errorf("exit = %d, want %d (stderr: %s)", got, tc.exit, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.msg) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.msg)
+			}
+		})
+	}
+}
+
+// TestRunProfile dumps a one-network profile and checks the table.
+func TestRunProfile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-nets", "DOTIE"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	for _, want := range []string{"NETWORK", "DOTIE", "best-kernel path"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("profile missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestRunSummary checks the -summary mode prints layer tables instead.
+func TestRunSummary(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-nets", "DOTIE", "-summary"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "DOTIE") {
+		t.Errorf("summary missing network name:\n%s", stdout.String())
+	}
+}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	evscenario -list
-//	evscenario -scenario flash-crowd [-seed 7] [-json]
+//	evscenario -scenario flash-crowd [-seed 7] [-json] [-trace out.json]
 //
 // The same (scenario, seed) pair always produces a byte-identical
 // -json timeline — diff two runs to prove a change is behaviour-
@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list     = fs.Bool("list", false, "list the scenario library and exit")
 		seed     = fs.Int64("seed", 7, "RNG seed; same seed => byte-identical -json timeline")
 		asJSON   = fs.Bool("json", false, "emit the full recorded timeline as JSON")
+		trace    = fs.String("trace", "", "force tracing on and write the run's Chrome trace-event JSON here (byte-identical per scenario+seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -69,10 +70,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "evscenario:", err)
 		return 1
 	}
-	res, err := evedge.RunScenario(sc, *seed)
-	if err != nil {
-		fmt.Fprintln(stderr, "evscenario:", err)
-		return 1
+	var res *evedge.ScenarioResult
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "evscenario:", err)
+			return 1
+		}
+		res, err = evedge.RunScenarioTraced(sc, *seed, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "evscenario:", err)
+			return 1
+		}
+	} else {
+		res, err = evedge.RunScenario(sc, *seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "evscenario:", err)
+			return 1
+		}
 	}
 	violations := evedge.CheckScenario(res)
 	violations = append(violations, evedge.CheckScenarioExpect(sc, res)...)
@@ -98,6 +116,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, n := range f.Nodes {
 			fmt.Fprintf(stdout, "  node %-10s %-8s residual %d+%d frames\n",
 				n.Name, n.State, n.ResidualQueued+n.RetiredQueued, n.ResidualAgg+n.RetiredAgg)
+		}
+		for _, s := range res.Stages {
+			fmt.Fprintf(stdout, "  stage %-6s %7d samples, mean %8.0f us, p50 %8.0f us, p99 %8.0f us\n",
+				s.Stage, s.Count, s.MeanUS, s.P50US, s.P99US)
 		}
 		if len(violations) == 0 {
 			fmt.Fprintf(stdout, "invariants:  PASS (conservation, monotonic totals, drain-lossless, cooldown)\n")

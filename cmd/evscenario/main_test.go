@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -49,6 +52,34 @@ func TestRunList(t *testing.T) {
 		"dynamics-flip", "hot-node-migration", "mixed-platform", "soak"} {
 		if !strings.Contains(stdout.String(), want) {
 			t.Errorf("-list missing scenario %q", want)
+		}
+	}
+}
+
+// TestRunTrace runs a scenario with -trace and checks the file is
+// valid Chrome trace-event JSON and the summary gains stage lines.
+func TestRunTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-scenario", "batched-burst", "-seed", "7", "-trace", out}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	for _, want := range []string{"stage queue", "stage exec", "stage frame"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, stdout.String())
 		}
 	}
 }

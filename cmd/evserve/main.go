@@ -71,6 +71,7 @@ func run(args []string, stderr io.Writer) int {
 		adapt    = fs.Bool("adapt", false, "enable the online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
 		adaptInt = fs.Duration("adapt-interval", 50*time.Millisecond, "minimum stream time between retune decisions")
 		cooldown = fs.Duration("remap-cooldown", 250*time.Millisecond, "minimum virtual time between NMP remaps")
+		trace    = fs.String("trace", "", "enable frame-lifecycle tracing and write Chrome trace-event JSON here on shutdown (also served live at /v1/trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -114,6 +115,9 @@ func run(args []string, stderr io.Writer) int {
 			},
 		}
 	}
+	if *trace != "" {
+		cfg.Trace = evedge.TraceConfig{Enabled: true, Node: "server"}
+	}
 
 	srv, err := evedge.NewServer(cfg)
 	if err != nil {
@@ -132,6 +136,13 @@ func run(args []string, stderr io.Writer) int {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
+		if *trace != "" {
+			if err := writeTraceFile(srv, *trace); err != nil {
+				log.Println("evserve:", err)
+			} else {
+				log.Printf("evserve: wrote trace to %s", *trace)
+			}
+		}
 		srv.Close()
 	}()
 
@@ -143,4 +154,18 @@ func run(args []string, stderr io.Writer) int {
 	}
 	<-done
 	return 0
+}
+
+// writeTraceFile dumps the server's frame-lifecycle trace as Chrome
+// trace-event JSON (load in chrome://tracing or Perfetto).
+func writeTraceFile(srv *evedge.Server, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	if err := srv.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
 }

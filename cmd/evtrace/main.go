@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,26 +21,42 @@ import (
 	"evedge/internal/scene"
 )
 
-func main() {
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run parses flags and generates the sequence; it returns the process
+// exit status so the flag error paths are testable (2 = bad flag
+// syntax, 1 = bad configuration or generation failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		preset = flag.String("preset", string(scene.IndoorFlying2), "sequence preset (see -list)")
-		dur    = flag.Int64("dur", 2_000_000, "duration in microseconds")
-		seed   = flag.Int64("seed", 7, "random seed")
-		full   = flag.Bool("full", false, "full DAVIS346 resolution")
-		bucket = flag.Int64("bucket", 50_000, "density timeline bucket in microseconds")
-		out    = flag.String("o", "", "write the stream to this file (EVAR binary)")
-		asText = flag.Bool("text", false, "write the text format instead of binary")
-		list   = flag.Bool("list", false, "list presets and exit")
+		preset = fs.String("preset", string(scene.IndoorFlying2), "sequence preset (see -list)")
+		dur    = fs.Int64("dur", 2_000_000, "duration in microseconds")
+		seed   = fs.Int64("seed", 7, "random seed")
+		full   = fs.Bool("full", false, "full DAVIS346 resolution")
+		bucket = fs.Int64("bucket", 50_000, "density timeline bucket in microseconds")
+		out    = fs.String("o", "", "write the stream to this file (EVAR binary)")
+		asText = fs.Bool("text", false, "write the text format instead of binary")
+		list   = fs.Bool("list", false, "list presets and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		var names []string
 		for _, p := range evedge.Presets() {
 			names = append(names, string(p))
 		}
-		fmt.Println(strings.Join(names, "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(names, "\n"))
+		return 0
+	}
+	if *bucket <= 0 {
+		fmt.Fprintf(stderr, "evtrace: -bucket must be positive, got %d\n", *bucket)
+		return 1
 	}
 	scale := evedge.HalfScale
 	if *full {
@@ -46,15 +64,15 @@ func main() {
 	}
 	stream, err := evedge.GenerateSequence(scene.Preset(*preset), scale, *seed, *dur)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "evtrace:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "evtrace:", err)
+		return 1
 	}
 
 	st := stream.Summarize()
-	fmt.Printf("preset:   %s (%s)\n", *preset, scene.DatasetOf(scene.Preset(*preset)))
-	fmt.Printf("sensor:   %dx%d\n", stream.Width, stream.Height)
-	fmt.Printf("events:   %s\n", st)
-	fmt.Printf("timeline (events per %.0f ms):\n", float64(*bucket)/1000)
+	fmt.Fprintf(stdout, "preset:   %s (%s)\n", *preset, scene.DatasetOf(scene.Preset(*preset)))
+	fmt.Fprintf(stdout, "sensor:   %dx%d\n", stream.Width, stream.Height)
+	fmt.Fprintf(stdout, "events:   %s\n", st)
+	fmt.Fprintf(stdout, "timeline (events per %.0f ms):\n", float64(*bucket)/1000)
 	series := stream.DensitySeries(*bucket)
 	peak := 0
 	for _, c := range series {
@@ -67,25 +85,28 @@ func main() {
 		if peak > 0 {
 			bar = strings.Repeat("#", c*60/peak)
 		}
-		fmt.Printf("%7.0fms %7d %s\n", float64(int64(i)*(*bucket))/1000, c, bar)
+		fmt.Fprintf(stdout, "%7.0fms %7d %s\n", float64(int64(i)*(*bucket))/1000, c, bar)
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "evtrace:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "evtrace:", err)
+			return 1
 		}
-		defer f.Close()
 		if *asText {
 			err = events.WriteText(f, stream)
 		} else {
 			err = events.WriteBinary(f, stream)
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "evtrace:", err)
-			os.Exit(1)
+		if cerr := f.Close(); err == nil {
+			err = cerr
 		}
-		fmt.Printf("wrote %s\n", *out)
+		if err != nil {
+			fmt.Fprintln(stderr, "evtrace:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *out)
 	}
+	return 0
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors drives the flag and configuration error paths:
+// exit status and message are part of the CLI contract.
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		msg  string
+	}{
+		{"bad flag syntax", []string{"-dur", "forever"}, 2, "invalid value"},
+		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{"unknown preset", []string{"-preset", "marsrover"}, 1, "marsrover"},
+		{"bad bucket", []string{"-bucket", "0"}, 1, "-bucket must be positive"},
+		{"unwritable output", []string{"-dur", "10000", "-o", "/no/such/dir/out.evar"}, 1, "no such"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.exit {
+				t.Errorf("exit = %d, want %d (stderr: %s)", got, tc.exit, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.msg) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), tc.msg)
+			}
+		})
+	}
+}
+
+// TestRunList checks -list prints at least the default preset.
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "indoorflying2") {
+		t.Errorf("-list missing default preset:\n%s", stdout.String())
+	}
+}
+
+// TestRunGenerate runs a short generation end to end, including the
+// EVAR file output.
+func TestRunGenerate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "s.evar")
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-dur", "100000", "-o", out}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	for _, want := range []string{"preset:   indoorflying2", "timeline", "wrote " + out} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"evedge/internal/hw"
 	"evedge/internal/nmp"
 	"evedge/internal/nn"
+	"evedge/internal/obs"
 	"evedge/internal/perf"
 	"evedge/internal/pipeline"
 	"evedge/internal/scene"
@@ -232,6 +233,14 @@ type (
 	// submissions, micro-batch dispatches, coalesced members and the
 	// derived batch occupancy (Server.SchedStats, Cluster.SchedTotals).
 	SchedStats = sched.Stats
+	// TraceConfig enables the frame-lifecycle tracer on a server or
+	// fleet (ServeConfig.Trace): bounded per-session span rings,
+	// per-stage latency histograms on /metrics, and Chrome trace-event
+	// JSON on /v1/trace.
+	TraceConfig = obs.Config
+	// StageSummary is one frame-lifecycle stage's latency roll-up
+	// (count, mean, p50/p99, max in virtual us).
+	StageSummary = obs.StageSummary
 )
 
 // Session placement policies and queue drop policies.
@@ -324,6 +333,15 @@ func ScenarioByName(name string) (Scenario, error) { return harness.Get(name) }
 // RunScenario executes a scenario script under a seed. The run is
 // deterministic: same (script, seed), byte-identical Encode output.
 func RunScenario(sc Scenario, seed int64) (*ScenarioResult, error) { return harness.Run(sc, seed) }
+
+// RunScenarioTraced is RunScenario with frame-lifecycle tracing forced
+// on: the Chrome trace-event JSON is written to w (load it in
+// chrome://tracing or Perfetto). Under the virtual clock the trace is
+// byte-identical per (scenario, seed).
+func RunScenarioTraced(sc Scenario, seed int64, w io.Writer) (*ScenarioResult, error) {
+	sc.Trace = true
+	return harness.RunTraced(sc, seed, w)
+}
 
 // CheckScenario verifies the system-wide invariants (frame
 // conservation, monotonic totals, no loss on drain, migration

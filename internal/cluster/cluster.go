@@ -21,6 +21,7 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -32,6 +33,7 @@ import (
 	"evedge/internal/events"
 	"evedge/internal/hw"
 	"evedge/internal/nn"
+	"evedge/internal/obs"
 	"evedge/internal/sched"
 	"evedge/internal/serve"
 )
@@ -219,6 +221,12 @@ type Cluster struct {
 	// microseconds since start.
 	rebalancer *control.RemapPlanner
 
+	// tracer records fleet-plane instants (failovers, migrations, node
+	// state changes, router hops) on the "fleet" track; nil when the
+	// per-node trace config is off. Per-node lifecycle spans live in
+	// each node's own tracer; GET /v1/trace merges all of them.
+	tracer *obs.Tracer
+
 	probeStop chan struct{}
 	probeOnce sync.Once
 	probeWG   sync.WaitGroup
@@ -246,6 +254,11 @@ func New(cfg Config) (*Cluster, error) {
 		routes:    map[string]*route{},
 		start:     time.Now(),
 		probeStop: make(chan struct{}),
+	}
+	if cfg.Node.Trace.Enabled {
+		tcfg := cfg.Node.Trace
+		tcfg.Node = "router"
+		c.tracer = obs.NewTracer(tcfg)
 	}
 	if cfg.RebalanceGap > 0 {
 		cooldown := cfg.RebalanceCooldown
@@ -276,6 +289,9 @@ func New(cfg Config) (*Cluster, error) {
 		if spec.Workers > 0 {
 			ncfg.Workers = spec.Workers
 		}
+		// Each node's trace lanes carry its own name; the config is kept
+		// on the node, so a revived incarnation inherits it.
+		ncfg.Trace.Node = name
 		srv, err := serve.New(ncfg)
 		if err != nil {
 			c.closeNodes()
@@ -309,6 +325,54 @@ func (c *Cluster) elapsed() time.Duration {
 		return c.cfg.Elapsed()
 	}
 	return time.Since(c.start)
+}
+
+// mark records one fleet-plane trace instant at the cluster clock.
+// Deterministic replay holds exactly when the harness injects its
+// virtual clock via Config.Elapsed; on the wall clock the instants
+// still order correctly, they just carry wall timestamps.
+func (c *Cluster) mark(name string, count int64) {
+	c.tracer.Instant("fleet", obs.StageCtl, name, float64(c.elapsed().Microseconds()), count)
+}
+
+// Tracer returns the router's fleet-plane tracer, nil when tracing is
+// off.
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// WriteTrace renders the fleet's merged Chrome trace: the router's
+// fleet track plus every node incarnation's lifecycle lanes, each
+// under its own process group.
+func (c *Cluster) WriteTrace(w io.Writer) error {
+	if c.tracer == nil {
+		return fmt.Errorf("cluster: tracing disabled (set Node.Trace.Enabled)")
+	}
+	tracers := []*obs.Tracer{c.tracer}
+	for _, n := range c.nodes {
+		for _, srv := range n.incarnations() {
+			if t := srv.Tracer(); t != nil {
+				tracers = append(tracers, t)
+			}
+		}
+	}
+	return obs.WriteChrome(w, tracers...)
+}
+
+// StageHists merges the per-stage latency histograms across every node
+// incarnation — the fleet-wide stage breakdown. nil when tracing is
+// off.
+func (c *Cluster) StageHists() []obs.HistSnapshot {
+	if c.tracer == nil {
+		return nil
+	}
+	var all [][]obs.HistSnapshot
+	for _, n := range c.nodes {
+		for _, srv := range n.incarnations() {
+			if h := srv.StageHists(); h != nil {
+				all = append(all, h)
+			}
+		}
+	}
+	return obs.MergeHists(all...)
 }
 
 // Close stops the probe loop and every node's worker pool.
@@ -480,6 +544,7 @@ func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
 	// Graceful: the old session's queued frames execute during close.
 	_, _ = hotSrv.CloseSession(oldID)
 	c.migrations.Add(1)
+	c.mark("rebalance:"+best.extID+":"+hotN.name+">"+coldN.name, 1)
 	return true
 }
 
@@ -508,6 +573,7 @@ func (c *Cluster) KillNode(name string) error {
 		return fmt.Errorf("cluster: node %q already dead", name)
 	}
 	n.server().Close()
+	c.mark("kill:"+name, 1)
 	return nil
 }
 
@@ -537,6 +603,7 @@ func (c *Cluster) ReviveNode(name string) error {
 	n.retired = append(n.retired, old)
 	n.retiredMu.Unlock()
 	n.state.Store(stateUp)
+	c.mark("revive:"+name, 1)
 	return nil
 }
 
@@ -554,6 +621,7 @@ func (c *Cluster) UndrainNode(name string) error {
 		return fmt.Errorf("cluster: node %q is %s, not draining", name, n.stateName())
 	}
 	n.server().SetDraining(false)
+	c.mark("undrain:"+name, 1)
 	return nil
 }
 
@@ -572,6 +640,7 @@ func (c *Cluster) DrainNode(name string) error {
 		return fmt.Errorf("cluster: node %q is %s", name, n.stateName())
 	}
 	n.server().SetDraining(true)
+	c.mark("drain:"+name, 1)
 	c.migrate(n, true)
 	return nil
 }
@@ -651,6 +720,13 @@ func (c *Cluster) migrate(n *node, graceful bool) {
 		c.mu.Unlock()
 		c.failoverSessions.Add(1)
 		c.failoverShed.Add(shed)
+		// Annotate the move on the fleet track: a graceful migration shed
+		// nothing, a kill-failover carries the frames it lost.
+		if graceful {
+			c.mark("migrate:"+rt.extID+":"+n.name+">"+target.name, int64(shed))
+		} else {
+			c.mark("failover:"+rt.extID+":"+n.name+">"+target.name, int64(shed))
+		}
 	}
 }
 
@@ -724,6 +800,9 @@ func (c *Cluster) Ingest(extID string, chunk *events.Stream) (serve.IngestResult
 		}
 		res, err := n.server().Ingest(localID, chunk)
 		if err == nil {
+			// Router-hop annotation: which node served this chunk, and how
+			// many frames the hop produced.
+			c.mark("hop:"+rt.extID+">"+n.name, int64(res.Frames))
 			return res, nil
 		}
 		c.mu.Lock()

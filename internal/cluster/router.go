@@ -35,6 +35,7 @@ func (c *Cluster) Handler() http.Handler {
 		mux.HandleFunc("DELETE /v1/sessions/{id}", c.handleClose)
 		mux.HandleFunc("GET /healthz", c.handleHealth)
 		mux.HandleFunc("GET /metrics", c.handleMetrics)
+		mux.HandleFunc("GET /v1/trace", c.handleTrace)
 		mux.HandleFunc("GET /v1/nodes", c.handleNodes)
 		mux.HandleFunc("POST /v1/nodes/{name}/kill", c.handleKill)
 		mux.HandleFunc("POST /v1/nodes/{name}/drain", c.handleDrain)
@@ -127,6 +128,18 @@ func (c *Cluster) handleClose(w http.ResponseWriter, r *http.Request) {
 
 func (c *Cluster) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, c.Health())
+}
+
+// handleTrace serves the fleet's merged Chrome trace: every node
+// incarnation's lifecycle lanes plus the router's fleet track, one
+// process group per node.
+func (c *Cluster) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if c.tracer == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("cluster: tracing disabled (set Node.Trace.Enabled)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = c.WriteTrace(w)
 }
 
 func (c *Cluster) handleNodes(w http.ResponseWriter, r *http.Request) {

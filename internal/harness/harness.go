@@ -2,12 +2,14 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"time"
 
 	"evedge/internal/cluster"
 	"evedge/internal/events"
+	"evedge/internal/obs"
 	"evedge/internal/sched"
 	"evedge/internal/serve"
 )
@@ -26,6 +28,8 @@ type driver interface {
 	counters() (failovers, shed, lost, migrations uint64)
 	schedStats() sched.Stats
 	nodes() []NodeSample
+	stages() []obs.StageSummary
+	writeTrace(w io.Writer) error
 	close()
 }
 
@@ -82,7 +86,11 @@ func (d *clusterDriver) nodes() []NodeSample {
 	}
 	return out
 }
-func (d *clusterDriver) close() { d.c.Close() }
+func (d *clusterDriver) stages() []obs.StageSummary {
+	return obs.Summaries(d.c.StageHists())
+}
+func (d *clusterDriver) writeTrace(w io.Writer) error { return d.c.WriteTrace(w) }
+func (d *clusterDriver) close()                       { d.c.Close() }
 
 // serveDriver runs the scenario against one embedded server — the
 // same engine exercising the single-node path with no router between.
@@ -132,7 +140,11 @@ func (d *serveDriver) nodes() []NodeSample {
 	}
 	return []NodeSample{ns}
 }
-func (d *serveDriver) close() { d.s.Close() }
+func (d *serveDriver) stages() []obs.StageSummary {
+	return obs.Summaries(d.s.StageHists())
+}
+func (d *serveDriver) writeTrace(w io.Writer) error { return d.s.WriteTrace(w) }
+func (d *serveDriver) close()                       { d.s.Close() }
 
 // hsess is one scripted client stream: its fleet session ID plus the
 // seeded generator state producing its event chunks.
@@ -186,6 +198,15 @@ type runner struct {
 // timeline. The run is fully deterministic: same (script, seed) pair,
 // byte-identical Encode output.
 func Run(sc Script, seed int64) (*Result, error) {
+	return RunTraced(sc, seed, nil)
+}
+
+// RunTraced is Run with an optional Chrome trace sink: when traceW is
+// non-nil (and the script enables tracing), the merged trace-event
+// JSON is written there after teardown, before the system under test
+// shuts down. Under the virtual clock the trace bytes are as
+// deterministic as the timeline: same (script, seed), same bytes.
+func RunTraced(sc Script, seed int64, traceW io.Writer) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -212,6 +233,9 @@ func Run(sc Script, seed int64) (*Result, error) {
 	nodeCfg.BatchMax = sc.BatchMax
 	if sc.Adapt {
 		nodeCfg.Adapt = serve.AdaptConfig{Retune: true}
+	}
+	if sc.Trace {
+		nodeCfg.Trace = obs.Config{Enabled: true, Node: "server"}
 	}
 	if sc.Nodes == "" {
 		srv, err := serve.New(nodeCfg)
@@ -242,6 +266,14 @@ func Run(sc Script, seed int64) (*Result, error) {
 
 	if err := r.loop(); err != nil {
 		return nil, err
+	}
+	if sc.Trace {
+		r.res.Stages = r.drv.stages()
+		if traceW != nil {
+			if err := r.drv.writeTrace(traceW); err != nil {
+				return nil, fmt.Errorf("harness: writing trace: %w", err)
+			}
+		}
 	}
 	return r.res, nil
 }

@@ -1,6 +1,9 @@
 package harness
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Violation is one failed invariant, anchored at the timeline instant
 // that exposed it.
@@ -182,6 +185,31 @@ func CheckExpect(sc Script, res *Result) []Violation {
 			out = append(out, Violation{t, "expect",
 				fmt.Sprintf("micro-batch occupancy %.3f (%d dispatched / %d dispatches) < expected %.3f",
 					occ, res.Final.SchedDispatched, res.Final.SchedDispatches, sc.Expect.MinBatchOccupancy)})
+		}
+	}
+	if len(sc.Expect.MaxStageP99US) > 0 {
+		byStage := map[string]float64{}
+		counts := map[string]uint64{}
+		for _, s := range res.Stages {
+			byStage[s.Stage] = s.P99US
+			counts[s.Stage] = s.Count
+		}
+		stages := make([]string, 0, len(sc.Expect.MaxStageP99US))
+		for stage := range sc.Expect.MaxStageP99US {
+			stages = append(stages, stage)
+		}
+		sort.Strings(stages)
+		for _, stage := range stages {
+			bound := sc.Expect.MaxStageP99US[stage]
+			if counts[stage] == 0 {
+				out = append(out, Violation{t, "expect",
+					fmt.Sprintf("stage %q has a p99 bound but recorded no samples (is Trace on?)", stage)})
+				continue
+			}
+			if p99 := byStage[stage]; p99 > bound {
+				out = append(out, Violation{t, "expect",
+					fmt.Sprintf("stage %q p99 %.0fus > bound %.0fus", stage, p99, bound)})
+			}
 		}
 	}
 	return out

@@ -99,6 +99,11 @@ type Expect struct {
 	// occupancy (scheduler submissions per dispatch) to reach at least
 	// this value — > 1 proves cross-invocation coalescing happened.
 	MinBatchOccupancy float64 `json:"min_batch_occupancy,omitempty"`
+	// MaxStageP99US bounds the p99 of per-stage frame-lifecycle
+	// latency (virtual us) by stage name ("queue", "exec", ...).
+	// Requires Trace on the script; a named stage that recorded no
+	// samples is itself a violation. Checked against Result.Stages.
+	MaxStageP99US map[string]float64 `json:"max_stage_p99_us,omitempty"`
 }
 
 // Script is a declarative scenario. The zero values of most fields
@@ -122,6 +127,11 @@ type Script struct {
 	// Adapt enables the online control plane (DSFA retuning) on every
 	// node for the whole run.
 	Adapt bool `json:"adapt,omitempty"`
+	// Trace enables frame-lifecycle tracing on every node: the run
+	// records per-stage latency histograms into Result.Stages and can
+	// emit a Chrome trace via RunTraced. Deterministic under the
+	// virtual clock — same (scenario, seed), same trace bytes.
+	Trace bool `json:"trace,omitempty"`
 	// RebalanceGap > 0 enables load-driven session migration between
 	// nodes (cluster only), gated by RebalanceCooldownUS of virtual
 	// time.

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 
+	"evedge/internal/obs"
 	"evedge/internal/serve"
 )
 
@@ -123,6 +124,10 @@ type Result struct {
 	// invariant checker then requires zero lost sessions AND zero shed
 	// frames (drains must be lossless).
 	NoKills bool `json:"no_kills"`
+	// Stages is the per-stage frame-lifecycle latency roll-up (merged
+	// across nodes), present only when the script enables Trace. A
+	// slice of structs, not a map, so Encode stays byte-deterministic.
+	Stages []obs.StageSummary `json:"stages,omitempty"`
 }
 
 // Encode renders the result as deterministic, indented JSON. Only

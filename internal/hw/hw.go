@@ -160,6 +160,16 @@ func (p *Platform) MustDevice(name string) *Device {
 	return d
 }
 
+// DeviceName returns the name of the device at platform index id, or
+// "dev<id>" when the index is out of range — trace track naming must
+// never panic on a stale plan index.
+func (p *Platform) DeviceName(id int) string {
+	if id >= 0 && id < len(p.Devices) {
+		return p.Devices[id].Name
+	}
+	return fmt.Sprintf("dev%d", id)
+}
+
 // GPUDevice returns the first GPU.
 func (p *Platform) GPUDevice() *Device {
 	for _, d := range p.Devices {

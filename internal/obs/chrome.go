@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing / Perfetto "JSON trace"). Field order is fixed by
+// the struct, and args maps marshal with sorted keys, so the export
+// is byte-deterministic for a deterministic event set.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+	S    string  `json:"s,omitempty"`
+	Args any     `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome exports the tracers' events as Chrome trace-event JSON.
+// Each tracer's node becomes one process lane (pid) and each track one
+// named thread lane (tid); lanes are assigned in sorted order and
+// events sort by (ts, pid, tid, name), so the same event set always
+// serializes to the same bytes. Nil tracers are skipped; with nothing
+// to export the result is a valid empty trace.
+func WriteChrome(w io.Writer, tracers ...*Tracer) error {
+	type lane struct{ node, track string }
+	var (
+		nodes  []string
+		seen   = map[string]bool{}
+		lanes  []lane
+		events = map[lane][]Event{}
+	)
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		node := t.Node()
+		if node == "" {
+			node = "evserve"
+		}
+		if !seen[node] {
+			seen[node] = true
+			nodes = append(nodes, node)
+		}
+		for _, e := range t.Events() {
+			l := lane{node, e.Track}
+			if _, ok := events[l]; !ok {
+				lanes = append(lanes, l)
+			}
+			events[l] = append(events[l], e)
+		}
+	}
+	sort.Strings(nodes)
+	pid := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		pid[n] = i + 1
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].node != lanes[j].node {
+			return lanes[i].node < lanes[j].node
+		}
+		return lanes[i].track < lanes[j].track
+	})
+	tid := make(map[lane]int, len(lanes))
+	next := map[string]int{}
+	for _, l := range lanes {
+		next[l.node]++
+		tid[l] = next[l.node]
+	}
+
+	var out []chromeEvent
+	for _, n := range nodes {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid[n],
+			Args: map[string]string{"name": n},
+		})
+	}
+	for _, l := range lanes {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: pid[l.node], TID: tid[l],
+			Args: map[string]string{"name": l.track},
+		})
+	}
+	var body []chromeEvent
+	for _, l := range lanes {
+		for _, e := range events[l] {
+			ce := chromeEvent{
+				Name: e.Name,
+				Cat:  e.Stage.String(),
+				TS:   e.StartUS,
+				PID:  pid[l.node],
+				TID:  tid[l],
+			}
+			if e.Instant {
+				ce.Ph, ce.S = "i", "t"
+			} else {
+				ce.Ph, ce.Dur = "X", e.DurUS
+			}
+			if e.Count > 0 {
+				ce.Args = map[string]int64{"count": e.Count}
+			}
+			body = append(body, ce)
+		}
+	}
+	sort.SliceStable(body, func(i, j int) bool {
+		a, b := body[i], body[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
+	out = append(out, body...)
+	if out == nil {
+		out = []chromeEvent{}
+	}
+
+	data, err := json.MarshalIndent(chromeTrace{
+		DisplayTimeUnit: "ms",
+		TraceEvents:     out,
+	}, "", " ")
+	if err != nil {
+		return fmt.Errorf("obs: encoding trace: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -1,0 +1,211 @@
+package obs
+
+import "math"
+
+// BucketBoundsUS are the per-stage latency histogram bucket upper
+// bounds in virtual microseconds: exponential-ish from 50 us (a fast
+// layer on an accelerator) to 2.5 s (a saturated soak tail), with an
+// implicit +Inf bucket above the last bound. Shared by every stage so
+// fleet-level merges are index-aligned.
+var BucketBoundsUS = []float64{
+	50, 100, 250, 500,
+	1_000, 2_500, 5_000, 10_000,
+	25_000, 50_000, 100_000, 250_000,
+	500_000, 1_000_000, 2_500_000,
+}
+
+// numBuckets is len(BucketBoundsUS)+1 (the +Inf bucket); a test
+// asserts the two stay in sync.
+const numBuckets = 16
+
+// bucketBounds pads BucketBoundsUS to numBuckets (a power of two)
+// with +Inf so Observe can locate a bucket with a fixed four-step
+// branch-light search instead of a linear scan — Observe runs once
+// per span including every sampled-away one, so it sits on the
+// per-frame hot path the tracing-overhead budget is written against.
+var bucketBounds [numBuckets]float64
+
+func init() {
+	copy(bucketBounds[:], BucketBoundsUS)
+	bucketBounds[numBuckets-1] = math.Inf(1)
+}
+
+// Histogram is a fixed-bucket latency accumulator. The zero value is
+// ready to use.
+type Histogram struct {
+	counts [numBuckets]uint64
+	count  uint64
+	sum    float64
+	max    float64
+}
+
+// Observe folds one latency (virtual us) into the histogram.
+func (h *Histogram) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	// Four-step lower bound over the padded bounds: i ends at the first
+	// bucket whose bound is >= v (the +Inf pad catches the overflow
+	// bucket, and a NaN fails every comparison into bucket 0, as the
+	// linear scan it replaces did).
+	i := 0
+	if bucketBounds[i+7] < v {
+		i += 8
+	}
+	if bucketBounds[i+3] < v {
+		i += 4
+	}
+	if bucketBounds[i+1] < v {
+		i += 2
+	}
+	if bucketBounds[i] < v {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Counts: make([]uint64, numBuckets),
+		Count:  h.count,
+		SumUS:  h.sum,
+		MaxUS:  h.max,
+	}
+	copy(s.Counts, h.counts[:numBuckets])
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of one stage's histogram,
+// mergeable across nodes and incarnations for fleet roll-ups.
+type HistSnapshot struct {
+	// Stage is the stage's exposition name.
+	Stage string `json:"stage"`
+	// Counts holds per-bucket observation counts, index-aligned with
+	// BucketBoundsUS plus a final +Inf bucket.
+	Counts []uint64 `json:"counts"`
+	Count  uint64   `json:"count"`
+	SumUS  float64  `json:"sum_us"`
+	MaxUS  float64  `json:"max_us"`
+}
+
+// Merge folds another snapshot of the same stage into s.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if len(s.Counts) < len(o.Counts) {
+		c := make([]uint64, len(o.Counts))
+		copy(c, s.Counts)
+		s.Counts = c
+	}
+	for i, n := range o.Counts {
+		s.Counts[i] += n
+	}
+	s.Count += o.Count
+	s.SumUS += o.SumUS
+	if o.MaxUS > s.MaxUS {
+		s.MaxUS = o.MaxUS
+	}
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// inside the containing bucket, clamped to the observed maximum so a
+// sparse +Inf bucket cannot report a latency nothing reached. Exact
+// at the granularity of the bucket bounds — and deterministic, which
+// is what lets scenario contracts assert on it.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo := 0.0
+			if i > 0 {
+				lo = BucketBoundsUS[i-1]
+			}
+			hi := s.MaxUS
+			if i < len(BucketBoundsUS) && BucketBoundsUS[i] < hi {
+				hi = BucketBoundsUS[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - cum) / float64(n)
+			}
+			v := lo + frac*(hi-lo)
+			if v > s.MaxUS {
+				v = s.MaxUS
+			}
+			return v
+		}
+		cum = next
+	}
+	return s.MaxUS
+}
+
+// StageSummary is one stage's human-facing latency digest — what the
+// scenario harness records in Result.Stages and what
+// Expect.MaxStageP99US asserts against.
+type StageSummary struct {
+	Stage  string  `json:"stage"`
+	Count  uint64  `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// Summaries digests histogram snapshots into per-stage summaries,
+// keeping only stages that observed anything, in lifecycle order.
+func Summaries(hists []HistSnapshot) []StageSummary {
+	var out []StageSummary
+	for _, h := range hists {
+		if h.Count == 0 {
+			continue
+		}
+		out = append(out, StageSummary{
+			Stage:  h.Stage,
+			Count:  h.Count,
+			MeanUS: h.SumUS / float64(h.Count),
+			P50US:  h.Quantile(0.50),
+			P99US:  h.Quantile(0.99),
+			MaxUS:  h.MaxUS,
+		})
+	}
+	return out
+}
+
+// MergeHists merges per-stage snapshot slices (index-aligned, as
+// returned by Tracer.Hists) across tracers/nodes into one roll-up.
+func MergeHists(all ...[]HistSnapshot) []HistSnapshot {
+	out := make([]HistSnapshot, NumStages)
+	for i := range out {
+		out[i].Stage = Stage(i).String()
+		out[i].Counts = make([]uint64, numBuckets)
+	}
+	for _, hs := range all {
+		for i := range hs {
+			if i < len(out) {
+				out[i].Merge(hs[i])
+			}
+		}
+	}
+	return out
+}

@@ -402,6 +402,20 @@ func InvocationCost(model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invoca
 // devices call this concurrently; the execution scheduler
 // (internal/sched) is the path everything routes through.
 func ScheduleOnEngine(engine *hw.Engine, model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invocation, tag string) float64 {
+	return ScheduleOnEngineObs(engine, model, net, p, inv, tag, nil)
+}
+
+// ExecObserver receives every engine reservation ScheduleOnEngine
+// makes: one call per layer execution (um=false, dev is the platform
+// device index) and one per unified-memory transfer between devices
+// (um=true, dev is the *consuming* device). Times are engine-virtual
+// microseconds as granted by the engine, including queueing behind
+// other tasks — exactly what a frame-lifecycle trace wants to see.
+type ExecObserver func(dev int, name string, startUS, endUS float64, um bool)
+
+// ScheduleOnEngineObs is ScheduleOnEngine with an execution observer;
+// obs may be nil (the untraced path pays one nil check per layer).
+func ScheduleOnEngineObs(engine *hw.Engine, model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invocation, tag string, obs ExecObserver) float64 {
 	batch := len(inv.Frames)
 	if batch == 0 {
 		return 0
@@ -418,13 +432,21 @@ func ScheduleOnEngine(engine *hw.Engine, model *perf.Model, net *nn.Network, p *
 			pready := end[pr]
 			if p.Device[pr] != p.Device[i] {
 				c := model.CommUS(net.Layers[pr], platform.Devices[p.Device[pr]], dev, p.Prec[pr])
-				_, pready = engine.ReserveUM(pready, c)
+				var cstart float64
+				cstart, pready = engine.ReserveUM(pready, c)
+				if obs != nil {
+					obs(p.Device[i], tag+"/"+net.Layers[pr].Name+">"+l.Name, cstart, pready, true)
+				}
 			}
 			if pready > ready {
 				ready = pready
 			}
 		}
-		_, e := engine.Submit(dev, ready, dur, fmt.Sprintf("%s/%s", tag, l.Name))
+		name := tag + "/" + l.Name
+		s, e := engine.Submit(dev, ready, dur, name)
+		if obs != nil {
+			obs(p.Device[i], name, s, e, false)
+		}
 		end[i] = e
 		if e > last {
 			last = e

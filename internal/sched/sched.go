@@ -86,6 +86,13 @@ type Config struct {
 	// Virtual selects the deterministic no-goroutine mode driven by
 	// Pump.
 	Virtual bool
+	// Observe, if non-nil, is called once per executed micro-batch —
+	// after Dispatch returns with the batch completion time, before the
+	// members' Done callbacks — so a tracing layer can record dispatch
+	// instants with batch identity and occupancy. It runs outside the
+	// scheduler lock on the dispatching goroutine; virtual mode calls
+	// it in deterministic dispatch order.
+	Observe func(batch []*Request, endUS float64)
 }
 
 // DefaultMaxBatch is the micro-batch cap when Config.MaxBatch is 0.
@@ -306,6 +313,9 @@ func (s *Scheduler) dispatcher(q *devQueue) {
 // dispatch executes one batch and completes its members.
 func (s *Scheduler) dispatch(batch []*Request) {
 	end := s.cfg.Dispatch(batch)
+	if s.cfg.Observe != nil {
+		s.cfg.Observe(batch, end)
+	}
 	s.mu.Lock()
 	s.stats.Dispatches++
 	s.stats.Dispatched += uint64(len(batch))

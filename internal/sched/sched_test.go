@@ -229,3 +229,53 @@ func TestConfigErrors(t *testing.T) {
 	}
 	s.Close()
 }
+
+// TestObserveHook pins the post-dispatch observer contract: called once
+// per micro-batch with the batch and the dispatch end time, after
+// Dispatch returns and before any Done callback fires.
+func TestObserveHook(t *testing.T) {
+	rec := &recorder{}
+	type obsCall struct {
+		ids []string
+		end float64
+	}
+	var observed []obsCall
+	var doneOrder []string
+	cfg := Config{Virtual: true, MaxBatch: 3, Dispatch: rec.dispatch}
+	cfg.Observe = func(batch []*Request, endUS float64) {
+		ids := make([]string, len(batch))
+		for i, r := range batch {
+			ids[i] = r.Session
+		}
+		observed = append(observed, obsCall{ids, endUS})
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("s%d", i)
+		s.Submit(&Request{Session: id, Key: key(0, "a"), Done: func(float64) {
+			doneOrder = append(doneOrder, id)
+			if got := len(observed); got == 0 {
+				t.Errorf("Done for %s fired before Observe", id)
+			}
+		}})
+	}
+	s.Drain()
+	if len(observed) != len(rec.batches) {
+		t.Fatalf("observed %d batches, dispatched %d", len(observed), len(rec.batches))
+	}
+	for i, o := range observed {
+		if fmt.Sprint(o.ids) != fmt.Sprint(rec.batches[i]) {
+			t.Fatalf("observe %d saw %v, dispatch saw %v", i, o.ids, rec.batches[i])
+		}
+		// recorder.dispatch returns 100*dispatchNumber as the end time.
+		if want := float64(i+1) * 100; o.end != want {
+			t.Fatalf("observe %d end %g, want %g", i, o.end, want)
+		}
+	}
+	if len(doneOrder) != 5 {
+		t.Fatalf("done callbacks %v, want all 5", doneOrder)
+	}
+}

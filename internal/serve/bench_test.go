@@ -4,11 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
 	"testing"
 	"time"
 
 	"evedge/internal/events"
 	"evedge/internal/nn"
+	"evedge/internal/obs"
 	"evedge/internal/scene"
 )
 
@@ -35,8 +39,11 @@ func defaultBenchWorkload() benchWorkload {
 // accelerators for less virtual time. Wall time (the scheduling code
 // itself) rides along as a sanity column.
 type benchOutcome struct {
-	BatchMax       int     `json:"batch_max"`
-	WallSeconds    float64 `json:"wall_seconds"`
+	BatchMax    int     `json:"batch_max"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// CPUSeconds is the execution path's process CPU time (see
+	// cpuSeconds): the preemption-immune base for overhead ratios.
+	CPUSeconds     float64 `json:"cpu_seconds"`
 	SessionsPerSec float64 `json:"sessions_per_sec"`
 	RawFramesDone  uint64  `json:"raw_frames_done"`
 	FramesPerSec   float64 `json:"frames_per_wall_sec"`
@@ -54,24 +61,17 @@ type benchOutcome struct {
 // scheduling/pricing work itself, not goroutine luck).
 func runBenchWorkload(tb testing.TB, w benchWorkload, batchMax int) benchOutcome {
 	tb.Helper()
-	cfg := DefaultConfig()
-	cfg.ManualDrain = true
-	cfg.BatchMax = batchMax
-	srv, err := New(cfg)
-	if err != nil {
-		tb.Fatalf("New: %v", err)
-	}
-	defer srv.Close()
+	return runBenchWorkloadTraced(tb, w, batchMax, false)
+}
 
+// benchStreams generates the workload's per-session chunked event
+// streams once; rounds of the overhead guard replay the same streams,
+// because scene generation costs ~1000x the serving path it feeds.
+func benchStreams(tb testing.TB, w benchWorkload) [][]*events.Stream {
+	tb.Helper()
 	net := nn.MustByName(w.Network)
-	ids := make([]string, w.Sessions)
 	var all [][]*events.Stream
 	for i := 0; i < w.Sessions; i++ {
-		sess, err := srv.CreateSession(SessionConfig{Network: w.Network, Level: 2})
-		if err != nil {
-			tb.Fatalf("CreateSession: %v", err)
-		}
-		ids[i] = sess.ID
 		seq, err := scene.NewSequence(net.Input.Preset, scene.Half, int64(100+i))
 		if err != nil {
 			tb.Fatalf("NewSequence: %v", err)
@@ -82,12 +82,57 @@ func runBenchWorkload(tb testing.TB, w benchWorkload, batchMax int) benchOutcome
 		}
 		all = append(all, chunks(stream, w.DurUS, w.ChunkUS))
 	}
+	return all
+}
+
+// runBenchWorkloadTraced is runBenchWorkload with the frame-lifecycle
+// tracer optionally enabled — the two sides of the tracing-overhead
+// guard (TestObsBenchJSON) and the behavior-neutrality check.
+func runBenchWorkloadTraced(tb testing.TB, w benchWorkload, batchMax int, trace bool) benchOutcome {
+	tb.Helper()
+	return runBenchStreams(tb, w, batchMax, trace, benchStreams(tb, w))
+}
+
+// runBenchStreams streams pre-generated chunks through a fresh server.
+func runBenchStreams(tb testing.TB, w benchWorkload, batchMax int, trace bool, all [][]*events.Stream) benchOutcome {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	cfg.BatchMax = batchMax
+	if trace {
+		// The default trace config — exactly what `evserve -trace` users
+		// get, including the default 1-in-4 per-frame span sampling.
+		cfg.Trace = obs.Config{Enabled: true, Node: "bench"}
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	defer srv.Close()
+
+	ids := make([]string, w.Sessions)
+	for i := 0; i < w.Sessions; i++ {
+		sess, err := srv.CreateSession(SessionConfig{Network: w.Network, Level: 2})
+		if err != nil {
+			tb.Fatalf("CreateSession: %v", err)
+		}
+		ids[i] = sess.ID
+	}
 
 	// Time only the execution path — queue drain, scheduling, dispatch,
 	// completion — not the E2SF event conversion in Ingest, which is
 	// identical on both sides of the comparison and would otherwise
 	// drown the dispatch cost it exists to measure.
+	// Ingest allocates heavily (E2SF conversion), so a collection cycle
+	// it provoked can land inside a timed Pump window by luck — on a
+	// single-core box the "concurrent" mark runs on the measured CPU.
+	// Start from a collected heap and hold GC off during each window
+	// (the debt is paid between windows, identically on both sides),
+	// so the wall times compare scheduling work, not GC placement —
+	// essential for the few-percent tracing-overhead ratio.
+	runtime.GC()
 	var execT time.Duration
+	var cpuT float64
 	rounds := len(all[0])
 	for r := 0; r < rounds; r++ {
 		for i, id := range ids {
@@ -98,12 +143,16 @@ func runBenchWorkload(tb testing.TB, w benchWorkload, batchMax int) benchOutcome
 				tb.Fatalf("Ingest: %v", err)
 			}
 		}
-		t0 := time.Now()
+		gcPct := debug.SetGCPercent(-1)
+		t0, c0 := time.Now(), cpuSeconds()
 		srv.Pump()
 		execT += time.Since(t0)
+		cpuT += cpuSeconds() - c0
+		debug.SetGCPercent(gcPct)
 	}
 	out := benchOutcome{BatchMax: batchMax}
-	t0 := time.Now()
+	gcPct := debug.SetGCPercent(-1)
+	t0, c0 := time.Now(), cpuSeconds()
 	for _, id := range ids {
 		fin, err := srv.CloseSession(id)
 		if err != nil {
@@ -116,7 +165,10 @@ func runBenchWorkload(tb testing.TB, w benchWorkload, batchMax int) benchOutcome
 		}
 	}
 	execT += time.Since(t0)
+	cpuT += cpuSeconds() - c0
+	debug.SetGCPercent(gcPct)
 	out.WallSeconds = execT.Seconds()
+	out.CPUSeconds = cpuT
 	out.MakespanUS = srv.engine.Makespan()
 	st := srv.SchedStats()
 	out.Occupancy = st.Occupancy()
@@ -209,4 +261,103 @@ func TestServeBenchJSON(t *testing.T) {
 	fmt.Printf("bench-json: serialized %.0f vframes/s, batched %.0f vframes/s (%.2fx), p99 %.0f -> %.0f us, occupancy %.2f -> %s\n",
 		rep.Serialized.VirtualFPS, rep.Batched.VirtualFPS, rep.Speedup,
 		rep.Serialized.P99US, rep.Batched.P99US, rep.Batched.Occupancy, path)
+}
+
+// obsBenchReport is the BENCH_obs.json schema: the tracing-overhead
+// guard artifact `make bench-json` emits and CI uploads.
+type obsBenchReport struct {
+	Workload benchWorkload `json:"workload"`
+	// Rounds is the paired repetition count: each round runs the plain
+	// and traced sides back to back, so machine drift (thermal, cache,
+	// background load) hits both sides of a pair roughly equally.
+	Rounds int `json:"rounds"`
+	// Reps is how many full workload executions each round sums per
+	// side. One execution's timed section is only a few milliseconds
+	// of CPU — the same order as a single scheduler preemption — so a
+	// round's delta is meaningful only once several executions
+	// amortize that noise.
+	Reps int `json:"reps"`
+	// Plain/Traced carry each side's best-wall-time outcome (the
+	// virtual results are identical across rounds by determinism).
+	Plain  benchOutcome `json:"plain"`
+	Traced benchOutcome `json:"traced"`
+	// OverheadPct is the tracing CPU-time overhead in percent: the
+	// median over rounds of the paired per-round delta
+	// 100 * (traced - plain) / plain. The paired median is robust to
+	// the +-20% noise a shared CI box shows, where comparing each
+	// side's best-of-N would amplify it: the minimum of a noisy
+	// distribution is an extreme-value statistic, and the two sides'
+	// lucky extremes do not cancel.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// TestObsBenchJSON is the tracing-overhead guard: the same batched
+// workload with the frame-lifecycle tracer off and on must produce
+// identical virtual results (tracing is observation-only) and cost
+// less than 5% of wall time. Writes BENCH_obs.json to the path in the
+// BENCH_OBS_JSON environment variable (skipped when unset —
+// `make bench-json` is the entry point).
+func TestObsBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_OBS_JSON")
+	if path == "" {
+		t.Skip("BENCH_OBS_JSON not set; run via `make bench-json`")
+	}
+	w := defaultBenchWorkload()
+	rep := obsBenchReport{Workload: w, Rounds: 21, Reps: 5}
+	all := benchStreams(t, w)
+	deltas := make([]float64, 0, rep.Rounds)
+	for i := 0; i < rep.Rounds; i++ {
+		var plainCPU, tracedCPU float64
+		for r := 0; r < rep.Reps; r++ {
+			// Alternate which side runs first so any cost of being
+			// second in a pair (pool warmth, heap shape) cancels.
+			var plain, traced benchOutcome
+			if (i+r)%2 == 0 {
+				plain = runBenchStreams(t, w, 8, false, all)
+				traced = runBenchStreams(t, w, 8, true, all)
+			} else {
+				traced = runBenchStreams(t, w, 8, true, all)
+				plain = runBenchStreams(t, w, 8, false, all)
+			}
+			plainCPU += plain.CPUSeconds
+			tracedCPU += traced.CPUSeconds
+			if (i == 0 && r == 0) || plain.WallSeconds < rep.Plain.WallSeconds {
+				rep.Plain = plain
+			}
+			if (i == 0 && r == 0) || traced.WallSeconds < rep.Traced.WallSeconds {
+				rep.Traced = traced
+			}
+		}
+		deltas = append(deltas, 100*(tracedCPU-plainCPU)/plainCPU)
+	}
+	sort.Float64s(deltas)
+	rep.OverheadPct = deltas[len(deltas)/2]
+
+	// Behavior neutrality: the virtual outcome must be bit-identical.
+	if rep.Traced.RawFramesDone != rep.Plain.RawFramesDone {
+		t.Errorf("tracing changed completed work: %d raw frames traced vs %d plain",
+			rep.Traced.RawFramesDone, rep.Plain.RawFramesDone)
+	}
+	if rep.Traced.MakespanUS != rep.Plain.MakespanUS {
+		t.Errorf("tracing changed the engine makespan: %.3f traced vs %.3f plain",
+			rep.Traced.MakespanUS, rep.Plain.MakespanUS)
+	}
+	if rep.Traced.P99US != rep.Plain.P99US {
+		t.Errorf("tracing changed p99 latency: %.3f traced vs %.3f plain",
+			rep.Traced.P99US, rep.Plain.P99US)
+	}
+	if rep.OverheadPct >= 5 {
+		t.Errorf("tracing overhead %.2f%% >= 5%% budget (paired median of %d rounds; best plain %.4fs, best traced %.4fs)",
+			rep.OverheadPct, rep.Rounds, rep.Plain.WallSeconds, rep.Traced.WallSeconds)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("bench-obs: plain %.4fs, traced %.4fs, overhead %.2f%% (paired median of %d) -> %s\n",
+		rep.Plain.WallSeconds, rep.Traced.WallSeconds, rep.OverheadPct, rep.Rounds, path)
 }

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package serve
+
+import "time"
+
+// cpuSeconds falls back to the wall clock where the POSIX process CPU
+// clock is not available; overhead ratios are then best-effort.
+func cpuSeconds() float64 { return float64(time.Now().UnixNano()) * 1e-9 }

@@ -118,14 +118,54 @@ func (w *PromWriter) sample(name, typ, help, labels string, v float64) {
 	}
 }
 
+// Histogram emits one cumulative histogram: `name_bucket{le=...}`
+// per bound plus +Inf, then `name_sum` and `name_count`. bounds and
+// counts are index-aligned, with counts one longer (the +Inf bucket).
+// labels is a pre-rendered `k="v",...` string merged before the le
+// label.
+func (w *PromWriter) Histogram(name, help, labels string, bounds []float64, counts []uint64, sum float64, count uint64) {
+	if !w.headed[name] {
+		w.headed[name] = true
+		fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, "histogram")
+	}
+	join := func(le string) string {
+		if labels == "" {
+			return le
+		}
+		return labels + "," + le
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = fmt.Sprintf("%g", bounds[i])
+		}
+		fmt.Fprintf(&w.b, "%s_bucket{%s} %d\n", name, join(fmt.Sprintf("le=%q", le)), cum)
+	}
+	if labels != "" {
+		fmt.Fprintf(&w.b, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, sum, name, labels, count)
+	} else {
+		fmt.Fprintf(&w.b, "%s_sum %g\n%s_count %d\n", name, sum, name, count)
+	}
+}
+
 // String returns the accumulated exposition text.
 func (w *PromWriter) String() string { return w.b.String() }
 
-// PromLabels renders label pairs in the given order.
+// promLabelEscaper escapes a label value per the Prometheus text
+// exposition format: backslash, double quote and newline only. %q is
+// NOT equivalent — it emits Go syntax (\t, \xNN, ሴ) for other
+// non-printables, which Prometheus parsers reject.
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// PromLabels renders label pairs in the given order, escaping
+// quotes/backslashes/newlines in values so a hostile session ID or
+// network name cannot corrupt the exposition format.
 func PromLabels(kv ...string) string {
 	var parts []string
 	for i := 0; i+1 < len(kv); i += 2 {
-		parts = append(parts, fmt.Sprintf("%s=%q", kv[i], kv[i+1]))
+		parts = append(parts, kv[i]+`="`+promLabelEscaper.Replace(kv[i+1])+`"`)
 	}
 	return strings.Join(parts, ",")
 }

@@ -8,6 +8,7 @@ import (
 	"mime"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 	"evedge/internal/hw"
 	"evedge/internal/nmp"
 	"evedge/internal/nn"
+	"evedge/internal/obs"
 	"evedge/internal/perf"
 	"evedge/internal/pipeline"
 	"evedge/internal/quant"
@@ -84,6 +86,13 @@ type Config struct {
 	// the server; the zero value leaves both loops off, freezing the
 	// DSFA tuning and the placement at session creation as before.
 	Adapt AdaptConfig
+	// Trace wires the frame-lifecycle tracing layer (internal/obs):
+	// spans for ingest, queue wait, DSFA aggregation, batch-coalesce
+	// wait, per-device execution, UM transfers and completion, exported
+	// as Chrome trace-event JSON at GET /v1/trace and as per-stage
+	// latency histograms in /metrics. Off by default — a disabled
+	// server carries a nil tracer and pays one pointer check per path.
+	Trace obs.Config
 }
 
 // AdaptConfig enables the per-node control loop.
@@ -235,6 +244,19 @@ type Server struct {
 	engine *hw.Engine
 	sched  *sched.Scheduler
 
+	// tracer records frame-lifecycle spans; nil when tracing is off
+	// (every obs method is a no-op on nil). devTracks caches the
+	// per-device lane names ("dev/GPU") so exec spans never
+	// concatenate strings in the dispatch hot path, and the obs.Track
+	// handles cache the ring resolution for the fixed lanes so the
+	// dispatch path never pays a map lookup either.
+	tracer     *obs.Tracer
+	devTracks  []string
+	devTrackH  []*obs.Track
+	umTrack    *obs.Track
+	schedTrack *obs.Track
+	ctlTrack   *obs.Track
+
 	// sessMu guards the session table and placement bookkeeping. The
 	// placement search itself runs outside it (see rebalance).
 	sessMu      sync.Mutex
@@ -313,17 +335,31 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		model:    perf.NewModel(cfg.Platform),
 		engine:   hw.NewEngine(cfg.Platform, false),
+		tracer:   obs.NewTracer(cfg.Trace),
 		sessions: map[string]*Session{},
 		runq:     make(chan *Session, 1024),
 		stopped:  make(chan struct{}),
 		start:    time.Now(),
 	}
-	scheduler, err := sched.New(sched.Config{
+	schedCfg := sched.Config{
 		Dispatch: s.dispatchBatch,
 		MaxBatch: cfg.BatchMax,
 		Window:   cfg.BatchWindow,
 		Virtual:  cfg.ManualDrain,
-	})
+	}
+	if s.tracer != nil {
+		schedCfg.Observe = s.observeDispatch
+		s.devTracks = make([]string, len(cfg.Platform.Devices))
+		s.devTrackH = make([]*obs.Track, len(cfg.Platform.Devices))
+		for i := range s.devTracks {
+			s.devTracks[i] = "dev/" + cfg.Platform.DeviceName(i)
+			s.devTrackH[i] = s.tracer.Track(s.devTracks[i])
+		}
+		s.umTrack = s.tracer.Track("um")
+		s.schedTrack = s.tracer.Track("sched")
+		s.ctlTrack = s.tracer.Track("ctl")
+	}
+	scheduler, err := sched.New(schedCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -346,6 +382,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	if !cfg.ManualDrain {
 		for i := 0; i < cfg.Workers; i++ {
 			s.wg.Add(1)
@@ -365,6 +402,8 @@ func (s *Server) Close() {
 	s.stop.Do(func() { close(s.stopped) })
 	s.wg.Wait()
 	s.sched.Close()
+	// Recycle trace ring storage (export traces before Close).
+	s.tracer.Close()
 }
 
 // worker drains scheduled sessions until the server stops.
@@ -447,6 +486,10 @@ type invPayload struct {
 	inv  *pipeline.Invocation
 	net  *nn.Network
 	plan pipeline.ExecPlan
+	// track is the submitting session's cached trace lane ("" when
+	// tracing is off) and trackH its cached ring handle (nil no-op).
+	track  string
+	trackH *obs.Track
 }
 
 // planSig fingerprints a plan's pricing-relevant identity — device and
@@ -454,6 +497,13 @@ type invPayload struct {
 // scheduler coalesces only invocations that cost identically.
 func planSig(p *pipeline.ExecPlan) string {
 	return fmt.Sprintf("%v|%v|%v|%d", p.Device, p.Prec, p.Sparse, p.FramingOps)
+}
+
+// aggSpan buffers one DSFA bucket-residency span during an execute
+// pass until the bulk SpansFunc flush.
+type aggSpan struct {
+	start, dur float64
+	count      int64
 }
 
 // execute pushes frames through the session's stepper and submits
@@ -466,6 +516,12 @@ func planSig(p *pipeline.ExecPlan) string {
 // scheduler-quiescent point.
 func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 	var reqs []*sched.Request
+	traced := s.tracer != nil
+	// Aggregation spans buffer on the stack until one bulk flush after
+	// the invocation loop; a pass rarely releases more than a handful
+	// of invocations, so the spill append stays cold.
+	var aggArr [32]aggSpan
+	aggs := aggArr[:0]
 	sess.mu.Lock()
 	// A worker can lose the race with CloseSession: it drained frames
 	// before the close but acquires the session lock after the final
@@ -484,6 +540,16 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 		if sess.retuner != nil {
 			preRetunes = sess.retuner.Retunes()
 		}
+	}
+	if traced {
+		// Queue-wait spans: a frame became available at its window end
+		// (T1) and leaves the ingest queue at the session's virtual now.
+		// Bulk direct-write API: per-frame volume is the hot spot.
+		sess.trackH.SpansFunc(obs.StageQueue, "queue", len(frames),
+			func(i int) (float64, float64, int64) {
+				t1 := float64(frames[i].T1)
+				return t1 + sess.epochUS, sess.clockUS - t1, 1
+			})
 	}
 	for _, f := range frames {
 		sess.stepper.Push(f)
@@ -510,6 +576,18 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 		// race the dispatcher pricing this invocation.
 		ginv := *inv
 		ginv.ReadyUS += sess.epochUS
+		if traced && len(inv.PerRaw) > 0 {
+			// DSFA bucket residency: earliest member frame ready to the
+			// invocation's release.
+			first := inv.PerRaw[0].ReadyUS
+			for _, rr := range inv.PerRaw {
+				if rr.ReadyUS < first {
+					first = rr.ReadyUS
+				}
+			}
+			aggs = append(aggs, aggSpan{start: first + sess.epochUS,
+				dur: inv.ReadyUS - first, count: int64(inv.Raw)})
+		}
 		for _, d := range plan.Device {
 			sess.usedDevs[d] = true
 		}
@@ -526,9 +604,23 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 			Session: sess.ID,
 			Key:     sched.Key{Device: plan.Device[0], Net: sess.Net.Name, Sig: sess.planSig},
 			Units:   inv.Raw,
-			Payload: &invPayload{inv: &ginv, net: sess.Net, plan: *plan},
+			Payload: &invPayload{inv: &ginv, net: sess.Net, plan: *plan, track: sess.track, trackH: sess.trackH},
 			Done:    func(end float64) { s.complete(sess, perRaw, end) },
 		})
+	}
+	if traced {
+		sess.trackH.SpansFunc(obs.StageAgg, "agg", len(aggs),
+			func(i int) (float64, float64, int64) {
+				a := &aggs[i]
+				return a.start, a.dur, a.count
+			})
+		// DSFA shed marks: the aggregator's bounded inference queue
+		// dropped raw frames since the last pass.
+		if drops := uint64(sess.stepper.Stats().DroppedFrames); drops > sess.lastDSFADrops {
+			sess.trackH.Instant(obs.StageAgg, "dsfa-drop",
+				sess.clockUS+sess.epochUS, int64(drops-sess.lastDSFADrops))
+			sess.lastDSFADrops = drops
+		}
 	}
 	if tallied {
 		// The session's finals were already folded into the closed
@@ -576,7 +668,85 @@ func (s *Server) dispatchBatch(batch []*sched.Request) float64 {
 		inv = pipeline.MergeInvocations(invs)
 		tag = strings.Join(ids, "+")
 	}
-	return pipeline.ScheduleOnEngine(s.engine, s.model, first.net, &first.plan, inv, tag)
+	if s.tracer == nil {
+		return pipeline.ScheduleOnEngine(s.engine, s.model, first.net, &first.plan, inv, tag)
+	}
+	// Traced dispatch: the execution observer folds the per-layer
+	// callbacks into one busy span per device (first layer start to
+	// last layer end on that device, Count = layers) plus the UM-bus
+	// transfers; afterwards each batch member gets a coalesce-wait
+	// span from its own readiness to the batch's first engine start
+	// (early members pay the coalescing delay — exactly the
+	// latency/throughput trade the batch window bounds).
+	devs := make([]devExtent, len(s.devTracks))
+	execStart := -1.0
+	end := pipeline.ScheduleOnEngineObs(s.engine, s.model, first.net, &first.plan, inv, tag,
+		func(dev int, name string, startUS, endUS float64, um bool) {
+			if um {
+				s.umTrack.Span(obs.StageComms, name, startUS, endUS, 0)
+				return
+			}
+			if execStart < 0 || startUS < execStart {
+				execStart = startUS
+			}
+			d := &devs[dev]
+			if d.layers == 0 || startUS < d.start {
+				d.start = startUS
+			}
+			if endUS > d.end {
+				d.end = endUS
+			}
+			d.layers++
+		})
+	if execStart >= 0 {
+		name := "batch:" + tag
+		for i := range devs {
+			if devs[i].layers > 0 {
+				s.devTrackH[i].Span(obs.StageExec, name, devs[i].start, devs[i].end, devs[i].layers)
+			}
+		}
+		for _, r := range batch {
+			p := r.Payload.(*invPayload)
+			p.trackH.Span(obs.StageBatch, name, p.inv.ReadyUS, execStart, int64(r.Units))
+		}
+	}
+	return end
+}
+
+// devExtent accumulates one device's busy extent across a dispatch's
+// per-layer execution callbacks.
+type devExtent struct {
+	start, end float64
+	layers     int64
+}
+
+// observeDispatch is the scheduler's post-dispatch hook under tracing:
+// one instant per micro-batch on the scheduler track, carrying the
+// member count in its name and the raw-frame units in Count — the
+// occupancy signal, span-aligned with the exec spans it produced.
+func (s *Server) observeDispatch(batch []*sched.Request, endUS float64) {
+	var units int64
+	for _, r := range batch {
+		units += int64(r.Units)
+	}
+	s.schedTrack.Instant(obs.StageCtl, dispatchName(len(batch)), endUS, units)
+}
+
+// dispatchNames caches the scheduler-instant labels for common batch
+// sizes so observeDispatch never formats in the dispatch path.
+var dispatchNames = [...]string{
+	"dispatch[0]", "dispatch[1]", "dispatch[2]", "dispatch[3]",
+	"dispatch[4]", "dispatch[5]", "dispatch[6]", "dispatch[7]",
+	"dispatch[8]", "dispatch[9]", "dispatch[10]", "dispatch[11]",
+	"dispatch[12]", "dispatch[13]", "dispatch[14]", "dispatch[15]",
+	"dispatch[16]",
+}
+
+func dispatchName(n int) string {
+	if n >= 0 && n < len(dispatchNames) {
+		return dispatchNames[n]
+	}
+	return "dispatch[" + strconv.Itoa(n) + "]"
 }
 
 // complete is the scheduler's completion callback for one session
@@ -597,6 +767,15 @@ func (s *Server) complete(sess *Session, perRaw []pipeline.RawRef, engEnd float6
 		}
 		dCount += uint64(rr.N)
 		dSum += lat * float64(rr.N)
+	}
+	if s.tracer != nil {
+		// End-to-end frame spans: stream readiness to completion, in
+		// engine time so they nest under the session's other lanes.
+		sess.trackH.SpansFunc(obs.StageFrame, "frame", len(perRaw),
+			func(i int) (float64, float64, int64) {
+				rr := perRaw[i]
+				return rr.ReadyUS + sess.epochUS, end - rr.ReadyUS, int64(rr.N)
+			})
 	}
 	advanced := false
 	if end > sess.clockUS {
@@ -625,7 +804,9 @@ func (s *Server) adaptLocked(sess *Session) {
 	if cfg, ok := sess.retuner.Observe(sess.sampleLocked()); ok {
 		// The derived tuning is valid by construction; a failed retune
 		// would leave the old tuning in place, which is safe.
-		_ = sess.stepper.Retune(cfg)
+		if sess.stepper.Retune(cfg) == nil {
+			s.ctlTrack.Instant(obs.StageCtl, "retune:"+sess.ID, sess.clockUS+sess.epochUS, 1)
+		}
 	}
 }
 
@@ -668,6 +849,8 @@ func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	sess.epochUS = s.engine.Makespan()
+	sess.tracer = s.tracer
+	sess.trackH = s.tracer.Track(sess.track)
 	s.sessMu.Lock()
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
@@ -1121,6 +1304,7 @@ func (s *Server) maybeRemap() {
 		return
 	}
 	s.planner.Committed(now, gain)
+	s.ctlTrack.Instant(obs.StageCtl, "remap", now, int64(len(active)))
 }
 
 // buildMapper profiles the workload and configures the Network Mapper
@@ -1240,6 +1424,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Health())
 }
 
+// Tracer returns the server's frame-lifecycle tracer, nil when
+// tracing is off. Callers (cluster trace merging, the harness) treat
+// nil as "no lanes to contribute".
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// StageHists snapshots the per-stage latency histograms; nil when
+// tracing is off.
+func (s *Server) StageHists() []obs.HistSnapshot {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Hists()
+}
+
+// WriteTrace renders the retained spans as Chrome trace-event JSON.
+func (s *Server) WriteTrace(w io.Writer) error {
+	if s.tracer == nil {
+		return fmt.Errorf("serve: tracing disabled")
+	}
+	return obs.WriteChrome(w, s.tracer)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: tracing disabled (set Config.Trace.Enabled)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.WriteTrace(w)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw := NewPromWriter()
 	s.WriteMetrics(pw, "evserve", "")
@@ -1283,6 +1498,20 @@ func (s *Server) WriteMetrics(pw *PromWriter, ns, extraLabels string) {
 	pw.Counter(ns+"_sched_coalesced_total", "Invocations that rode a multi-member micro-batch.", lbls(), float64(st.Coalesced))
 	pw.Gauge(ns+"_sched_batch_occupancy", "Mean invocations per dispatch (1 = serialized).", lbls(), st.Occupancy())
 	pw.Gauge(ns+"_sched_batch_max_len", "Largest micro-batch dispatched so far.", lbls(), float64(st.MaxBatchLen))
+
+	if s.tracer != nil {
+		// Per-stage latency histograms from the frame-lifecycle tracer:
+		// one series per lifecycle stage that has observed anything.
+		for _, h := range s.tracer.Hists() {
+			if h.Count == 0 {
+				continue
+			}
+			pw.Histogram(ns+"_stage_latency_us", "Frame-lifecycle stage latency (virtual us).",
+				lbls("stage", h.Stage), obs.BucketBoundsUS, h.Counts, h.SumUS, h.Count)
+		}
+		pw.Counter(ns+"_trace_events_total", "Trace events recorded since start.", lbls(), float64(s.tracer.Recorded()))
+		pw.Counter(ns+"_trace_events_dropped_total", "Trace events overwritten in full ring buffers.", lbls(), float64(s.tracer.Dropped()))
+	}
 
 	// One snapshot pass feeds both the totals and the per-session
 	// series. Reading closedTotals and the active set under one lock

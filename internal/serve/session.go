@@ -20,6 +20,7 @@ import (
 	"evedge/internal/e2sf"
 	"evedge/internal/events"
 	"evedge/internal/nn"
+	"evedge/internal/obs"
 	"evedge/internal/pipeline"
 	"evedge/internal/sparse"
 )
@@ -115,6 +116,16 @@ type Session struct {
 	// queued frames.
 	plan *pipeline.PlanSlot
 
+	// tracer is the owning server's frame-lifecycle tracer; nil when
+	// tracing is off (set once at creation, before the first ingest).
+	tracer *obs.Tracer
+	// track is the session's trace lane name ("sess/"+ID), cached so
+	// the per-frame hot paths never concatenate strings; trackH is the
+	// lane's cached ring handle, so they never pay a map lookup either
+	// (nil when tracing is off — the no-op handle).
+	track  string
+	trackH *obs.Track
+
 	mu       sync.Mutex
 	conv     *ingestConverter
 	stepper  *pipeline.Stepper
@@ -152,6 +163,9 @@ type Session struct {
 	// watermark. DSFA staleness and dispatch decisions use it the same
 	// way the offline executor uses its loop clock.
 	clockUS float64
+	// lastDSFADrops is the aggregator drop count already emitted as
+	// trace instants, so each execute pass marks only the delta.
+	lastDSFADrops uint64
 }
 
 func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, policy DropPolicy, plan *pipeline.ExecPlan, retuner *control.Retuner) (*Session, error) {
@@ -161,6 +175,7 @@ func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, 
 	}
 	return &Session{
 		ID:       id,
+		track:    "sess/" + id,
 		Net:      net,
 		Level:    level,
 		queue:    newFrameQueue(queueCap, policy),
@@ -205,6 +220,13 @@ func (s *Session) ingest(chunk *events.Stream) (IngestResult, error) {
 	if err != nil {
 		return res, err
 	}
+	if s.tracer != nil && len(frames) > 0 {
+		// One ingest span per chunk that produced frames: the E2SF
+		// conversion window, from the first emitted frame's start to the
+		// chunk's watermark (stream time shifted into engine time).
+		s.trackH.Span(obs.StageIngest, "ingest",
+			float64(frames[0].T0)+s.epochUS, float64(chunk.TEnd())+s.epochUS, int64(len(frames)))
+	}
 	s.eventsIn += uint64(chunk.Len())
 	s.framesIn += uint64(len(frames))
 	for _, f := range frames {
@@ -222,6 +244,11 @@ func (s *Session) ingest(chunk *events.Stream) (IngestResult, error) {
 	res.Frames = len(frames)
 	for _, f := range frames {
 		res.Dropped += s.queue.push(f)
+	}
+	if s.tracer != nil && res.Dropped > 0 {
+		// Ingest-queue shedding mark, carrying the shed count.
+		s.trackH.Instant(obs.StageQueue, "shed",
+			float64(chunk.TEnd())+s.epochUS, int64(res.Dropped))
 	}
 	res.QueueLen = s.queue.len()
 	return res, nil

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"evedge/internal/events"
+	"evedge/internal/nn"
+	"evedge/internal/obs"
+	"evedge/internal/scene"
+)
+
+// runTracedWorkload streams a small deterministic multi-session
+// workload through a ManualDrain server with tracing on and returns
+// the server (sessions closed, ready for export).
+func runTracedWorkload(t *testing.T, seed int64) *Server {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	cfg.BatchMax = 8
+	cfg.Trace = obs.Config{Enabled: true, Node: "test"}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(srv.Close)
+
+	const network = nn.SpikeFlowNet
+	net := nn.MustByName(network)
+	const durUS, chunkUS = 100_000, 20_000
+	var ids []string
+	var all [][]*events.Stream
+	for i := 0; i < 3; i++ {
+		sess, err := srv.CreateSession(SessionConfig{Network: network, Level: 2})
+		if err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+		ids = append(ids, sess.ID)
+		seq, err := scene.NewSequence(net.Input.Preset, scene.Half, seed+int64(i))
+		if err != nil {
+			t.Fatalf("NewSequence: %v", err)
+		}
+		stream, err := seq.Generate(durUS)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		all = append(all, chunks(stream, durUS, chunkUS))
+	}
+	for r := 0; r < len(all[0]); r++ {
+		for i, id := range ids {
+			if all[i][r].Len() == 0 {
+				continue
+			}
+			if _, err := srv.Ingest(id, all[i][r]); err != nil {
+				t.Fatalf("Ingest: %v", err)
+			}
+		}
+		srv.Pump()
+	}
+	for _, id := range ids {
+		if _, err := srv.CloseSession(id); err != nil {
+			t.Fatalf("CloseSession: %v", err)
+		}
+	}
+	return srv
+}
+
+// TestTraceDeterministicAndValid runs the same workload twice: the
+// exported Chrome trace must be byte-identical (the tracer records
+// only virtual timestamps) and valid trace-event JSON with the
+// expected lanes.
+func TestTraceDeterministicAndValid(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		srv := runTracedWorkload(t, 42)
+		if err := srv.WriteTrace(&bufs[i]); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("same workload, different trace bytes — tracing leaked wall-clock state")
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(bufs[0].Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	// Every lifecycle lane the workload exercises must appear: session
+	// lanes, at least one device lane, and the scheduler track.
+	lanes := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					lanes[n] = true
+				}
+			}
+		}
+	}
+	for _, want := range []string{"sess/s1", "sess/s2", "sess/s3", "sched"} {
+		if !lanes[want] {
+			t.Errorf("trace missing lane %q (have %v)", want, lanes)
+		}
+	}
+	devLane := false
+	for n := range lanes {
+		if strings.HasPrefix(n, "dev/") {
+			devLane = true
+		}
+	}
+	if !devLane {
+		t.Errorf("trace has no device lane (have %v)", lanes)
+	}
+}
+
+// TestTraceEndpointAndMetrics checks the HTTP surface: /v1/trace
+// serves the JSON under tracing, 404s without it, and /metrics carries
+// the per-stage latency histograms.
+func TestTraceEndpointAndMetrics(t *testing.T) {
+	srv := runTracedWorkload(t, 7)
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /v1/trace = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace Content-Type %q", ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("endpoint trace not valid JSON: %v", err)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, stage := range []string{"queue", "agg", "exec", "frame"} {
+		if !strings.Contains(body, `evserve_stage_latency_us_bucket{stage="`+stage+`"`) {
+			t.Errorf("/metrics missing stage histogram %q", stage)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE evserve_stage_latency_us histogram",
+		"evserve_trace_events_total",
+		"evserve_trace_events_dropped_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Tracing off: no tracer, no endpoint, no histogram series.
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	off, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if off.Tracer() != nil || off.StageHists() != nil {
+		t.Fatal("disabled tracing still built a tracer")
+	}
+	rec = httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/trace", nil))
+	if rec.Code != 404 {
+		t.Fatalf("GET /v1/trace with tracing off = %d, want 404", rec.Code)
+	}
+}
+
+// TestTraceBehaviorNeutral pins the zero-interference contract: the
+// same workload with tracing on and off completes identical work in
+// identical virtual time.
+func TestTraceBehaviorNeutral(t *testing.T) {
+	w := benchWorkload{Sessions: 3, DurUS: 100_000, ChunkUS: 20_000, Network: nn.SpikeFlowNet}
+	plain := runBenchWorkload(t, w, 8)
+	traced := runBenchWorkloadTraced(t, w, 8, true)
+	if plain.RawFramesDone != traced.RawFramesDone {
+		t.Errorf("tracing changed completed work: %d vs %d", plain.RawFramesDone, traced.RawFramesDone)
+	}
+	if plain.MakespanUS != traced.MakespanUS {
+		t.Errorf("tracing changed the makespan: %g vs %g", plain.MakespanUS, traced.MakespanUS)
+	}
+	if plain.P99US != traced.P99US {
+		t.Errorf("tracing changed p99: %g vs %g", plain.P99US, traced.P99US)
+	}
+}
