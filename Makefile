@@ -11,7 +11,7 @@ FUZZ_TARGETS := \
 	./internal/serve:FuzzDecodeChunk
 FUZZTIME ?= 10s
 
-.PHONY: build test race lint bench bench-json serve cluster scenarios fuzz cover clean
+.PHONY: build test race lint bench bench-json bench-smoke serve cluster scenarios fuzz cover clean
 
 build:
 	@mkdir -p $(BIN)
@@ -35,14 +35,24 @@ lint:
 	fi
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test -bench=. -benchtime=1x -benchmem -run=^$$ . ./internal/sparse ./internal/e2sf ./internal/serve
 
-# Serialized-vs-batched serving comparison: emits BENCH_serve.json
-# (virtual throughput, p50/p99, batch occupancy) — the perf-trajectory
-# artifact CI uploads on every run.
+# Serialized-vs-batched serving comparison plus per-stage allocation
+# profile: emits BENCH_serve.json (virtual throughput, p50/p99, batch
+# occupancy) and BENCH_alloc.json (allocs/op, bytes/op, ns/op per
+# hot-path stage) — the perf-trajectory artifacts CI uploads on every
+# run.
 bench-json:
 	BENCH_JSON=$(abspath BENCH_serve.json) $(GO) test -run '^TestServeBenchJSON$$' -count=1 ./internal/serve
 	BENCH_OBS_JSON=$(abspath BENCH_obs.json) $(GO) test -run '^TestObsBenchJSON$$' -count=1 ./internal/serve
+	BENCH_ALLOC_JSON=$(abspath BENCH_alloc.json) $(GO) test -run '^TestAllocBenchJSON$$' -count=1 ./internal/serve
+
+# Allocation regression gate: re-measure every hot-path stage and fail
+# if any stage's allocs/op regressed >10% against the committed
+# BENCH_alloc.json. Run before bench-json (which overwrites the
+# baseline in the working tree).
+bench-smoke:
+	BENCH_ALLOC_BASELINE=$(abspath BENCH_alloc.json) $(GO) test -run '^TestAllocSmoke$$' -count=1 -v ./internal/serve
 
 # Run the deterministic scenario suite (the chaos/soak regression bed)
 # under the race detector.

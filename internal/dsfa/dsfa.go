@@ -15,6 +15,7 @@ package dsfa
 import (
 	"fmt"
 
+	"evedge/internal/mem"
 	"evedge/internal/sparse"
 )
 
@@ -189,6 +190,19 @@ type Aggregator struct {
 	buckets []*bucket
 	queue   []Merged
 	stats   Stats
+
+	// pool, when set (SetPool), switches the aggregator to pooled
+	// operation: member frames entering cAdd/cAverage buckets are
+	// released back to the pool after merging, dropped queue entries
+	// release their frames instead of leaking them, bucket structs and
+	// queue storage are recycled, and dispatches reuse one Batch whose
+	// contents are only valid until the next dispatch. The serving hot
+	// path runs pooled; offline callers leave pool nil and keep the
+	// allocate-per-dispatch semantics.
+	pool        *mem.FramePool
+	freeBuckets []*bucket
+	spare       []Merged
+	batch       Batch
 }
 
 // New validates cfg and returns an empty aggregator.
@@ -201,6 +215,91 @@ func New(cfg Config) (*Aggregator, error) {
 
 // Config returns the aggregator's configuration.
 func (a *Aggregator) Config() Config { return a.cfg }
+
+// SetPool enables pooled operation: frames the aggregator consumes
+// (members merged under cAdd/cAverage, dropped queue entries) are
+// returned to p, merged output frames are borrowed from p, and
+// internal bucket/queue/batch storage is recycled. In pooled mode a
+// dispatched Batch and its Merged entries are valid only until the
+// next dispatch — consume them immediately (the pipeline Stepper
+// does). Set it before the first Push; frames pushed afterwards must
+// be owned by the same pool.
+func (a *Aggregator) SetPool(p *mem.FramePool) { a.pool = p }
+
+// newBucket takes a bucket from the freelist or allocates one.
+func (a *Aggregator) newBucket(mode CMode) *bucket {
+	if n := len(a.freeBuckets); n > 0 {
+		b := a.freeBuckets[n-1]
+		a.freeBuckets[n-1] = nil
+		a.freeBuckets = a.freeBuckets[:n-1]
+		for i := range b.frames {
+			b.frames[i] = nil
+		}
+		b.frames = b.frames[:0]
+		b.earliest, b.meanDen, b.status, b.mode = 0, 0, avl, mode
+		return b
+	}
+	return &bucket{mode: mode}
+}
+
+// recycleBucket returns a closed bucket's struct to the freelist.
+func (a *Aggregator) recycleBucket(b *bucket) {
+	a.freeBuckets = append(a.freeBuckets, b)
+}
+
+// enqueue appends one zeroed Merged slot to the inference queue,
+// reusing spare capacity (and the slot's Frames storage) when present.
+func (a *Aggregator) enqueue() *Merged {
+	if len(a.queue) < cap(a.queue) {
+		a.queue = a.queue[:len(a.queue)+1]
+		m := &a.queue[len(a.queue)-1]
+		m.Frames = m.Frames[:0]
+		m.NumMerged, m.Events, m.T0, m.T1 = 0, 0, 0, 0
+		return m
+	}
+	a.queue = append(a.queue, Merged{})
+	return &a.queue[len(a.queue)-1]
+}
+
+// dropEarliest sheds the head of the inference queue, releasing its
+// frames in pooled mode, and counts the drop.
+func (a *Aggregator) dropEarliest() {
+	drop := &a.queue[0]
+	if a.pool != nil {
+		for _, f := range drop.Frames {
+			a.pool.Put(f)
+		}
+	}
+	a.stats.DroppedBuckets++
+	a.stats.DroppedFrames += drop.NumMerged
+	a.stats.DroppedEvents += drop.Events
+	a.queue = a.queue[1:]
+}
+
+// takeBatch hands the queued merged buckets out as one dispatch unit
+// and counts them. In pooled mode the returned Batch and the queue
+// storage are recycled on the next dispatch.
+func (a *Aggregator) takeBatch() *Batch {
+	if len(a.queue) == 0 {
+		return nil
+	}
+	var batch *Batch
+	if a.pool != nil {
+		a.batch.Merged = a.queue
+		a.queue = a.spare[:0]
+		a.spare = a.batch.Merged
+		batch = &a.batch
+	} else {
+		batch = &Batch{Merged: a.queue}
+		a.queue = nil
+	}
+	for _, m := range batch.Merged {
+		a.stats.MergedDispatch++
+		a.stats.FramesDispatch += m.NumMerged
+		a.stats.EventsDispatch += m.Events
+	}
+	return batch
+}
 
 // Stats returns a snapshot of the counters.
 func (a *Aggregator) Stats() Stats { return a.stats }
@@ -242,11 +341,7 @@ func (a *Aggregator) Retune(cfg Config) error {
 	}
 	a.cfg = cfg
 	for len(a.queue) > a.cfg.QueueCap {
-		drop := a.queue[0]
-		a.queue = a.queue[1:]
-		a.stats.DroppedBuckets++
-		a.stats.DroppedFrames += drop.NumMerged
-		a.stats.DroppedEvents += drop.Events
+		a.dropEarliest()
 	}
 	a.stats.Retunes++
 	return nil
@@ -281,7 +376,7 @@ func (a *Aggregator) Push(f *sparse.Frame) {
 func (a *Aggregator) place(f *sparse.Frame) {
 	if a.cfg.Mode == CBatch {
 		// cBatch: every frame opens a fresh bucket.
-		b := &bucket{mode: CBatch}
+		b := a.newBucket(CBatch)
 		b.add(f)
 		b.status = full
 		a.buckets = append(a.buckets, b)
@@ -317,7 +412,7 @@ func (a *Aggregator) place(f *sparse.Frame) {
 		b.add(f)
 		return
 	}
-	nb := &bucket{mode: a.cfg.Mode}
+	nb := a.newBucket(a.cfg.Mode)
 	nb.add(f)
 	a.buckets = append(a.buckets, nb)
 }
@@ -327,41 +422,51 @@ func (a *Aggregator) place(f *sparse.Frame) {
 // entries on overflow.
 func (a *Aggregator) flushBuckets() {
 	for _, b := range a.buckets {
-		if len(b.frames) == 0 {
-			continue
+		if len(b.frames) > 0 {
+			a.combineInto(b, a.enqueue())
+			a.stats.BucketsClosed++
 		}
-		m := a.combine(b)
-		a.stats.BucketsClosed++
-		a.queue = append(a.queue, m)
+		a.recycleBucket(b)
 	}
 	a.buckets = a.buckets[:0]
 	for len(a.queue) > a.cfg.QueueCap {
-		drop := a.queue[0]
-		a.queue = a.queue[1:]
-		a.stats.DroppedBuckets++
-		a.stats.DroppedFrames += drop.NumMerged
-		a.stats.DroppedEvents += drop.Events
+		a.dropEarliest()
 	}
 }
 
-func (a *Aggregator) combine(b *bucket) Merged {
-	m := Merged{
-		NumMerged: len(b.frames),
-		T0:        b.frames[0].T0,
-		T1:        b.frames[len(b.frames)-1].T1,
-	}
+// combineInto merges one bucket into a queue slot. In pooled mode the
+// merged output frame is borrowed from the pool and the member frames
+// (now dead for cAdd/cAverage) are released back to it.
+func (a *Aggregator) combineInto(b *bucket, m *Merged) {
+	m.NumMerged = len(b.frames)
+	m.T0 = b.frames[0].T0
+	m.T1 = b.frames[len(b.frames)-1].T1
 	for _, f := range b.frames {
 		m.Events += f.EventCount()
 	}
 	switch b.mode {
-	case CAdd:
-		m.Frames = []*sparse.Frame{sparse.MergeAdd(b.frames...)}
-	case CAverage:
-		m.Frames = []*sparse.Frame{sparse.MergeAverage(b.frames...)}
+	case CAdd, CAverage:
+		var merged *sparse.Frame
+		if a.pool != nil {
+			f0 := b.frames[0]
+			merged = a.pool.Get(f0.H, f0.W, f0.T0, f0.T1)
+		} else {
+			merged = &sparse.Frame{}
+		}
+		if b.mode == CAdd {
+			sparse.MergeAddInto(merged, b.frames...)
+		} else {
+			sparse.MergeAverageInto(merged, b.frames...)
+		}
+		m.Frames = append(m.Frames, merged)
+		if a.pool != nil {
+			for _, f := range b.frames {
+				a.pool.Put(f)
+			}
+		}
 	case CBatch:
-		m.Frames = append([]*sparse.Frame(nil), b.frames...)
+		m.Frames = append(m.Frames, b.frames...)
 	}
-	return m
 }
 
 // MarkStale flips buckets whose earliest member is older than MtTh to
@@ -388,30 +493,17 @@ func (a *Aggregator) DispatchReady(nowUS int64) *Batch {
 	for _, b := range a.buckets {
 		if b.status == full || len(b.frames) >= a.cfg.MBSize {
 			a.stats.BucketsClosed++
-			a.queue = append(a.queue, a.combine(b))
+			a.combineInto(b, a.enqueue())
+			a.recycleBucket(b)
 			continue
 		}
 		kept = append(kept, b)
 	}
 	a.buckets = kept
 	for len(a.queue) > a.cfg.QueueCap {
-		drop := a.queue[0]
-		a.queue = a.queue[1:]
-		a.stats.DroppedBuckets++
-		a.stats.DroppedFrames += drop.NumMerged
-		a.stats.DroppedEvents += drop.Events
+		a.dropEarliest()
 	}
-	if len(a.queue) == 0 {
-		return nil
-	}
-	batch := &Batch{Merged: a.queue}
-	a.queue = nil
-	for _, m := range batch.Merged {
-		a.stats.MergedDispatch++
-		a.stats.FramesDispatch += m.NumMerged
-		a.stats.EventsDispatch += m.Events
-	}
-	return batch
+	return a.takeBatch()
 }
 
 // Dispatch flushes everything — open buckets included — and drains the
@@ -423,17 +515,7 @@ func (a *Aggregator) Dispatch() *Batch {
 		a.stats.EarlyDispatches++
 		a.flushBuckets()
 	}
-	if len(a.queue) == 0 {
-		return nil
-	}
-	batch := &Batch{Merged: a.queue}
-	a.queue = nil
-	for _, m := range batch.Merged {
-		a.stats.MergedDispatch++
-		a.stats.FramesDispatch += m.NumMerged
-		a.stats.EventsDispatch += m.Events
-	}
-	return batch
+	return a.takeBatch()
 }
 
 // PendingFrames returns buffered-but-undispatched raw frames (buckets

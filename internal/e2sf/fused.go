@@ -1,0 +1,351 @@
+package e2sf
+
+import (
+	"fmt"
+	"math"
+
+	"evedge/internal/events"
+	"evedge/internal/mem"
+	"evedge/internal/sparse"
+)
+
+// Fused is the one-pass E2SF kernel for the serving hot path. The
+// unfused path (Convert → GroupBins, or ConvertByCount) materializes a
+// FrameBuilder map per bin and intermediate per-bin frames that are
+// immediately merged and thrown away; Fused traverses the event chunk
+// once, accumulating polarities into a dense scratch grid that is
+// epoch-stamped so it never needs clearing between frames, and emits
+// each output frame with a single key sort. Frames come from the
+// optional FramePool, so a warm kernel converts a chunk with zero heap
+// allocations.
+//
+// Outputs are bit-identical to the unfused path: per-pixel values are
+// integer event counts (exact in float32 far beyond any realistic
+// per-frame count), entries are emitted in the same key order, and
+// frame time bounds use the same float64 bin arithmetic.
+//
+// A Fused kernel is NOT safe for concurrent use — it is per-session
+// state, like the ingestConverter that owns it.
+type Fused struct {
+	cfg  Config
+	pool *mem.FramePool
+
+	// Dense per-pixel scratch: pos/neg are only valid where stamp
+	// matches the current epoch, so starting a new frame is one counter
+	// increment instead of an O(H*W) clear.
+	pos, neg []float32
+	stamp    []uint32
+	epoch    uint32
+	touched  []int32
+
+	// Voxel scratch: signed per-(bin, pixel) accumulation with its own
+	// stamping, sized NumBins*H*W on first voxel conversion.
+	vox        []float32
+	voxStamp   []uint32
+	voxEpoch   uint32
+	voxTouched [][]int32
+}
+
+// NewFused validates the config and returns a fused kernel drawing
+// output frames from pool (nil to allocate fresh frames).
+func NewFused(cfg Config, pool *mem.FramePool) (*Fused, error) {
+	if _, err := New(cfg); err != nil {
+		return nil, err
+	}
+	if int64(cfg.Width)*int64(cfg.Height) > math.MaxInt32 {
+		return nil, fmt.Errorf("e2sf: fused kernel geometry %dx%d overflows int32 keys", cfg.Width, cfg.Height)
+	}
+	return &Fused{cfg: cfg, pool: pool}, nil
+}
+
+// Config returns the kernel's configuration.
+func (k *Fused) Config() Config { return k.cfg }
+
+func (k *Fused) ensureScratch() {
+	if k.pos == nil {
+		n := k.cfg.Width * k.cfg.Height
+		k.pos = make([]float32, n)
+		k.neg = make([]float32, n)
+		k.stamp = make([]uint32, n)
+	}
+	k.epoch++
+	if k.epoch == 0 { // uint32 wraparound: stale stamps could collide
+		for i := range k.stamp {
+			k.stamp[i] = 0
+		}
+		k.epoch = 1
+	}
+	k.touched = k.touched[:0]
+}
+
+// add accumulates one event into the current frame's scratch.
+func (k *Fused) add(e events.Event) {
+	key := int32(e.Y)*int32(k.cfg.Width) + int32(e.X)
+	if k.stamp[key] != k.epoch {
+		k.stamp[key] = k.epoch
+		k.pos[key] = 0
+		k.neg[key] = 0
+		k.touched = append(k.touched, key)
+	}
+	if e.Pol == events.On {
+		k.pos[key]++
+	} else {
+		k.neg[key]++
+	}
+}
+
+// frame borrows or allocates an output frame.
+func (k *Fused) frame(t0, t1 int64) *sparse.Frame {
+	if k.pool != nil {
+		return k.pool.Get(k.cfg.Height, k.cfg.Width, t0, t1)
+	}
+	return sparse.NewFrame(k.cfg.Height, k.cfg.Width, t0, t1)
+}
+
+// emitFrame sorts the touched keys, gathers the scratch into a frame
+// spanning [t0, t1), and resets the scratch for the next frame.
+func (k *Fused) emitFrame(t0, t1 int64) *sparse.Frame {
+	sortInt32s(k.touched)
+	f := k.frame(t0, t1)
+	w := int32(k.cfg.Width)
+	for _, key := range k.touched {
+		f.Ys = append(f.Ys, key/w)
+		f.Xs = append(f.Xs, key%w)
+		f.Pos = append(f.Pos, k.pos[key])
+		f.Neg = append(f.Neg, k.neg[key])
+	}
+	k.epoch++
+	if k.epoch == 0 {
+		for i := range k.stamp {
+			k.stamp[i] = 0
+		}
+		k.epoch = 1
+	}
+	k.touched = k.touched[:0]
+	return f
+}
+
+// ConvertGrouped is the fused equivalent of Convert followed by
+// GroupBins: one frame per group of groupK consecutive bins (the last
+// group may cover fewer bins; empty groups still yield empty frames,
+// preserving temporal alignment). Stats are reported over the emitted
+// group frames, matching what the serving path observes.
+func (k *Fused) ConvertGrouped(s *events.Stream, tStart, tEnd int64, groupK int) ([]*sparse.Frame, Stats, error) {
+	return k.ConvertGroupedAppend(nil, s, tStart, tEnd, groupK)
+}
+
+// ConvertGroupedAppend is ConvertGrouped appending into dst, so a
+// caller-owned output slice is reused across chunks.
+func (k *Fused) ConvertGroupedAppend(dst []*sparse.Frame, s *events.Stream, tStart, tEnd int64, groupK int) ([]*sparse.Frame, Stats, error) {
+	var st Stats
+	if tEnd <= tStart {
+		return dst, st, fmt.Errorf("e2sf: empty interval [%d, %d)", tStart, tEnd)
+	}
+	if groupK <= 0 {
+		return dst, st, fmt.Errorf("e2sf: group size must be positive, got %d", groupK)
+	}
+	if s.Width != k.cfg.Width || s.Height != k.cfg.Height {
+		return dst, st, fmt.Errorf("e2sf: stream geometry %dx%d != converter %dx%d",
+			s.Width, s.Height, k.cfg.Width, k.cfg.Height)
+	}
+	nB := k.cfg.NumBins
+	biS := float64(tEnd-tStart) / float64(nB)
+	nG := (nB + groupK - 1) / groupK
+	k.ensureScratch()
+	g := 0
+	emit := func() {
+		a := g * groupK
+		b := a + groupK
+		if b > nB {
+			b = nB
+		}
+		// Same float64 bin-boundary arithmetic as Convert, so group
+		// bounds equal the MergeAdd union of the member bins' bounds.
+		t0 := tStart + int64(float64(a)*biS)
+		t1 := tStart + int64(float64(b)*biS)
+		f := k.emitFrame(t0, t1)
+		dst = append(dst, f)
+		st.TotalNNZ += f.NNZ()
+		st.MeanDensity += f.Density()
+	}
+	for _, e := range s.Window(tStart, tEnd) {
+		bi := int(float64(e.TS-tStart) / biS)
+		if bi >= nB { // tk == tEnd-epsilon rounding; clamp to last bin
+			bi = nB - 1
+		}
+		for eg := bi / groupK; g < eg; g++ {
+			emit()
+		}
+		k.add(e)
+		st.EventsIn++
+	}
+	for ; g < nG; g++ {
+		emit()
+	}
+	st.Frames = nG
+	if nG > 0 {
+		st.MeanDensity /= float64(nG)
+	}
+	return dst, st, nil
+}
+
+// ConvertByCount is the fused equivalent of Converter.ConvertByCount:
+// a frame every countPerFrame events with T1 just past the closing
+// event, plus a trailing partial frame ending at tEnd.
+func (k *Fused) ConvertByCount(s *events.Stream, tStart, tEnd int64, countPerFrame int) ([]*sparse.Frame, Stats, error) {
+	return k.ConvertByCountAppend(nil, s, tStart, tEnd, countPerFrame)
+}
+
+// ConvertByCountAppend is ConvertByCount appending into dst.
+func (k *Fused) ConvertByCountAppend(dst []*sparse.Frame, s *events.Stream, tStart, tEnd int64, countPerFrame int) ([]*sparse.Frame, Stats, error) {
+	var st Stats
+	if tEnd <= tStart {
+		return dst, st, fmt.Errorf("e2sf: empty interval [%d, %d)", tStart, tEnd)
+	}
+	if countPerFrame <= 0 {
+		return dst, st, fmt.Errorf("e2sf: countPerFrame must be positive, got %d", countPerFrame)
+	}
+	if s.Width != k.cfg.Width || s.Height != k.cfg.Height {
+		return dst, st, fmt.Errorf("e2sf: stream geometry %dx%d != converter %dx%d",
+			s.Width, s.Height, k.cfg.Width, k.cfg.Height)
+	}
+	k.ensureScratch()
+	frameStart := tStart
+	n := 0
+	emit := func(t1 int64) {
+		f := k.emitFrame(frameStart, t1)
+		dst = append(dst, f)
+		st.TotalNNZ += f.NNZ()
+		st.MeanDensity += f.Density()
+		st.Frames++
+		frameStart = t1
+		n = 0
+	}
+	for _, e := range s.Window(tStart, tEnd) {
+		k.add(e)
+		st.EventsIn++
+		n++
+		if n >= countPerFrame {
+			emit(e.TS + 1)
+		}
+	}
+	if n > 0 {
+		emit(tEnd)
+	}
+	if st.Frames > 0 {
+		st.MeanDensity /= float64(st.Frames)
+	}
+	return dst, st, nil
+}
+
+// ConvertVoxel is the fused equivalent of Converter.ConvertVoxel,
+// reusing the kernel's voxel scratch across chunks instead of building
+// per-bin accumulation maps. Bilinear weights are applied in the same
+// event order, so bin values are bit-identical.
+func (k *Fused) ConvertVoxel(s *events.Stream, tStart, tEnd int64) (*VoxelGrid, error) {
+	if tEnd <= tStart {
+		return nil, fmt.Errorf("e2sf: empty interval [%d, %d)", tStart, tEnd)
+	}
+	if s.Width != k.cfg.Width || s.Height != k.cfg.Height {
+		return nil, fmt.Errorf("e2sf: stream geometry %dx%d != converter %dx%d",
+			s.Width, s.Height, k.cfg.Width, k.cfg.Height)
+	}
+	nB := k.cfg.NumBins
+	if nB < 2 {
+		return nil, fmt.Errorf("e2sf: voxel grid needs at least 2 bins, got %d", nB)
+	}
+	hw := k.cfg.Width * k.cfg.Height
+	if k.vox == nil || len(k.vox) < nB*hw {
+		k.vox = make([]float32, nB*hw)
+		k.voxStamp = make([]uint32, nB*hw)
+		k.voxTouched = make([][]int32, nB)
+	}
+	k.voxEpoch++
+	if k.voxEpoch == 0 {
+		for i := range k.voxStamp {
+			k.voxStamp[i] = 0
+		}
+		k.voxEpoch = 1
+	}
+	for b := 0; b < nB; b++ {
+		k.voxTouched[b] = k.voxTouched[b][:0]
+	}
+	acc := func(b int, key int32, v float32) {
+		i := b*hw + int(key)
+		if k.voxStamp[i] != k.voxEpoch {
+			k.voxStamp[i] = k.voxEpoch
+			k.vox[i] = 0
+			k.voxTouched[b] = append(k.voxTouched[b], key)
+		}
+		k.vox[i] += v
+	}
+	span := float64(tEnd - tStart)
+	for _, e := range s.Window(tStart, tEnd) {
+		tStar := float64(nB-1) * float64(e.TS-tStart) / span
+		b0 := int(tStar)
+		frac := tStar - float64(b0)
+		pol := float32(1)
+		if e.Pol == events.Off {
+			pol = -1
+		}
+		key := int32(e.Y)*int32(k.cfg.Width) + int32(e.X)
+		acc(b0, key, pol*float32(1-frac))
+		if b0+1 < nB && frac > 0 {
+			acc(b0+1, key, pol*float32(frac))
+		}
+	}
+	g := &VoxelGrid{T0: tStart, T1: tEnd}
+	biS := span / float64(nB)
+	w := int32(k.cfg.Width)
+	for b := 0; b < nB; b++ {
+		f := k.frame(tStart+int64(float64(b)*biS), tStart+int64(float64(b+1)*biS))
+		sortInt32s(k.voxTouched[b])
+		for _, key := range k.voxTouched[b] {
+			v := k.vox[b*hw+int(key)]
+			if v == 0 {
+				continue // positive and negative contributions cancelled
+			}
+			f.Ys = append(f.Ys, key/w)
+			f.Xs = append(f.Xs, key%w)
+			f.Pos = append(f.Pos, v)
+			f.Neg = append(f.Neg, 0)
+		}
+		g.Bins = append(g.Bins, f)
+	}
+	return g, nil
+}
+
+func sortInt32s(a []int32) {
+	if len(a) < 2 {
+		return
+	}
+	quicksortInt32(a, 0, len(a)-1)
+}
+
+func quicksortInt32(a []int32, lo, hi int) {
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j-lo < hi-i {
+			quicksortInt32(a, lo, j)
+			lo = i
+		} else {
+			quicksortInt32(a, i, hi)
+			hi = j
+		}
+	}
+}

@@ -151,6 +151,15 @@ func (s *Stream) Slice(t0, t1 int64) *Stream {
 	return &Stream{Width: s.Width, Height: s.Height, Events: s.Events[lo:hi]}
 }
 
+// Window returns the subslice of events with TS in [t0, t1) without
+// allocating a Stream wrapper — the hot-path variant of Slice. The
+// stream must be sorted; the slice shares backing storage.
+func (s *Stream) Window(t0, t1 int64) []Event {
+	lo := sort.Search(len(s.Events), func(i int) bool { return s.Events[i].TS >= t0 })
+	hi := sort.Search(len(s.Events), func(i int) bool { return s.Events[i].TS >= t1 })
+	return s.Events[lo:hi]
+}
+
 // Filter returns a new stream holding only events for which keep
 // returns true.
 func (s *Stream) Filter(keep func(Event) bool) *Stream {

@@ -73,6 +73,10 @@ func NewEngine(p *Platform, record bool) *Engine {
 // Platform returns the engine's platform.
 func (e *Engine) Platform() *Platform { return e.p }
 
+// Recording reports whether the engine keeps per-span timelines. Hot
+// paths use it to skip building span tags nobody will read.
+func (e *Engine) Recording() bool { return e.record }
+
 // Submit schedules durUS of work on dev no earlier than earliestUS,
 // after everything already queued on that device. It returns the
 // span's start and end times. Safe for concurrent use; only

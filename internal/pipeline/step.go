@@ -7,6 +7,7 @@ import (
 
 	"evedge/internal/dsfa"
 	"evedge/internal/hw"
+	"evedge/internal/mem"
 	"evedge/internal/nn"
 	"evedge/internal/perf"
 	"evedge/internal/sparse"
@@ -154,9 +155,23 @@ type Invocation struct {
 	PerRaw  []RawRef
 }
 
-// invFromBatch converts a DSFA dispatch batch into an invocation.
-func invFromBatch(b *dsfa.Batch) *Invocation {
-	inv := &Invocation{}
+// NewInvocationPool returns a free list for Invocations; recycled
+// invocations keep their Frames/PerRaw capacity but start empty.
+func NewInvocationPool() *mem.Pool[Invocation] {
+	return mem.NewPool(func(inv *Invocation) {
+		for i := range inv.Frames {
+			inv.Frames[i] = nil
+		}
+		inv.Frames = inv.Frames[:0]
+		inv.ReadyUS = 0
+		inv.Raw = 0
+		inv.PerRaw = inv.PerRaw[:0]
+	})
+}
+
+// fillInvFromBatch loads a DSFA dispatch batch into an (empty)
+// invocation.
+func fillInvFromBatch(inv *Invocation, b *dsfa.Batch) *Invocation {
 	for _, m := range b.Merged {
 		inv.Frames = append(inv.Frames, m.Frames...)
 		inv.Raw += m.NumMerged
@@ -168,15 +183,14 @@ func invFromBatch(b *dsfa.Batch) *Invocation {
 	return inv
 }
 
-// singleFrameInv wraps one raw frame as its own invocation (the
-// below-LevelDSFA path: one inference per frame).
-func singleFrameInv(f *sparse.Frame) *Invocation {
-	return &Invocation{
-		Frames:  []*sparse.Frame{f},
-		ReadyUS: float64(f.T1),
-		Raw:     1,
-		PerRaw:  []RawRef{{float64(f.T1), 1}},
-	}
+// fillSingleFrameInv loads one raw frame into an (empty) invocation
+// (the below-LevelDSFA path: one inference per frame).
+func fillSingleFrameInv(inv *Invocation, f *sparse.Frame) *Invocation {
+	inv.Frames = append(inv.Frames, f)
+	inv.ReadyUS = float64(f.T1)
+	inv.Raw = 1
+	inv.PerRaw = append(inv.PerRaw, RawRef{float64(f.T1), 1})
+	return inv
 }
 
 // Stepper turns a stream of sparse frames into inference invocations
@@ -190,7 +204,14 @@ func singleFrameInv(f *sparse.Frame) *Invocation {
 type Stepper struct {
 	level Level
 	agg   *dsfa.Aggregator // nil below LevelDSFA
-	fifo  []*sparse.Frame
+	// fifo is a head-indexed ring-ish queue: Next consumes from head,
+	// and when it empties the slice rewinds to the front, so a stepper
+	// that keeps up never re-allocates.
+	fifo []*sparse.Frame
+	head int
+	// invPool, when set, supplies recycled Invocation structs; the
+	// serving layer returns them on completion.
+	invPool *mem.Pool[Invocation]
 }
 
 // NewStepper builds a stepper for the level. The DSFA config is only
@@ -207,6 +228,25 @@ func NewStepper(level Level, cfg dsfa.Config) (*Stepper, error) {
 	return s, nil
 }
 
+// SetPools switches the stepper to pooled operation: invocations come
+// from invs, and (at LevelDSFA and above) the aggregator runs pooled
+// over frames — see dsfa.Aggregator.SetPool for the ownership rules.
+// Call before the first Push.
+func (s *Stepper) SetPools(invs *mem.Pool[Invocation], frames *mem.FramePool) {
+	s.invPool = invs
+	if s.agg != nil && frames != nil {
+		s.agg.SetPool(frames)
+	}
+}
+
+// newInv returns an empty invocation, pooled when a pool is set.
+func (s *Stepper) newInv() *Invocation {
+	if s.invPool != nil {
+		return s.invPool.Get()
+	}
+	return &Invocation{}
+}
+
 // Push inserts a raw sparse frame produced by E2SF.
 func (s *Stepper) Push(f *sparse.Frame) {
 	if s.agg == nil {
@@ -216,24 +256,38 @@ func (s *Stepper) Push(f *sparse.Frame) {
 	s.agg.Push(f)
 }
 
+// popFifo removes and returns the oldest FIFO frame; callers have
+// checked non-emptiness.
+func (s *Stepper) popFifo() *sparse.Frame {
+	f := s.fifo[s.head]
+	s.fifo[s.head] = nil
+	s.head++
+	if s.head == len(s.fifo) {
+		s.fifo = s.fifo[:0]
+		s.head = 0
+	}
+	return f
+}
+
+// fifoLen returns the number of frames waiting in the FIFO.
+func (s *Stepper) fifoLen() int { return len(s.fifo) - s.head }
+
 // Next returns the next invocation ready at hardware-available time
 // nowUS, or nil when nothing is ready yet. At LevelDSFA and above this
 // is the paper's hardware-became-available dispatch: full or stale
 // buckets drain, open buckets keep filling.
 func (s *Stepper) Next(nowUS float64) *Invocation {
 	if s.agg == nil {
-		if len(s.fifo) == 0 {
+		if s.fifoLen() == 0 {
 			return nil
 		}
-		f := s.fifo[0]
-		s.fifo = s.fifo[1:]
-		return singleFrameInv(f)
+		return fillSingleFrameInv(s.newInv(), s.popFifo())
 	}
 	b := s.agg.DispatchReady(int64(nowUS))
 	if b == nil {
 		return nil
 	}
-	return invFromBatch(b)
+	return fillInvFromBatch(s.newInv(), b)
 }
 
 // Flush drains everything still buffered — open buckets included — as
@@ -241,24 +295,22 @@ func (s *Stepper) Next(nowUS float64) *Invocation {
 // stream or session close.
 func (s *Stepper) Flush() *Invocation {
 	if s.agg == nil {
-		if len(s.fifo) == 0 {
+		if s.fifoLen() == 0 {
 			return nil
 		}
-		f := s.fifo[0]
-		s.fifo = s.fifo[1:]
-		return singleFrameInv(f)
+		return fillSingleFrameInv(s.newInv(), s.popFifo())
 	}
 	b := s.agg.Dispatch()
 	if b == nil {
 		return nil
 	}
-	return invFromBatch(b)
+	return fillInvFromBatch(s.newInv(), b)
 }
 
 // Pending returns raw frames buffered but not yet dispatched.
 func (s *Stepper) Pending() int {
 	if s.agg == nil {
-		return len(s.fifo)
+		return s.fifoLen()
 	}
 	return s.agg.PendingFrames()
 }
@@ -413,6 +465,11 @@ func ScheduleOnEngine(engine *hw.Engine, model *perf.Model, net *nn.Network, p *
 // other tasks — exactly what a frame-lifecycle trace wants to see.
 type ExecObserver func(dev int, name string, startUS, endUS float64, um bool)
 
+// endScratch recycles the per-invocation layer-completion slices so
+// the submit hot path stays allocation-free regardless of network
+// depth.
+var endScratch = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+
 // ScheduleOnEngineObs is ScheduleOnEngine with an execution observer;
 // obs may be nil (the untraced path pays one nil check per layer).
 func ScheduleOnEngineObs(engine *hw.Engine, model *perf.Model, net *nn.Network, p *ExecPlan, inv *Invocation, tag string, obs ExecObserver) float64 {
@@ -422,7 +479,19 @@ func ScheduleOnEngineObs(engine *hw.Engine, model *perf.Model, net *nn.Network, 
 	}
 	density := batchDensity(inv)
 	platform := engine.Platform()
-	end := make([]float64, len(net.Layers))
+	endp := endScratch.Get().(*[]float64)
+	end := *endp
+	if cap(end) < len(net.Layers) {
+		end = make([]float64, len(net.Layers))
+	} else {
+		end = end[:len(net.Layers)]
+		for i := range end {
+			end[i] = 0
+		}
+	}
+	// Span tags only exist for an observer or a recording engine; the
+	// steady-state serving path has neither and skips the concats.
+	named := obs != nil || engine.Recording()
 	var last float64
 	for i, l := range net.Layers {
 		dev := platform.Devices[p.Device[i]]
@@ -442,7 +511,10 @@ func ScheduleOnEngineObs(engine *hw.Engine, model *perf.Model, net *nn.Network, 
 				ready = pready
 			}
 		}
-		name := tag + "/" + l.Name
+		var name string
+		if named {
+			name = tag + "/" + l.Name
+		}
 		s, e := engine.Submit(dev, ready, dur, name)
 		if obs != nil {
 			obs(p.Device[i], name, s, e, false)
@@ -452,6 +524,8 @@ func ScheduleOnEngineObs(engine *hw.Engine, model *perf.Model, net *nn.Network, 
 			last = e
 		}
 	}
+	*endp = end[:0]
+	endScratch.Put(endp)
 	return last
 }
 
@@ -466,7 +540,13 @@ func MergeInvocations(invs []*Invocation) *Invocation {
 	if len(invs) == 1 {
 		return invs[0]
 	}
-	out := &Invocation{}
+	return MergeInvocationsInto(&Invocation{}, invs)
+}
+
+// MergeInvocationsInto is MergeInvocations writing into a caller-owned
+// (empty, typically pooled) invocation. Unlike MergeInvocations it
+// copies even a single member, so out never aliases an input.
+func MergeInvocationsInto(out *Invocation, invs []*Invocation) *Invocation {
 	for _, inv := range invs {
 		out.Frames = append(out.Frames, inv.Frames...)
 		out.Raw += inv.Raw

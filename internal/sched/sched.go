@@ -73,7 +73,9 @@ type Request struct {
 type Config struct {
 	// Dispatch executes one micro-batch (1..MaxBatch compatible
 	// requests, submission-ordered) and returns its completion time in
-	// virtual microseconds. Required.
+	// virtual microseconds. Required. The batch slice is scheduler
+	// scratch reused across dispatches — consume it during the call,
+	// never retain it.
 	Dispatch func(batch []*Request) float64
 	// MaxBatch caps micro-batch members; <= 0 takes DefaultMaxBatch,
 	// 1 disables coalescing (the serialized baseline).
@@ -93,6 +95,12 @@ type Config struct {
 	// scheduler lock on the dispatching goroutine; virtual mode calls
 	// it in deterministic dispatch order.
 	Observe func(batch []*Request, endUS float64)
+	// Release, if non-nil, is called exactly once per request after ALL
+	// scheduler bookkeeping for it has finished — after Done and after
+	// the outstanding/per-session counters were decremented (which read
+	// r.Session) — so consumers can recycle Request structs through a
+	// pool. The scheduler never touches a request after releasing it.
+	Release func(r *Request)
 }
 
 // DefaultMaxBatch is the micro-batch cap when Config.MaxBatch is 0.
@@ -161,6 +169,17 @@ type Scheduler struct {
 	perSession  map[string]int
 	waiters     int // active Wait/Drain calls: dispatchers skip windows
 	stopped     bool
+
+	// Virtual-mode scratch reused across Pump cycles so a steady-state
+	// pump allocates nothing: retired pending arrays (spares) feed the
+	// next swap, takenBuf/batchBuf back the per-cycle coalescing state.
+	// pumping guards against a nested Pump (a Done callback calling
+	// Wait) corrupting the shared scratch — the nested call falls back
+	// to fresh allocations.
+	pumping  bool
+	spares   [][]*Request
+	takenBuf []bool
+	batchBuf []*Request
 
 	wg sync.WaitGroup
 }
@@ -282,6 +301,7 @@ func gatherLocked(q *devQueue, key Key, batch []*Request, max int) []*Request {
 // the coalescing window if there is room, dispatch.
 func (s *Scheduler) dispatcher(q *devQueue) {
 	defer s.wg.Done()
+	var batch []*Request // reused across iterations; dispatch must not retain it
 	for {
 		s.mu.Lock()
 		for len(q.reqs) == 0 && !s.stopped {
@@ -294,7 +314,8 @@ func (s *Scheduler) dispatcher(q *devQueue) {
 		head := q.reqs[0]
 		q.reqs[0] = nil
 		q.reqs = q.reqs[1:]
-		batch := gatherLocked(q, head.Key, []*Request{head}, s.cfg.MaxBatch)
+		batch = append(batch[:0], head)
+		batch = gatherLocked(q, head.Key, batch, s.cfg.MaxBatch)
 		window := s.cfg.Window
 		if s.stopped || s.waiters > 0 {
 			window = 0 // hurry: someone is draining or shutting down
@@ -343,6 +364,11 @@ func (s *Scheduler) dispatch(batch []*Request) {
 	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if s.cfg.Release != nil {
+		for _, r := range batch {
+			s.cfg.Release(r)
+		}
+	}
 }
 
 // Pump dispatches everything pending in virtual mode and reports
@@ -357,21 +383,46 @@ func (s *Scheduler) Pump() bool {
 		return false
 	}
 	worked := false
+	s.mu.Lock()
+	reentrant := s.pumping
+	s.pumping = true
+	s.mu.Unlock()
 	for {
 		s.mu.Lock()
 		pending := s.pending
-		s.pending = nil
+		if n := len(s.spares); n > 0 {
+			s.pending = s.spares[n-1][:0]
+			s.spares = s.spares[:n-1]
+		} else {
+			s.pending = nil
+		}
 		s.mu.Unlock()
 		if len(pending) == 0 {
-			return worked
+			break
 		}
 		worked = true
-		taken := make([]bool, len(pending))
+		var taken []bool
+		var batch []*Request
+		if !reentrant {
+			// Steady-state path: reuse the shared scratch. A nested Pump
+			// (Done → Wait → Pump) would trample it, so that case below
+			// allocates fresh.
+			if cap(s.takenBuf) < len(pending) {
+				s.takenBuf = make([]bool, len(pending))
+			}
+			taken = s.takenBuf[:len(pending)]
+			for i := range taken {
+				taken[i] = false
+			}
+			batch = s.batchBuf[:0]
+		} else {
+			taken = make([]bool, len(pending))
+		}
 		for i, r := range pending {
 			if taken[i] {
 				continue
 			}
-			batch := []*Request{r}
+			batch = append(batch[:0], r)
 			for j := i + 1; j < len(pending) && len(batch) < s.cfg.MaxBatch; j++ {
 				if !taken[j] && pending[j].Key == r.Key {
 					batch = append(batch, pending[j])
@@ -380,7 +431,25 @@ func (s *Scheduler) Pump() bool {
 			}
 			s.dispatch(batch)
 		}
+		if !reentrant {
+			s.batchBuf = batch[:0] // keep any growth for the next cycle
+		}
+		// Retire this pending array into the spares stack so the next
+		// Submit burst reuses its storage; nil the elements first so
+		// completed requests do not leak through the scratch.
+		for i := range pending {
+			pending[i] = nil
+		}
+		s.mu.Lock()
+		s.spares = append(s.spares, pending[:0])
+		s.mu.Unlock()
 	}
+	if !reentrant {
+		s.mu.Lock()
+		s.pumping = false
+		s.mu.Unlock()
+	}
+	return worked
 }
 
 // Wait blocks until the session has no submitted-but-uncompleted work.

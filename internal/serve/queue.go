@@ -51,6 +51,10 @@ type frameQueue struct {
 	policy  DropPolicy
 	pushed  uint64
 	dropped uint64
+	// recycle, if non-nil, receives every frame the queue sheds so the
+	// arena reclaims it immediately instead of waiting for GC. Called
+	// under mu; the hook must not call back into the queue.
+	recycle func(*sparse.Frame)
 }
 
 func newFrameQueue(capacity int, policy DropPolicy) *frameQueue {
@@ -69,12 +73,19 @@ func (q *frameQueue) push(f *sparse.Frame) int {
 	if len(q.buf) >= q.cap {
 		q.dropped++
 		if q.policy == DropNewest {
+			if q.recycle != nil {
+				q.recycle(f)
+			}
 			return 1
 		}
 		// Drop-oldest: evict the head to admit the fresh frame.
+		head := q.buf[0]
 		copy(q.buf, q.buf[1:])
 		q.buf = q.buf[:len(q.buf)-1]
 		q.buf = append(q.buf, f)
+		if q.recycle != nil {
+			q.recycle(head)
+		}
 		return 1
 	}
 	q.buf = append(q.buf, f)
@@ -83,6 +94,12 @@ func (q *frameQueue) push(f *sparse.Frame) int {
 
 // drain removes and returns up to max frames (all when max <= 0).
 func (q *frameQueue) drain(max int) []*sparse.Frame {
+	return q.drainInto(nil, max)
+}
+
+// drainInto is drain appending into a caller-owned scratch slice — the
+// worker hot path's zero-allocation variant.
+func (q *frameQueue) drainInto(dst []*sparse.Frame, max int) []*sparse.Frame {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := len(q.buf)
@@ -90,13 +107,15 @@ func (q *frameQueue) drain(max int) []*sparse.Frame {
 		n = max
 	}
 	if n == 0 {
-		return nil
+		return dst
 	}
-	out := make([]*sparse.Frame, n)
-	copy(out, q.buf)
+	dst = append(dst, q.buf[:n]...)
 	rest := copy(q.buf, q.buf[n:])
+	for i := rest; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
 	q.buf = q.buf[:rest]
-	return out
+	return dst
 }
 
 // len returns the queued frame count.

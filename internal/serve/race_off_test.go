@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so the zero-alloc bound only holds
+// without it.
+const raceEnabled = false

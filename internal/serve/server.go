@@ -17,6 +17,7 @@ import (
 	"evedge/internal/control"
 	"evedge/internal/events"
 	"evedge/internal/hw"
+	"evedge/internal/mem"
 	"evedge/internal/nmp"
 	"evedge/internal/nn"
 	"evedge/internal/obs"
@@ -244,6 +245,23 @@ type Server struct {
 	engine *hw.Engine
 	sched  *sched.Scheduler
 
+	// arena pools the objects the steady-state frame path churns
+	// through: sparse frames flow ingest→DSFA→dispatch→release and are
+	// recycled by the scheduler's Release hook; invocation and request
+	// structs cycle through invPool/pendPool the same way. Sessions
+	// share the arena, so frames released by one session's completions
+	// feed another's ingest.
+	arena    *mem.Arena
+	invPool  *mem.Pool[pipeline.Invocation]
+	pendPool *mem.Pool[pendingInv]
+	// drainBufs recycles the worker-side frame slices; dispatchScr the
+	// per-dispatch merge scratch; pendLists the per-execute submission
+	// lists. All three are sync.Pools because workers and dispatchers
+	// run concurrently.
+	drainBufs   sync.Pool
+	dispatchScr sync.Pool
+	pendLists   sync.Pool
+
 	// tracer records frame-lifecycle spans; nil when tracing is off
 	// (every obs method is a no-op on nil). devTracks caches the
 	// per-device lane names ("dev/GPU") so exec spans never
@@ -336,16 +354,39 @@ func New(cfg Config) (*Server, error) {
 		model:    perf.NewModel(cfg.Platform),
 		engine:   hw.NewEngine(cfg.Platform, false),
 		tracer:   obs.NewTracer(cfg.Trace),
+		arena:    mem.NewArena(),
+		invPool:  pipeline.NewInvocationPool(),
 		sessions: map[string]*Session{},
 		runq:     make(chan *Session, 1024),
 		stopped:  make(chan struct{}),
 		start:    time.Now(),
+	}
+	s.pendPool = mem.NewPool(func(p *pendingInv) {
+		p.sess = nil
+		p.req.Session = ""
+		p.req.Key = sched.Key{}
+		p.req.Units = 0
+		p.payload.inv = nil
+		p.payload.net = nil
+		p.payload.plan = pipeline.ExecPlan{}
+		p.payload.track = ""
+		p.payload.trackH = nil
+	})
+	s.drainBufs.New = func() any {
+		b := make([]*sparse.Frame, 0, cfg.DrainBatch)
+		return &b
+	}
+	s.dispatchScr.New = func() any { return &dispatchScratch{} }
+	s.pendLists.New = func() any {
+		l := make([]*pendingInv, 0, 16)
+		return &l
 	}
 	schedCfg := sched.Config{
 		Dispatch: s.dispatchBatch,
 		MaxBatch: cfg.BatchMax,
 		Window:   cfg.BatchWindow,
 		Virtual:  cfg.ManualDrain,
+		Release:  s.releaseRequest,
 	}
 	if s.tracer != nil {
 		schedCfg.Observe = s.observeDispatch
@@ -468,14 +509,21 @@ func (s *Server) schedule(sess *Session) {
 // DSFA buckets (the virtual clock advanced) reach the scheduler.
 func (s *Server) drainSession(sess *Session) {
 	sess.scheduled.Store(false)
+	bufp := s.drainBufs.Get().(*[]*sparse.Frame)
+	buf := *bufp
 	for {
-		frames := sess.queue.drain(s.cfg.DrainBatch)
-		s.execute(sess, frames, false)
-		if len(frames) == 0 {
-			s.maybeRemap()
-			return
+		buf = sess.queue.drainInto(buf[:0], s.cfg.DrainBatch)
+		s.execute(sess, buf, false)
+		if len(buf) == 0 {
+			break
 		}
 	}
+	for i := range buf {
+		buf[i] = nil
+	}
+	*bufp = buf[:0]
+	s.drainBufs.Put(bufp)
+	s.maybeRemap()
 }
 
 // invPayload is what a session submission carries through the
@@ -490,6 +538,59 @@ type invPayload struct {
 	// tracing is off) and trackH its cached ring handle (nil no-op).
 	track  string
 	trackH *obs.Track
+	// pend points back at the pooled submission this payload is part
+	// of, so the scheduler's Release hook can recycle the whole unit.
+	pend *pendingInv
+}
+
+// pendingInv is one pooled scheduler submission: the request, its
+// payload and the completion closure live in a single recycled struct,
+// so the steady-state execute path allocates none of them. The Done
+// closure is bound once, at the struct's first use, and captures only
+// the struct pointer; resets preserve it.
+type pendingInv struct {
+	srv     *Server
+	sess    *Session
+	req     sched.Request
+	payload invPayload
+}
+
+// newPending borrows a submission unit and ensures its one-time
+// self-referential bindings are in place.
+func (s *Server) newPending() *pendingInv {
+	p := s.pendPool.Get()
+	if p.req.Done == nil {
+		p.srv = s
+		p.payload.pend = p
+		p.req.Payload = &p.payload
+		p.req.Done = func(end float64) {
+			p.srv.complete(p.sess, p.payload.inv.PerRaw, end)
+		}
+	}
+	return p
+}
+
+// releaseRequest is the scheduler's Release hook: after a request's
+// batch dispatched and every callback ran, its frames go back to the
+// arena, the invocation to the invocation pool, and the submission
+// unit to the pending pool. This is the single point where the frame
+// path's ownership chain ends.
+func (s *Server) releaseRequest(r *sched.Request) {
+	p := r.Payload.(*invPayload)
+	inv := p.inv
+	for _, f := range inv.Frames {
+		s.arena.Frames.Put(f)
+	}
+	s.invPool.Put(inv)
+	s.pendPool.Put(p.pend)
+}
+
+// dispatchScratch is the per-dispatch merge state (pooled: wall-clock
+// dispatchers run one per device, concurrently).
+type dispatchScratch struct {
+	inv  pipeline.Invocation
+	invs []*pipeline.Invocation
+	ids  []string
 }
 
 // planSig fingerprints a plan's pricing-relevant identity — device and
@@ -515,7 +616,8 @@ type aggSpan struct {
 // irrevocably left the stepper — so frame conservation holds at every
 // scheduler-quiescent point.
 func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
-	var reqs []*sched.Request
+	pendp := s.pendLists.Get().(*[]*pendingInv)
+	pends := (*pendp)[:0]
 	traced := s.tracer != nil
 	// Aggregation spans buffer on the stack until one bulk flush after
 	// the invocation loop; a pass rarely releases more than a handful
@@ -570,12 +672,6 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 			}
 		}
 		plan := sess.plan.Load()
-		// Shift the invocation into the engine's virtual timeline; the
-		// completion path attributes latencies back in stream time. The
-		// plan is snapshotted by value so a later SetFramingOps cannot
-		// race the dispatcher pricing this invocation.
-		ginv := *inv
-		ginv.ReadyUS += sess.epochUS
 		if traced && len(inv.PerRaw) > 0 {
 			// DSFA bucket residency: earliest member frame ready to the
 			// invocation's release.
@@ -588,25 +684,35 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 			aggs = append(aggs, aggSpan{start: first + sess.epochUS,
 				dur: inv.ReadyUS - first, count: int64(inv.Raw)})
 		}
+		// Shift the invocation into the engine's virtual timeline; the
+		// completion path attributes latencies back in stream time
+		// (PerRaw keeps unshifted ready times). The stepper handed the
+		// invocation over, so the shift mutates in place — no copy. The
+		// plan is snapshotted by value so a later SetFramingOps cannot
+		// race the dispatcher pricing this invocation.
+		inv.ReadyUS += sess.epochUS
 		for _, d := range plan.Device {
 			sess.usedDevs[d] = true
 		}
 		sess.invocs++
 		sess.batched += uint64(len(inv.Frames))
 		sess.rawDone += uint64(inv.Raw)
-		perRaw := inv.PerRaw
 		if sess.sigPlan != plan {
 			// Plan swaps install a new pointer; FramingOps is fixed before
 			// the first invocation, so pointer identity keys the cache.
 			sess.sigPlan, sess.planSig = plan, planSig(plan)
 		}
-		reqs = append(reqs, &sched.Request{
-			Session: sess.ID,
-			Key:     sched.Key{Device: plan.Device[0], Net: sess.Net.Name, Sig: sess.planSig},
-			Units:   inv.Raw,
-			Payload: &invPayload{inv: &ginv, net: sess.Net, plan: *plan, track: sess.track, trackH: sess.trackH},
-			Done:    func(end float64) { s.complete(sess, perRaw, end) },
-		})
+		p := s.newPending()
+		p.sess = sess
+		p.payload.inv = inv
+		p.payload.net = sess.Net
+		p.payload.plan = *plan
+		p.payload.track = sess.track
+		p.payload.trackH = sess.trackH
+		p.req.Session = sess.ID
+		p.req.Key = sched.Key{Device: plan.Device[0], Net: sess.Net.Name, Sig: sess.planSig}
+		p.req.Units = inv.Raw
+		pends = append(pends, p)
 	}
 	if traced {
 		sess.trackH.SpansFunc(obs.StageAgg, "agg", len(aggs),
@@ -643,9 +749,17 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 	sess.mu.Unlock()
 	// Submit outside sess.mu: a wall-clock dispatcher may complete a
 	// request inline-fast, and complete re-acquires the session lock.
-	for _, r := range reqs {
-		s.sched.Submit(r)
+	// The pending structs themselves are NOT returned here — the
+	// scheduler's Release hook recycles each one after its batch
+	// completes; only the list scratch goes back.
+	for _, p := range pends {
+		s.sched.Submit(&p.req)
 	}
+	for i := range pends {
+		pends[i] = nil
+	}
+	*pendp = pends[:0]
+	s.pendLists.Put(pendp)
 }
 
 // dispatchBatch executes one scheduler micro-batch: compatible
@@ -657,16 +771,38 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 func (s *Server) dispatchBatch(batch []*sched.Request) float64 {
 	first := batch[0].Payload.(*invPayload)
 	inv := first.inv
+	// Span tags only matter when someone records them; with tracing and
+	// engine recording both off the join would be a per-dispatch
+	// allocation nobody reads.
+	named := s.tracer != nil || s.engine.Recording()
 	tag := batch[0].Session
+	var scr *dispatchScratch
 	if len(batch) > 1 {
-		invs := make([]*pipeline.Invocation, len(batch))
-		ids := make([]string, len(batch))
-		for i, r := range batch {
-			invs[i] = r.Payload.(*invPayload).inv
-			ids[i] = r.Session
+		scr = s.dispatchScr.Get().(*dispatchScratch)
+		scr.invs = scr.invs[:0]
+		for _, r := range batch {
+			scr.invs = append(scr.invs, r.Payload.(*invPayload).inv)
 		}
-		inv = pipeline.MergeInvocations(invs)
-		tag = strings.Join(ids, "+")
+		for i := range scr.inv.Frames {
+			scr.inv.Frames[i] = nil
+		}
+		scr.inv.Frames = scr.inv.Frames[:0]
+		scr.inv.PerRaw = scr.inv.PerRaw[:0]
+		scr.inv.Raw, scr.inv.ReadyUS = 0, 0
+		inv = pipeline.MergeInvocationsInto(&scr.inv, scr.invs)
+		if named {
+			scr.ids = scr.ids[:0]
+			for _, r := range batch {
+				scr.ids = append(scr.ids, r.Session)
+			}
+			tag = strings.Join(scr.ids, "+")
+		}
+		defer func() {
+			for i := range scr.invs {
+				scr.invs[i] = nil
+			}
+			s.dispatchScr.Put(scr)
+		}()
 	}
 	if s.tracer == nil {
 		return pipeline.ScheduleOnEngine(s.engine, s.model, first.net, &first.plan, inv, tag)
@@ -844,7 +980,7 @@ func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	if s.cfg.Adapt.Retune && level >= pipeline.LevelDSFA {
 		retuner = control.NewRetuner(s.cfg.Adapt.DSFA, pipeline.TunedDSFA(net))
 	}
-	sess, err := newSession(id, net, level, queueCap, policy, plan, retuner)
+	sess, err := newSession(id, net, level, queueCap, policy, plan, retuner, s.arena, s.invPool)
 	if err != nil {
 		return nil, err
 	}
@@ -1163,6 +1299,10 @@ func (s *Server) Load() NodeLoad {
 
 // Platform returns the platform model the server executes on.
 func (s *Server) Platform() *hw.Platform { return s.cfg.Platform }
+
+// ArenaStats snapshots the server's pool counters (frames, tensors,
+// mats, CSRs) — the alloc-regression harness and /metrics read it.
+func (s *Server) ArenaStats() mem.ArenaStats { return s.arena.Stats() }
 
 // rebalance recomputes the placement of all active sessions under the
 // configured policy and installs the per-session plans. The placement
@@ -1498,6 +1638,23 @@ func (s *Server) WriteMetrics(pw *PromWriter, ns, extraLabels string) {
 	pw.Counter(ns+"_sched_coalesced_total", "Invocations that rode a multi-member micro-batch.", lbls(), float64(st.Coalesced))
 	pw.Gauge(ns+"_sched_batch_occupancy", "Mean invocations per dispatch (1 = serialized).", lbls(), st.Occupancy())
 	pw.Gauge(ns+"_sched_batch_max_len", "Largest micro-batch dispatched so far.", lbls(), float64(st.MaxBatchLen))
+
+	// Arena traffic: misses (Gets that allocated) should stay flat once
+	// the pools warm up — a climbing miss counter under steady load is
+	// the leak/regression signal the alloc gate watches.
+	ast := s.arena.Stats()
+	for _, p := range [...]struct {
+		name string
+		st   mem.PoolStats
+	}{
+		{"frames", ast.Frames}, {"tensors", ast.Tensors},
+		{"mats", ast.Mats}, {"csrs", ast.CSRs},
+		{"invocations", s.invPool.Stats()}, {"requests", s.pendPool.Stats()},
+	} {
+		pw.Counter(ns+"_pool_gets_total", "Objects borrowed from the arena pool.", lbls("pool", p.name), float64(p.st.Gets))
+		pw.Counter(ns+"_pool_misses_total", "Borrows that allocated because the free list was empty.", lbls("pool", p.name), float64(p.st.News))
+		pw.Gauge(ns+"_pool_live", "Objects currently borrowed from the pool.", lbls("pool", p.name), float64(p.st.Live()))
+	}
 
 	if s.tracer != nil {
 		// Per-stage latency histograms from the frame-lifecycle tracer:

@@ -19,6 +19,7 @@ import (
 	"evedge/internal/control"
 	"evedge/internal/e2sf"
 	"evedge/internal/events"
+	"evedge/internal/mem"
 	"evedge/internal/nn"
 	"evedge/internal/obs"
 	"evedge/internal/pipeline"
@@ -168,12 +169,17 @@ type Session struct {
 	lastDSFADrops uint64
 }
 
-func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, policy DropPolicy, plan *pipeline.ExecPlan, retuner *control.Retuner) (*Session, error) {
+// newSession builds a session. The arena and invocation pool wire the
+// zero-allocation frame path: E2SF emits pooled frames, the stepper
+// recycles invocation structs, and the ingest queue returns shed
+// frames to the arena instead of leaking them to GC. Both may be nil
+// (tests exercising unpooled behavior).
+func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, policy DropPolicy, plan *pipeline.ExecPlan, retuner *control.Retuner, arena *mem.Arena, invPool *mem.Pool[pipeline.Invocation]) (*Session, error) {
 	stepper, err := pipeline.NewStepper(level, pipeline.TunedDSFA(net))
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		ID:       id,
 		track:    "sess/" + id,
 		Net:      net,
@@ -186,7 +192,13 @@ func newSession(id string, net *nn.Network, level pipeline.Level, queueCap int, 
 		plan:     pipeline.NewPlanSlot(plan),
 		usedDevs: map[int]bool{},
 		created:  time.Now(),
-	}, nil
+	}
+	if arena != nil {
+		s.conv.pool = arena.Frames
+		s.queue.recycle = arena.Frames.Put
+		s.stepper.SetPools(invPool, arena.Frames)
+	}
+	return s, nil
 }
 
 // sampleLocked builds the controller's telemetry snapshot; callers
@@ -328,17 +340,24 @@ func (s *Session) planDevicesLocked() []string {
 // Time framing emits one grouped frame set per completed accumulation
 // window; count framing emits a frame every N events, with N
 // calibrated once from the first chunk's event rate (as a deployment
-// tunes it on representative data).
+// tunes it on representative data). Conversion runs through the fused
+// one-pass kernel (e2sf.Fused): each buffered chunk is traversed once,
+// emitted frames come from the arena's frame pool, and the emit slice
+// is reused across ingests — the steady-state ingest path allocates
+// nothing.
 type ingestConverter struct {
 	spec      nn.InputSpec
-	e2        *e2sf.Converter
+	pool      *mem.FramePool // nil: frames are freshly allocated
+	fz        *e2sf.Fused
 	buf       *events.Stream
-	anchored  bool  // startTS/winStart initialized from the first events
-	startTS   int64 // first timestamp seen (stream epoch)
-	watermark int64 // latest timestamp consumed
-	winStart  int64 // next window start (time framing)
-	frStart   int64 // next frame start (count framing)
-	count     int   // events per frame (count framing), 0 = uncalibrated
+	run       events.Stream   // reusable window view (count framing)
+	frames    []*sparse.Frame // per-ingest emit scratch, reused
+	anchored  bool            // startTS/winStart initialized from the first events
+	startTS   int64           // first timestamp seen (stream epoch)
+	watermark int64           // latest timestamp consumed
+	winStart  int64           // next window start (time framing)
+	frStart   int64           // next frame start (count framing)
+	count     int             // events per frame (count framing), 0 = uncalibrated
 }
 
 // span is the stream time the session has covered so far.
@@ -351,14 +370,14 @@ func (c *ingestConverter) ingest(chunk *events.Stream) ([]*sparse.Frame, error) 
 	if !chunk.Sorted() {
 		return nil, fmt.Errorf("serve: chunk events are not time-sorted")
 	}
-	if c.e2 == nil {
-		conv, err := e2sf.New(e2sf.Config{
+	if c.fz == nil {
+		fz, err := e2sf.NewFused(e2sf.Config{
 			Width: chunk.Width, Height: chunk.Height, NumBins: c.spec.NumBins,
-		})
+		}, c.pool)
 		if err != nil {
 			return nil, err
 		}
-		c.e2 = conv
+		c.fz = fz
 		c.buf = events.NewStream(chunk.Width, chunk.Height)
 	}
 	if chunk.Width != c.buf.Width || chunk.Height != c.buf.Height {
@@ -391,23 +410,23 @@ func (c *ingestConverter) ingest(chunk *events.Stream) ([]*sparse.Frame, error) 
 }
 
 // convertWindows frames every accumulation window fully covered by the
-// watermark, exactly as the offline ConvertStream does.
+// watermark, exactly as the offline ConvertStream does. The fused
+// kernel replaces the Convert→GroupBins pair with one pass over the
+// window's events; the returned slice is converter-owned scratch,
+// valid until the next ingest.
 func (c *ingestConverter) convertWindows() ([]*sparse.Frame, error) {
-	var out []*sparse.Frame
+	out := c.frames[:0]
+	var err error
 	for c.winStart+c.spec.WindowUS <= c.watermark {
 		t1 := c.winStart + c.spec.WindowUS
-		frames, _, err := c.e2.Convert(c.buf, c.winStart, t1)
+		out, _, err = c.fz.ConvertGroupedAppend(out, c.buf, c.winStart, t1, c.spec.GroupK)
 		if err != nil {
 			return nil, err
 		}
-		grouped, err := e2sf.GroupBins(frames, c.spec.GroupK)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, grouped...)
 		c.winStart = t1
 	}
 	c.trim(c.winStart)
+	c.frames = out
 	return out, nil
 }
 
@@ -436,29 +455,38 @@ func (c *ingestConverter) convertByCount(flush bool) ([]*sparse.Frame, error) {
 		}
 		c.frStart = c.buf.TStart()
 	}
-	var out []*sparse.Frame
+	out := c.frames[:0]
 	emit := func(run *events.Stream) error {
 		// Convert over the run's own span (duplicate timestamps at the
 		// previous frame's boundary must not be sliced away), then chain
 		// T0 to the previous frame's end.
 		t1 := run.TEnd() + 1
-		frames, _, err := c.e2.ConvertByCount(run, run.TStart(), t1, run.Len())
+		frames, _, err := c.fz.ConvertByCountAppend(out, run, run.TStart(), t1, run.Len())
 		if err != nil {
 			return err
 		}
-		for _, f := range frames {
+		for _, f := range frames[len(out):] {
 			f.T0 = c.frStart
 			c.frStart = f.T1
 		}
-		out = append(out, frames...)
+		out = frames
 		return nil
 	}
-	for c.buf.Len() >= c.count {
-		run := &events.Stream{Width: c.buf.Width, Height: c.buf.Height, Events: c.buf.Events[:c.count]}
-		if err := emit(run); err != nil {
+	// Consume complete runs through a cursor and compact the tail back
+	// to the front afterwards, so the buffer's backing array reaches a
+	// steady capacity instead of leaking it to forward reslices.
+	start := 0
+	for c.buf.Len()-start >= c.count {
+		c.run.Width, c.run.Height = c.buf.Width, c.buf.Height
+		c.run.Events = c.buf.Events[start : start+c.count]
+		if err := emit(&c.run); err != nil {
 			return nil, err
 		}
-		c.buf.Events = c.buf.Events[c.count:]
+		start += c.count
+	}
+	if start > 0 {
+		n := copy(c.buf.Events, c.buf.Events[start:])
+		c.buf.Events = c.buf.Events[:n]
 	}
 	if flush && c.buf.Len() > 0 {
 		if err := emit(c.buf); err != nil {
@@ -466,6 +494,7 @@ func (c *ingestConverter) convertByCount(flush bool) ([]*sparse.Frame, error) {
 		}
 		c.buf.Events = c.buf.Events[:0]
 	}
+	c.frames = out
 	return out, nil
 }
 
@@ -473,7 +502,7 @@ func (c *ingestConverter) convertByCount(flush bool) ([]*sparse.Frame, error) {
 // emits the trailing partial frame; time framing drops the incomplete
 // window, matching the offline converter.
 func (c *ingestConverter) flush() ([]*sparse.Frame, error) {
-	if c.e2 == nil {
+	if c.fz == nil {
 		return nil, nil
 	}
 	if c.spec.Framing == nn.FrameByCount {
@@ -484,7 +513,7 @@ func (c *ingestConverter) flush() ([]*sparse.Frame, error) {
 
 // trim discards consumed events (timestamps before t).
 func (c *ingestConverter) trim(t int64) {
-	s := c.buf.Slice(t, int64(1)<<62)
-	n := copy(c.buf.Events, s.Events)
+	keep := c.buf.Window(t, int64(1)<<62)
+	n := copy(c.buf.Events, keep)
 	c.buf.Events = c.buf.Events[:n]
 }

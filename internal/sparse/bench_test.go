@@ -1,0 +1,191 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchInput builds a 64x64 input tensor with ~density fraction of
+// active sites, mirroring a mid-stream E2SF frame.
+func benchInput(c, h, w int, density float64) *Tensor {
+	rng := rand.New(rand.NewSource(42))
+	in := NewTensor(c, h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if rng.Float64() < density {
+				for ch := 0; ch < c; ch++ {
+					in.Set(ch, y, x, rng.Float32())
+				}
+			}
+		}
+	}
+	return in
+}
+
+func benchFilter(outC, inC, k int) *Filter {
+	rng := rand.New(rand.NewSource(7))
+	f := NewFilter(outC, inC, k, 1, k/2)
+	for i := range f.Weights {
+		f.Weights[i] = rng.Float32() - 0.5
+	}
+	return f
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	in := benchInput(2, 64, 64, 0.1)
+	f := benchFilter(8, 2, 3)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Conv2D(in, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		oh, ow := f.OutShape(in.H, in.W)
+		out := NewTensor(f.OutC, oh, ow)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := Conv2DInto(out, in, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSparseConv2D(b *testing.B) {
+	in := benchInput(2, 64, 64, 0.05)
+	f := benchFilter(8, 2, 3)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SparseConv2D(in, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		oh, ow := f.OutShape(in.H, in.W)
+		out := NewTensor(f.OutC, oh, ow)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := SparseConv2DInto(out, in, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSubmanifoldConv2D(b *testing.B) {
+	in := benchInput(2, 64, 64, 0.05)
+	f := benchFilter(8, 2, 3)
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SubmanifoldConv2D(in, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		out := NewTensor(f.OutC, in.H, in.W)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := SubmanifoldConv2DInto(out, in, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSpMM(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	const rows, cols, dcols = 256, 256, 32
+	entries := make([]COOEntry, 0, rows*cols/20)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < 0.05 {
+				entries = append(entries, COOEntry{Row: int32(r), Col: int32(c), Val: rng.Float32()})
+			}
+		}
+	}
+	m, err := NewCSR(rows, cols, entries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := NewMat(cols, dcols)
+	for i := range d.Data {
+		d.Data[i] = rng.Float32()
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.SpMM(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		out := NewMat(rows, dcols)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.SpMMInto(out, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFrameSet(b *testing.B) {
+	const h, w = 128, 128
+	rng := rand.New(rand.NewSource(3))
+	ys := make([]int32, 2048)
+	xs := make([]int32, 2048)
+	for i := range ys {
+		ys[i] = int32(rng.Intn(h))
+		xs[i] = int32(rng.Intn(w))
+	}
+	f := NewFrame(h, w, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Reset(h, w, 0, 1)
+		for j := range ys {
+			f.Set(ys[j], xs[j], 1, 0)
+		}
+		f.NNZ() // force compaction inside the measured region
+	}
+}
+
+func BenchmarkMergeAdd(b *testing.B) {
+	frames := make([]*Frame, 4)
+	rng := rand.New(rand.NewSource(5))
+	for i := range frames {
+		f := NewFrame(64, 64, int64(i), int64(i+1))
+		for n := 0; n < 300; n++ {
+			f.Set(int32(rng.Intn(64)), int32(rng.Intn(64)), rng.Float32(), rng.Float32())
+		}
+		f.NNZ()
+		frames[i] = f
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MergeAdd(frames...)
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		out := &Frame{}
+		MergeAddInto(out, frames...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			MergeAddInto(out, frames...)
+		}
+	})
+}

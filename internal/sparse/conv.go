@@ -53,6 +53,20 @@ func (f *Filter) MACs(h, w int) int64 {
 	return int64(f.OutC) * int64(oh) * int64(ow) * int64(f.InC) * int64(f.K) * int64(f.K)
 }
 
+// checkOut validates a caller-supplied output tensor against the
+// filter's expected shape for an h x w input.
+func checkOut(out *Tensor, f *Filter, h, w int) (oh, ow int, err error) {
+	oh, ow = f.OutShape(h, w)
+	if oh <= 0 || ow <= 0 {
+		return 0, 0, fmt.Errorf("sparse: conv output %dx%d is empty", oh, ow)
+	}
+	if out.C != f.OutC || out.H != oh || out.W != ow {
+		return 0, 0, fmt.Errorf("sparse: conv output tensor %dx%dx%d != expected %dx%dx%d",
+			out.C, out.H, out.W, f.OutC, oh, ow)
+	}
+	return oh, ow, nil
+}
+
 // Conv2D computes the dense direct convolution of in with f.
 func Conv2D(in *Tensor, f *Filter) (*Tensor, error) {
 	if in.C != f.InC {
@@ -66,6 +80,26 @@ func Conv2D(in *Tensor, f *Filter) (*Tensor, error) {
 		return nil, fmt.Errorf("sparse: conv output %dx%d is empty", oh, ow)
 	}
 	out := NewTensor(f.OutC, oh, ow)
+	if err := Conv2DInto(out, in, f); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Conv2DInto is Conv2D writing into a caller-supplied (possibly
+// pooled) output tensor; every element is overwritten. The inner
+// loops are identical to Conv2D's, so results are bit-identical.
+func Conv2DInto(out *Tensor, in *Tensor, f *Filter) error {
+	if in.C != f.InC {
+		return fmt.Errorf("sparse: conv input channels %d != filter %d", in.C, f.InC)
+	}
+	if f.Deconv {
+		return deconv2DInto(out, in, f)
+	}
+	oh, ow, err := checkOut(out, f, in.H, in.W)
+	if err != nil {
+		return err
+	}
 	for oc := 0; oc < f.OutC; oc++ {
 		var bias float32
 		if f.Bias != nil {
@@ -93,7 +127,7 @@ func Conv2D(in *Tensor, f *Filter) (*Tensor, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // deconv2D computes a transposed convolution by scattering each input
@@ -104,6 +138,18 @@ func deconv2D(in *Tensor, f *Filter) (*Tensor, error) {
 		return nil, fmt.Errorf("sparse: deconv output %dx%d is empty", oh, ow)
 	}
 	out := NewTensor(f.OutC, oh, ow)
+	if err := deconv2DInto(out, in, f); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// deconv2DInto is deconv2D writing into a caller-supplied tensor.
+func deconv2DInto(out *Tensor, in *Tensor, f *Filter) error {
+	oh, ow, err := checkOut(out, f, in.H, in.W)
+	if err != nil {
+		return fmt.Errorf("sparse: deconv: %w", err)
+	}
 	if f.Bias != nil {
 		for oc := 0; oc < f.OutC; oc++ {
 			for y := 0; y < oh; y++ {
@@ -112,6 +158,8 @@ func deconv2D(in *Tensor, f *Filter) (*Tensor, error) {
 				}
 			}
 		}
+	} else {
+		out.Zero()
 	}
 	for ic := 0; ic < f.InC; ic++ {
 		for iy := 0; iy < in.H; iy++ {
@@ -138,7 +186,7 @@ func deconv2D(in *Tensor, f *Filter) (*Tensor, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // Im2colConv2D computes the same dense convolution via im2col + GEMM,
@@ -208,6 +256,27 @@ func SparseConv2D(in *Tensor, f *Filter) (*Tensor, error) {
 		return nil, fmt.Errorf("sparse: conv output %dx%d is empty", oh, ow)
 	}
 	out := NewTensor(f.OutC, oh, ow)
+	if err := SparseConv2DInto(out, in, f); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SparseConv2DInto is SparseConv2D writing into a caller-supplied
+// (possibly pooled) output tensor. The output is fully initialized
+// (bias fill or zero) before the scatter, so pooled tensors need no
+// prior clearing; accumulation order matches SparseConv2D exactly.
+func SparseConv2DInto(out *Tensor, in *Tensor, f *Filter) error {
+	if in.C != f.InC {
+		return fmt.Errorf("sparse: conv input channels %d != filter %d", in.C, f.InC)
+	}
+	if f.Deconv {
+		return deconv2DInto(out, in, f)
+	}
+	oh, ow, err := checkOut(out, f, in.H, in.W)
+	if err != nil {
+		return err
+	}
 	if f.Bias != nil {
 		for oc := 0; oc < f.OutC; oc++ {
 			base := oc * oh * ow
@@ -215,6 +284,8 @@ func SparseConv2D(in *Tensor, f *Filter) (*Tensor, error) {
 				out.Data[base+i] = f.Bias[oc]
 			}
 		}
+	} else {
+		out.Zero()
 	}
 	for ic := 0; ic < in.C; ic++ {
 		for iy := 0; iy < in.H; iy++ {
@@ -251,7 +322,7 @@ func SparseConv2D(in *Tensor, f *Filter) (*Tensor, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // SubmanifoldConv2D computes a submanifold sparse convolution: outputs
@@ -267,34 +338,69 @@ func SubmanifoldConv2D(in *Tensor, f *Filter) (*Tensor, error) {
 			f.Stride, f.K, f.Pad)
 	}
 	out := NewTensor(f.OutC, in.H, in.W)
-	sites := in.ActiveSites()
-	half := f.K / 2
-	for _, s := range sites {
-		oy, ox := int(s.Y), int(s.X)
-		for oc := 0; oc < f.OutC; oc++ {
-			var sum float32
-			if f.Bias != nil {
-				sum = f.Bias[oc]
-			}
-			for ic := 0; ic < f.InC; ic++ {
-				for ky := 0; ky < f.K; ky++ {
-					iy := oy + ky - half
-					if iy < 0 || iy >= in.H {
-						continue
-					}
-					for kx := 0; kx < f.K; kx++ {
-						ix := ox + kx - half
-						if ix < 0 || ix >= in.W {
-							continue
-						}
-						sum += f.W(oc, ic, ky, kx) * in.At(ic, iy, ix)
-					}
-				}
-			}
-			out.Set(oc, oy, ox, sum)
-		}
+	if err := SubmanifoldConv2DInto(out, in, f); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SubmanifoldConv2DInto is SubmanifoldConv2D writing into a
+// caller-supplied (possibly pooled) output tensor; inactive sites are
+// zeroed. Active sites are found by a direct row-major scan instead
+// of materializing an ActiveSites slice, so the kernel allocates
+// nothing — same visit order, bit-identical results.
+func SubmanifoldConv2DInto(out *Tensor, in *Tensor, f *Filter) error {
+	if in.C != f.InC {
+		return fmt.Errorf("sparse: conv input channels %d != filter %d", in.C, f.InC)
+	}
+	if f.Stride != 1 || f.K%2 == 0 || f.Pad != f.K/2 {
+		return fmt.Errorf("sparse: submanifold conv needs stride 1, odd K, pad K/2 (got s=%d k=%d p=%d)",
+			f.Stride, f.K, f.Pad)
+	}
+	if out.C != f.OutC || out.H != in.H || out.W != in.W {
+		return fmt.Errorf("sparse: conv output tensor %dx%dx%d != expected %dx%dx%d",
+			out.C, out.H, out.W, f.OutC, in.H, in.W)
+	}
+	out.Zero()
+	half := f.K / 2
+	for oy := 0; oy < in.H; oy++ {
+	site:
+		for ox := 0; ox < in.W; ox++ {
+			active := false
+			for c := 0; c < in.C; c++ {
+				if in.At(c, oy, ox) != 0 {
+					active = true
+					break
+				}
+			}
+			if !active {
+				continue site
+			}
+			for oc := 0; oc < f.OutC; oc++ {
+				var sum float32
+				if f.Bias != nil {
+					sum = f.Bias[oc]
+				}
+				for ic := 0; ic < f.InC; ic++ {
+					for ky := 0; ky < f.K; ky++ {
+						iy := oy + ky - half
+						if iy < 0 || iy >= in.H {
+							continue
+						}
+						for kx := 0; kx < f.K; kx++ {
+							ix := ox + kx - half
+							if ix < 0 || ix >= in.W {
+								continue
+							}
+							sum += f.W(oc, ic, ky, kx) * in.At(ic, iy, ix)
+						}
+					}
+				}
+				out.Set(oc, oy, ox, sum)
+			}
+		}
+	}
+	return nil
 }
 
 // SparseConvMACs estimates the multiply-accumulate count of the sparse

@@ -58,6 +58,23 @@ func NewCSR(rows, cols int, entries []COOEntry) (*CSR, error) {
 // NNZ returns the number of stored nonzeros.
 func (m *CSR) NNZ() int { return len(m.Vals) }
 
+// Reset re-initializes the matrix to an empty rows x cols shape,
+// keeping slice capacity — the pooled-construction hook used by
+// mem.CSRPool. RowPtr is resized to rows+1 and zeroed.
+func (m *CSR) Reset(rows, cols int) {
+	m.Rows, m.Cols = rows, cols
+	if cap(m.RowPtr) < rows+1 {
+		m.RowPtr = make([]int32, rows+1)
+	} else {
+		m.RowPtr = m.RowPtr[:rows+1]
+		for i := range m.RowPtr {
+			m.RowPtr[i] = 0
+		}
+	}
+	m.ColIdx = m.ColIdx[:0]
+	m.Vals = m.Vals[:0]
+}
+
 // At returns element (i, j) with a binary search within the row.
 func (m *CSR) At(i, j int) float32 {
 	lo, hi := m.RowPtr[i], m.RowPtr[i+1]
@@ -87,10 +104,26 @@ func (m *CSR) SpMV(x []float32) ([]float32, error) {
 
 // SpMM computes m * d for a dense matrix d.
 func (m *CSR) SpMM(d *Mat) (*Mat, error) {
-	if d.Rows != m.Cols {
-		return nil, fmt.Errorf("sparse: SpMM shape mismatch %dx%d x %dx%d", m.Rows, m.Cols, d.Rows, d.Cols)
-	}
 	out := NewMat(m.Rows, d.Cols)
+	if err := m.SpMMInto(out, d); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SpMMInto computes m * d into a preallocated out (m.Rows x d.Cols),
+// overwriting its contents. The accumulation order is identical to
+// SpMM, so results are bit-equal.
+func (m *CSR) SpMMInto(out *Mat, d *Mat) error {
+	if d.Rows != m.Cols {
+		return fmt.Errorf("sparse: SpMM shape mismatch %dx%d x %dx%d", m.Rows, m.Cols, d.Rows, d.Cols)
+	}
+	if out.Rows != m.Rows || out.Cols != d.Cols {
+		return fmt.Errorf("sparse: SpMM output %dx%d, want %dx%d", out.Rows, out.Cols, m.Rows, d.Cols)
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
@@ -101,7 +134,25 @@ func (m *CSR) SpMM(d *Mat) (*Mat, error) {
 			}
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// SpMVInto computes y = m * x into a preallocated y of length m.Rows.
+func (m *CSR) SpMVInto(y, x []float32) error {
+	if len(x) != m.Cols {
+		return fmt.Errorf("sparse: SpMV vector length %d != cols %d", len(x), m.Cols)
+	}
+	if len(y) != m.Rows {
+		return fmt.Errorf("sparse: SpMV output length %d != rows %d", len(y), m.Rows)
+	}
+	for i := 0; i < m.Rows; i++ {
+		var sum float32
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			sum += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		y[i] = sum
+	}
+	return nil
 }
 
 // Dense expands the CSR matrix to a dense Mat.

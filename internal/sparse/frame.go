@@ -24,6 +24,14 @@ type Frame struct {
 	// were accumulated into the frame. DSFA uses T0 as the frame's
 	// generation time when checking the merge-delay threshold.
 	T0, T1 int64
+
+	// unsorted counts entries Set appended past the sorted prefix;
+	// ensureSorted compacts them lazily before any order-dependent
+	// read. Only Set raises it, so frames assembled by direct slice
+	// construction (the codec, the fused E2SF kernel) are still
+	// strictly validated — Validate must keep rejecting unsorted
+	// wire data.
+	unsorted int
 }
 
 // NewFrame returns an empty sparse frame with the given geometry and
@@ -32,8 +40,20 @@ func NewFrame(h, w int, t0, t1 int64) *Frame {
 	return &Frame{H: h, W: w, T0: t0, T1: t1}
 }
 
+// Reset re-initializes the frame to the given geometry and time
+// bounds with zero entries, keeping the channel slices' capacity —
+// the pooled-construction twin of NewFrame.
+func (f *Frame) Reset(h, w int, t0, t1 int64) {
+	f.H, f.W, f.T0, f.T1 = h, w, t0, t1
+	f.Ys = f.Ys[:0]
+	f.Xs = f.Xs[:0]
+	f.Pos = f.Pos[:0]
+	f.Neg = f.Neg[:0]
+	f.unsorted = 0
+}
+
 // NNZ returns the number of stored (active) pixels.
-func (f *Frame) NNZ() int { return len(f.Ys) }
+func (f *Frame) NNZ() int { f.ensureSorted(); return len(f.Ys) }
 
 // Density returns NNZ / (H*W): the fraction of active pixels, i.e. the
 // spatial density the paper plots in Figures 1 and 3.
@@ -47,6 +67,7 @@ func (f *Frame) Density() float64 {
 // EventCount returns the total number of events accumulated into the
 // frame (sum of positive and negative counts).
 func (f *Frame) EventCount() float64 {
+	f.ensureSorted()
 	var s float64
 	for i := range f.Pos {
 		s += float64(f.Pos[i]) + float64(f.Neg[i])
@@ -57,6 +78,7 @@ func (f *Frame) EventCount() float64 {
 // Validate checks the structural invariants: coordinates in bounds,
 // entries sorted by (Y, X) with no duplicates, and no all-zero entries.
 func (f *Frame) Validate() error {
+	f.ensureSorted()
 	if len(f.Ys) != len(f.Xs) || len(f.Ys) != len(f.Pos) || len(f.Ys) != len(f.Neg) {
 		return fmt.Errorf("sparse: frame channel lengths differ: %d %d %d %d",
 			len(f.Ys), len(f.Xs), len(f.Pos), len(f.Neg))
@@ -81,29 +103,79 @@ func (f *Frame) Validate() error {
 
 func (f *Frame) key(i int) int64 { return int64(f.Ys[i])*int64(f.W) + int64(f.Xs[i]) }
 
-// Set inserts or overwrites the entry at (y, x). It is O(n) in the
-// worst case and intended for construction paths that are not already
-// sorted; bulk construction should use FrameBuilder.
+// Set inserts or overwrites the entry at (y, x). In-place overwrites
+// of already-sorted entries and in-order appends are O(log n) / O(1);
+// out-of-order inserts append to an unsorted tail that is compacted
+// with one sort on the next order-dependent read, so building a frame
+// of n scattered Sets costs O(n log n) total instead of the old
+// sorted-insert's O(n^2). Bulk counting construction should still use
+// FrameBuilder or the fused E2SF kernel.
 func (f *Frame) Set(y, x int32, pos, neg float32) {
 	k := int64(y)*int64(f.W) + int64(x)
-	i := sort.Search(len(f.Ys), func(i int) bool { return f.key(i) >= k })
-	if i < len(f.Ys) && f.key(i) == k {
-		f.Pos[i], f.Neg[i] = pos, neg
+	if f.unsorted == 0 {
+		n := len(f.Ys)
+		if n == 0 || f.key(n-1) < k {
+			// In-order append keeps the frame sorted for free.
+			f.Ys = append(f.Ys, y)
+			f.Xs = append(f.Xs, x)
+			f.Pos = append(f.Pos, pos)
+			f.Neg = append(f.Neg, neg)
+			return
+		}
+		i := sort.Search(n, func(i int) bool { return f.key(i) >= k })
+		if i < n && f.key(i) == k {
+			f.Pos[i], f.Neg[i] = pos, neg
+			return
+		}
+	}
+	// Out-of-order (or already dirty): append to the unsorted tail.
+	// Duplicates are resolved last-wins at compaction, matching the
+	// old overwrite semantics.
+	f.Ys = append(f.Ys, y)
+	f.Xs = append(f.Xs, x)
+	f.Pos = append(f.Pos, pos)
+	f.Neg = append(f.Neg, neg)
+	f.unsorted++
+}
+
+// ensureSorted compacts the unsorted tail Set may have left: one
+// stable sort over all entries, then a sweep keeping the last write
+// per duplicate key. No-op (one integer compare) when clean.
+func (f *Frame) ensureSorted() {
+	if f.unsorted == 0 {
 		return
 	}
-	f.Ys = append(f.Ys, 0)
-	f.Xs = append(f.Xs, 0)
-	f.Pos = append(f.Pos, 0)
-	f.Neg = append(f.Neg, 0)
-	copy(f.Ys[i+1:], f.Ys[i:])
-	copy(f.Xs[i+1:], f.Xs[i:])
-	copy(f.Pos[i+1:], f.Pos[i:])
-	copy(f.Neg[i+1:], f.Neg[i:])
-	f.Ys[i], f.Xs[i], f.Pos[i], f.Neg[i] = y, x, pos, neg
+	n := len(f.Ys)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return f.key(perm[a]) < f.key(perm[b]) })
+	ys := make([]int32, 0, n)
+	xs := make([]int32, 0, n)
+	pos := make([]float32, 0, n)
+	neg := make([]float32, 0, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && f.key(perm[j+1]) == f.key(perm[i]) {
+			j++
+		}
+		// Stable sort keeps duplicates in insertion order; the last one
+		// is the surviving write.
+		p := perm[j]
+		ys = append(ys, f.Ys[p])
+		xs = append(xs, f.Xs[p])
+		pos = append(pos, f.Pos[p])
+		neg = append(neg, f.Neg[p])
+		i = j + 1
+	}
+	f.Ys, f.Xs, f.Pos, f.Neg = ys, xs, pos, neg
+	f.unsorted = 0
 }
 
 // Get returns the (pos, neg) accumulation at (y, x), zeroes if absent.
 func (f *Frame) Get(y, x int32) (pos, neg float32) {
+	f.ensureSorted()
 	k := int64(y)*int64(f.W) + int64(x)
 	i := sort.Search(len(f.Ys), func(i int) bool { return f.key(i) >= k })
 	if i < len(f.Ys) && f.key(i) == k {
@@ -114,6 +186,7 @@ func (f *Frame) Get(y, x int32) (pos, neg float32) {
 
 // Clone returns a deep copy of the frame.
 func (f *Frame) Clone() *Frame {
+	f.ensureSorted()
 	out := &Frame{H: f.H, W: f.W, T0: f.T0, T1: f.T1}
 	out.Ys = append([]int32(nil), f.Ys...)
 	out.Xs = append([]int32(nil), f.Xs...)
@@ -127,11 +200,24 @@ func (f *Frame) Clone() *Frame {
 // the baselines feed to dense kernels.
 func (f *Frame) Dense() *Tensor {
 	t := NewTensor(2, f.H, f.W)
+	f.DenseInto(t)
+	return t
+}
+
+// DenseInto expands the frame into a caller-supplied (possibly
+// pooled) 2 x H x W tensor, zeroing it first. Panics on shape
+// mismatch — pooled tensors are fetched by shape, so a mismatch is a
+// wiring bug, not data.
+func (f *Frame) DenseInto(t *Tensor) {
+	if t.C != 2 || t.H != f.H || t.W != f.W {
+		panic(fmt.Sprintf("sparse: DenseInto tensor %dx%dx%d != frame 2x%dx%d", t.C, t.H, t.W, f.H, f.W))
+	}
+	f.ensureSorted()
+	t.Zero()
 	for i := range f.Ys {
 		t.Set(0, int(f.Ys[i]), int(f.Xs[i]), f.Pos[i])
 		t.Set(1, int(f.Ys[i]), int(f.Xs[i]), f.Neg[i])
 	}
-	return t
 }
 
 // FromDense converts a dense 2 x H x W tensor into a sparse frame,
@@ -161,7 +247,9 @@ func FromDense(t *Tensor, t0, t1 int64) (*Frame, error) {
 // elementwise sums of the inputs — the DSFA cAdd combine mode. Time
 // bounds become the union. Panics on geometry mismatch.
 func MergeAdd(frames ...*Frame) *Frame {
-	return mergeScaled(frames, 1)
+	out := &Frame{}
+	mergeScaledInto(out, frames, 1)
+	return out
 }
 
 // MergeAverage returns the elementwise mean of the inputs — the DSFA
@@ -170,12 +258,36 @@ func MergeAverage(frames ...*Frame) *Frame {
 	if len(frames) == 0 {
 		panic("sparse: MergeAverage of no frames")
 	}
-	return mergeScaled(frames, 1/float32(len(frames)))
+	out := &Frame{}
+	mergeScaledInto(out, frames, 1/float32(len(frames)))
+	return out
 }
 
-func mergeScaled(frames []*Frame, scale float32) *Frame {
+// MergeAddInto writes the cAdd combination of frames into out
+// (typically a pooled frame), keeping out's slice capacity. The
+// summation order is identical to MergeAdd's, so results are
+// bit-identical — scenario replay depends on it.
+func MergeAddInto(out *Frame, frames ...*Frame) {
+	mergeScaledInto(out, frames, 1)
+}
+
+// MergeAverageInto is MergeAverage writing into a pooled frame.
+func MergeAverageInto(out *Frame, frames ...*Frame) {
+	if len(frames) == 0 {
+		panic("sparse: MergeAverage of no frames")
+	}
+	mergeScaledInto(out, frames, 1/float32(len(frames)))
+}
+
+func mergeScaledInto(out *Frame, frames []*Frame, scale float32) {
 	if len(frames) == 0 {
 		panic("sparse: merge of no frames")
+	}
+	for _, f := range frames {
+		if f == out {
+			panic("sparse: merge output aliases an input")
+		}
+		f.ensureSorted()
 	}
 	h, w := frames[0].H, frames[0].W
 	t0, t1 := frames[0].T0, frames[0].T1
@@ -190,13 +302,24 @@ func mergeScaled(frames []*Frame, scale float32) *Frame {
 			t1 = f.T1
 		}
 	}
-	// k-way linear merge over sorted entries.
-	out := NewFrame(h, w, t0, t1)
-	idx := make([]int, len(frames))
+	out.Reset(h, w, t0, t1)
+	// k-way linear merge over sorted entries. The cursor array lives
+	// on the stack for the bucket sizes DSFA actually forms; bigger
+	// merges spill to one allocation.
+	var idxArr [32]int
+	var idx []int
+	if len(frames) <= len(idxArr) {
+		idx = idxArr[:len(frames)]
+		for i := range idx {
+			idx[i] = 0
+		}
+	} else {
+		idx = make([]int, len(frames))
+	}
 	for {
 		best := int64(-1)
 		for fi, f := range frames {
-			if idx[fi] < f.NNZ() {
+			if idx[fi] < len(f.Ys) {
 				if k := f.key(idx[fi]); best == -1 || k < best {
 					best = k
 				}
@@ -207,7 +330,7 @@ func mergeScaled(frames []*Frame, scale float32) *Frame {
 		}
 		var pos, neg float32
 		for fi, f := range frames {
-			if idx[fi] < f.NNZ() && f.key(idx[fi]) == best {
+			if idx[fi] < len(f.Ys) && f.key(idx[fi]) == best {
 				pos += f.Pos[idx[fi]]
 				neg += f.Neg[idx[fi]]
 				idx[fi]++
@@ -218,7 +341,6 @@ func mergeScaled(frames []*Frame, scale float32) *Frame {
 		out.Pos = append(out.Pos, pos*scale)
 		out.Neg = append(out.Neg, neg*scale)
 	}
-	return out
 }
 
 // DensityChange returns |d(a) - d(b)| / max(d(a), eps): the relative
