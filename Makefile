@@ -8,7 +8,8 @@ FUZZ_TARGETS := \
 	./internal/events:FuzzReadText \
 	./internal/sparse:FuzzReadFrame \
 	./internal/sparse:FuzzReadFrames \
-	./internal/serve:FuzzDecodeChunk
+	./internal/serve:FuzzDecodeChunk \
+	./internal/serve:FuzzDecodeJournalEntry
 FUZZTIME ?= 10s
 
 .PHONY: build test race lint bench bench-json bench-smoke serve cluster scenarios fuzz cover clean

@@ -13,13 +13,19 @@
 //	          [-workers 4] [-queue 64] [-drop drop-oldest]
 //	          [-mapper rr|nmp] [-batch-max 8] [-batch-window 0]
 //	          [-adapt] [-rebalance-gap 0.25] [-rebalance-queue 8]
-//	          [-rebalance-cooldown 5s]
+//	          [-rebalance-cooldown 5s] [-journal]
 //
 // -adapt enables each node's online control plane (DSFA retuning, and
 // NMP remaps under -mapper nmp). -rebalance-gap > 0 additionally lets
 // the router consume the same node-load signals to migrate sessions
 // off hot nodes mid-run (gracefully; one session per cooldown),
 // instead of only reacting to kill/drain.
+//
+// -journal turns on per-session event journals: every ingest chunk is
+// replicated to a deterministic buddy node, so a kill replays the
+// un-acknowledged backlog through the survivor instead of shedding it,
+// and clients can follow results over SSE (GET
+// /v1/sessions/{id}/stream?since=<seq>) across the failover.
 //
 // Fleet admin (beyond the single-node API):
 //
@@ -67,6 +73,7 @@ func run(args []string, stderr io.Writer) int {
 		batchMax = fs.Int("batch-max", 8, "max compatible invocations coalesced per micro-batch on each node (1 = serialized)")
 		batchWin = fs.Duration("batch-window", 0, "how long a node's dispatcher holds work open for more compatible arrivals")
 		adapt    = fs.Bool("adapt", false, "enable each node's online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
+		journal  = fs.Bool("journal", false, "enable per-session event journals with buddy replication (lossless failover; SSE at /v1/sessions/{id}/stream)")
 		gap      = fs.Float64("rebalance-gap", 0, "node-utilization spread that triggers a load-driven session migration (0 disables)")
 		queueTh  = fs.Int("rebalance-queue", 0, "pending-invocation spread across nodes that also triggers a migration (0 disables; needs -rebalance-gap > 0)")
 		cooldown = fs.Duration("rebalance-cooldown", 5*time.Second, "minimum time between load-driven migrations")
@@ -117,6 +124,7 @@ func run(args []string, stderr io.Writer) int {
 	if *trace != "" {
 		node.Trace = evedge.TraceConfig{Enabled: true}
 	}
+	node.Journal = *journal
 
 	c, err := evedge.NewCluster(evedge.ClusterConfig{
 		Nodes:               specs,

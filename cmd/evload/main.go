@@ -7,20 +7,27 @@
 //
 //	evload [-addr http://localhost:7733] [-sessions 4] [-nets a,b,...]
 //	       [-level 2] [-dur us] [-chunk us] [-rate eps] [-speed x]
-//	       [-wire evar|json] [-seed N] [-json]
+//	       [-wire evar|json] [-seed N] [-json] [-stream]
 //
 // Each concurrent session streams its network's scene preset in
 // chunk-sized pieces. -rate subsamples events to approximate a target
 // events/second; -speed paces replay relative to sensor time (1 =
 // real time, 0 = as fast as possible).
+//
+// -stream additionally subscribes each session to the server-push SSE
+// result stream (the server must run -journal) and reports how many
+// results and frames arrived over the push path alongside the polled
+// final stats.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -45,13 +52,17 @@ type sessionReport struct {
 	// (0 unless the server runs -adapt). Remaps counts execution plans
 	// installed after the first — session-churn rebalances as well as
 	// load-driven adaptive remaps.
-	Retunes   uint64  `json:"retunes"`
-	Remaps    uint64  `json:"remaps"`
-	SimP50MS  float64 `json:"sim_p50_ms"`
-	SimP99MS  float64 `json:"sim_p99_ms"`
-	WallP50MS float64 `json:"wall_p50_ms"`
-	WallP99MS float64 `json:"wall_p99_ms"`
-	Err       string  `json:"error,omitempty"`
+	Retunes uint64 `json:"retunes"`
+	Remaps  uint64 `json:"remaps"`
+	// StreamedResults/StreamedFrames count what arrived over the SSE
+	// push stream (-stream against a -journal server); zero otherwise.
+	StreamedResults uint64  `json:"streamed_results,omitempty"`
+	StreamedFrames  uint64  `json:"streamed_frames,omitempty"`
+	SimP50MS        float64 `json:"sim_p50_ms"`
+	SimP99MS        float64 `json:"sim_p99_ms"`
+	WallP50MS       float64 `json:"wall_p50_ms"`
+	WallP99MS       float64 `json:"wall_p99_ms"`
+	Err             string  `json:"error,omitempty"`
 }
 
 // nodeDist is one row of the per-node session-distribution table,
@@ -78,9 +89,12 @@ type loadReport struct {
 	MaxSimP99MS  float64 `json:"max_sim_p99_ms"`
 	// RetunesPerSession/RemapsPerSession average the control-plane
 	// activity over successful sessions.
-	RetunesPerSession float64    `json:"retunes_per_session"`
-	RemapsPerSession  float64    `json:"remaps_per_session"`
-	Nodes             []nodeDist `json:"nodes,omitempty"`
+	RetunesPerSession float64 `json:"retunes_per_session"`
+	RemapsPerSession  float64 `json:"remaps_per_session"`
+	// TotalStreamed* aggregate the SSE push path (-stream runs only).
+	TotalStreamedResults uint64     `json:"total_streamed_results,omitempty"`
+	TotalStreamedFrames  uint64     `json:"total_streamed_frames,omitempty"`
+	Nodes                []nodeDist `json:"nodes,omitempty"`
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -104,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wire    = fs.String("wire", "evar", "wire format: evar (binary) or json")
 		seed    = fs.Int64("seed", 42, "base random seed")
 		jsonOut = fs.Bool("json", false, "emit the report as JSON")
+		stream  = fs.Bool("stream", false, "follow each session's SSE result stream (server must run -journal)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -131,6 +146,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "evload: server not reachable: %v\n", err)
 		return 1
 	}
+	// The SSE stream outlives the default 30s client deadline, so the
+	// streaming client runs without one (lifetime bounded by context).
+	var streamCl *evedge.ServeClient
+	if *stream {
+		streamCl = evedge.NewServeClient(*addr, &http.Client{})
+	}
 
 	reports := make([]sessionReport, *sessions)
 	start := time.Now()
@@ -140,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		go func(i int) {
 			defer wg.Done()
 			name := strings.TrimSpace(names[i%len(names)])
-			reports[i] = runSession(cl, name, int(lvl), *dur, *chunk, *rate, *speed, *wire, *seed+int64(i))
+			reports[i] = runSession(cl, streamCl, name, int(lvl), *dur, *chunk, *rate, *speed, *wire, *seed+int64(i))
 		}(i)
 	}
 	wg.Wait()
@@ -162,6 +183,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rep.TotalEvents += r.Events
 		rep.TotalFramesIn += r.FramesIn
 		rep.TotalFramesDropped += r.FramesDropped
+		rep.TotalStreamedResults += r.StreamedResults
+		rep.TotalStreamedFrames += r.StreamedFrames
 		if r.SimP99MS > rep.MaxSimP99MS {
 			rep.MaxSimP99MS = r.SimP99MS
 		}
@@ -210,8 +233,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // runSession streams one session end to end and collapses it into a
-// report row.
-func runSession(cl *evedge.ServeClient, name string, level int, dur, chunkUS int64, rate, speed float64, wire string, seed int64) sessionReport {
+// report row. A non-nil streamCl additionally follows the session's
+// SSE result stream for its whole lifetime.
+func runSession(cl, streamCl *evedge.ServeClient, name string, level int, dur, chunkUS int64, rate, speed float64, wire string, seed int64) sessionReport {
 	rep := sessionReport{Network: name}
 	fail := func(err error) sessionReport {
 		rep.Err = err.Error()
@@ -234,6 +258,21 @@ func runSession(cl *evedge.ServeClient, name string, level int, dur, chunkUS int
 		return fail(err)
 	}
 	rep.Session = snap.ID
+
+	// The push subscription rides alongside ingest; CloseSession ends
+	// the journal, which ends the stream (event: close -> nil).
+	streamDone := make(chan error, 1)
+	if streamCl != nil {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			streamDone <- streamCl.StreamResults(ctx, snap.ID, 0, func(ev evedge.ResultEvent) error {
+				rep.StreamedResults++
+				rep.StreamedFrames += uint64(ev.Frames)
+				return nil
+			})
+		}()
+	}
 
 	var wallUS []float64
 	for t0 := int64(0); t0 < dur; t0 += chunkUS {
@@ -261,6 +300,16 @@ func runSession(cl *evedge.ServeClient, name string, level int, dur, chunkUS int
 	fin, err := cl.CloseSession(snap.ID)
 	if err != nil {
 		return fail(err)
+	}
+	if streamCl != nil {
+		select {
+		case serr := <-streamDone:
+			if serr != nil {
+				return fail(fmt.Errorf("result stream: %w", serr))
+			}
+		case <-time.After(10 * time.Second):
+			return fail(errors.New("result stream did not close with the session"))
+		}
 	}
 	rep.Node = fin.Node
 	rep.FramesIn = fin.FramesIn
@@ -337,6 +386,10 @@ func printReport(w io.Writer, rep loadReport) {
 		rep.TotalFramesDropped, rep.TotalFramesIn, rep.ShedRate*100)
 	fmt.Fprintf(w, "adapt: %.1f retunes/session, %.1f remaps/session\n",
 		rep.RetunesPerSession, rep.RemapsPerSession)
+	if rep.TotalStreamedResults > 0 {
+		fmt.Fprintf(w, "push:  %d results (%d frames) delivered over SSE\n",
+			rep.TotalStreamedResults, rep.TotalStreamedFrames)
+	}
 	if clustered {
 		fmt.Fprintf(w, "\n%-10s %9s %9s %8s %7s\n", "node", "sessions", "events", "frames", "drops")
 		for _, d := range rep.Nodes {

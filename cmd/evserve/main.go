@@ -9,6 +9,7 @@
 //	        [-queue 64] [-drop drop-oldest] [-mapper rr|nmp]
 //	        [-batch-max 8] [-batch-window 0]
 //	        [-adapt] [-adapt-interval 50ms] [-remap-cooldown 250ms]
+//	        [-journal]
 //
 // Execution flows through the shared scheduler (internal/sched):
 // per-device run queues coalesce compatible invocations from
@@ -29,6 +30,7 @@
 //	POST   /v1/sessions              {"network":"DOTIE","level":2}
 //	POST   /v1/sessions/{id}/events  EVAR binary or JSON chunk
 //	GET    /v1/sessions[/{id}]       session stats
+//	GET    /v1/sessions/{id}/stream  SSE result stream (needs -journal; ?since=<seq> catch-up)
 //	POST   /v1/sessions/{id}/close   flush + final stats
 //	DELETE /v1/sessions/{id}         same as close
 //	GET    /healthz                  liveness + session counts
@@ -69,6 +71,7 @@ func run(args []string, stderr io.Writer) int {
 		batchMax = fs.Int("batch-max", 8, "max compatible invocations coalesced per micro-batch (1 = serialized)")
 		batchWin = fs.Duration("batch-window", 0, "how long a dispatcher holds work open for more compatible arrivals")
 		adapt    = fs.Bool("adapt", false, "enable the online control plane (DSFA retuning; NMP remaps under -mapper nmp)")
+		journal  = fs.Bool("journal", false, "enable per-session event journals (SSE result streaming at /v1/sessions/{id}/stream)")
 		adaptInt = fs.Duration("adapt-interval", 50*time.Millisecond, "minimum stream time between retune decisions")
 		cooldown = fs.Duration("remap-cooldown", 250*time.Millisecond, "minimum virtual time between NMP remaps")
 		trace    = fs.String("trace", "", "enable frame-lifecycle tracing and write Chrome trace-event JSON here on shutdown (also served live at /v1/trace)")
@@ -118,6 +121,7 @@ func run(args []string, stderr io.Writer) int {
 	if *trace != "" {
 		cfg.Trace = evedge.TraceConfig{Enabled: true, Node: "server"}
 	}
+	cfg.Journal = *journal
 
 	srv, err := evedge.NewServer(cfg)
 	if err != nil {

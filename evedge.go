@@ -211,6 +211,9 @@ type (
 	SessionSnapshot = serve.SessionSnapshot
 	// IngestResult acknowledges one ingested event chunk.
 	IngestResult = serve.IngestResult
+	// ResultEvent is one journaled inference result, as delivered on the
+	// SSE stream at /v1/sessions/{id}/stream (ServeConfig.Journal).
+	ResultEvent = serve.ResultEvent
 	// ServeHealth is the /healthz payload.
 	ServeHealth = serve.Health
 	// DropPolicy selects what a full session ingest queue sheds.

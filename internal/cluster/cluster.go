@@ -12,11 +12,20 @@
 // watches node health; when a node is killed or drained, the router
 // fails its sessions over to surviving nodes: the session is
 // re-created at the same network/level on a new node and keeps its
-// fleet-wide ID. On a kill, frames still sitting in the dead node's
-// ingest queues are shed and counted (failover_shed_frames); a drain
-// closes sessions gracefully first, so queued frames execute and
-// nothing is shed. Per-session counters restart after a migration —
-// the fleet-level counters accumulate across it.
+// fleet-wide ID. A drain closes sessions gracefully first, so queued
+// frames execute and nothing is shed.
+//
+// With the per-node journal enabled (serve.Config.Journal), a kill is
+// lossless too: every ingested chunk is replicated to a deterministic
+// buddy node (the next alive node after the owner in construction
+// order) and trimmed as its frames complete; on a kill, failover
+// resumes the session on the buddy by replaying the unacknowledged
+// entries through the normal ingest path, so queued frames are
+// recovered (failover_recovered_frames) instead of shed. Without the
+// journal, frames still sitting in the dead node's ingest queues are
+// shed and counted (failover_shed_frames). Per-session counters
+// restart after a migration — the fleet-level counters accumulate
+// across it.
 package cluster
 
 import (
@@ -181,10 +190,18 @@ type route struct {
 	node    *node
 	localID string
 	closed  bool
+	// buddy is the node holding the session's replicated journal
+	// entries (nil until the first journaled ingest, or when no other
+	// node is alive). Re-resolved on every replicated chunk so it
+	// tracks fleet membership changes.
+	buddy *node
 	// shedFrames accumulates ingest-queue frames lost to kill-failovers
 	// of this session, surfaced so clients can account for the gap.
 	shedFrames uint64
-	failovers  int
+	// recoveredFrames accumulates frames regenerated by replaying the
+	// replicated journal after kill-failovers of this session.
+	recoveredFrames uint64
+	failovers       int
 	// migrations counts load-driven moves to another node (graceful —
 	// nothing shed, but per-session counters restart like a failover).
 	migrations int
@@ -210,11 +227,19 @@ type Cluster struct {
 	migMu   sync.Mutex
 	adminMu sync.Mutex
 
-	nextID           atomic.Uint64
-	failoverSessions atomic.Uint64
-	failoverShed     atomic.Uint64
-	lostSessions     atomic.Uint64
-	migrations       atomic.Uint64
+	nextID       atomic.Uint64
+	lostSessions atomic.Uint64
+	migrations   atomic.Uint64
+
+	// Failover accounting lives on the routes (live counters) plus the
+	// monotonic closed roll-up below, all guarded by mu: when a
+	// failed-over session closes, its counters move from the live sum
+	// into closed* in the same critical section, so the fleet totals
+	// (evcluster_failover_*_total) can never under-count across a close
+	// — the bug scattered per-snapshot accounting had.
+	closedFailovers uint64
+	closedShed      uint64
+	closedRecovered uint64
 
 	// rebalancer gates load-driven migrations (nil when disabled). It
 	// consumes the same node-load signals placement uses, in wall-time
@@ -540,7 +565,15 @@ func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
 	best.node = coldN
 	best.localID = sess.ID
 	best.migrations++
+	prevBuddy := best.buddy
+	best.buddy = nil
 	c.mu.Unlock()
+	if prevBuddy != nil && prevBuddy.state.Load() != stateDead {
+		// Stale replicas: the old incarnation's journal closes below with
+		// every queued frame executed; its entries must not replay into
+		// the re-created session.
+		prevBuddy.server().ReplicaDrop(best.extID)
+	}
 	// Graceful: the old session's queued frames execute during close.
 	_, _ = hotSrv.CloseSession(oldID)
 	c.migrations.Add(1)
@@ -652,8 +685,12 @@ func (c *Cluster) failoverNode(n *node) {
 }
 
 // migrate moves the node's routed sessions elsewhere. graceful closes
-// each session on the old node first (drain: queued frames execute);
-// otherwise the old node is dead and its queued frames are shed.
+// each session on the old node first (drain: queued frames execute).
+// Otherwise the old node is dead: when its unacknowledged journal
+// entries survive on an alive buddy, the session resumes there — the
+// entries replay through the normal ingest path and the queued frames
+// are recovered; without a replica (journal off, buddy dead, nothing
+// unacknowledged) the dead node's queued frames are shed.
 func (c *Cluster) migrate(n *node, graceful bool) {
 	c.migMu.Lock()
 	defer c.migMu.Unlock()
@@ -678,55 +715,214 @@ func (c *Cluster) migrate(n *node, graceful bool) {
 				}
 			}
 		} else if snap, err := srv.Snapshot(rt.localID); err == nil {
-			// Dead node: whatever sat in the ingest queue is lost.
+			// Dead node: whatever sat in the ingest queue is lost unless
+			// the journal replica below recovers it.
 			shed = uint64(snap.QueueLen)
 		}
-		target, err := c.place(rt.extID, n)
-		if err != nil {
+		// Pull the replicated journal off the buddy before placing: a
+		// kill-failover with surviving entries resumes on the buddy
+		// itself, so replay never crosses another network hop.
+		var entries []serve.ReplicaEntry
+		var buddy *node
+		if !graceful {
+			c.mu.Lock()
+			buddy = rt.buddy
+			c.mu.Unlock()
+			if buddy != nil && buddy.alive() {
+				entries = buddy.server().ReplicaTake(rt.extID)
+			}
+		}
+		var target *node
+		var err error
+		if len(entries) > 0 {
+			target = buddy
+		} else if target, err = c.place(rt.extID, n); err != nil {
 			// No survivors: the session is gone.
 			c.mu.Lock()
-			rt.closed = true
 			rt.shedFrames += shed
+			c.terminateRouteLocked(rt, shed)
 			c.mu.Unlock()
 			c.lostSessions.Add(1)
-			c.failoverShed.Add(shed)
 			continue
 		}
 		sess, err := target.server().CreateSession(rt.cfg)
 		if err != nil {
 			c.mu.Lock()
-			rt.closed = true
 			rt.shedFrames += shed
+			c.terminateRouteLocked(rt, shed)
 			c.mu.Unlock()
 			c.lostSessions.Add(1)
-			c.failoverShed.Add(shed)
 			continue
+		}
+		// Replay before committing the route: the new session is only
+		// reachable through this sweep until the route flips, so the
+		// replayed chunks re-enter ingest strictly before any new client
+		// chunk — preserving the session's watermark ordering.
+		var recovered uint64
+		if len(entries) > 0 {
+			shed = 0
+			recovered = c.replay(target, sess.ID, rt.extID, entries)
 		}
 		c.mu.Lock()
 		if rt.closed {
 			// A client close landed while we re-created the session:
 			// undo the new copy instead of committing an orphan the
-			// fleet's load signal would count forever.
+			// fleet's load signal would count forever. The route's
+			// counters were already folded by that close, so the late
+			// shed goes straight into the closed roll-up.
 			rt.shedFrames += shed
+			c.closedShed += shed
 			c.mu.Unlock()
 			_, _ = target.server().CloseSession(sess.ID)
-			c.failoverShed.Add(shed)
 			continue
 		}
+		prevBuddy := rt.buddy
 		rt.node = target
 		rt.localID = sess.ID
+		rt.buddy = nil // entries consumed; next ingest re-homes the replica
 		rt.shedFrames += shed
+		rt.recoveredFrames += recovered
 		rt.failovers++
 		c.mu.Unlock()
-		c.failoverSessions.Add(1)
-		c.failoverShed.Add(shed)
+		if graceful && prevBuddy != nil && prevBuddy.state.Load() != stateDead {
+			// A graceful move executed every queued frame during close; the
+			// old incarnation's replica entries are stale (their sequence
+			// numbers belong to the closed journal) and must not replay
+			// into the re-created session later.
+			prevBuddy.server().ReplicaDrop(rt.extID)
+		}
 		// Annotate the move on the fleet track: a graceful migration shed
-		// nothing, a kill-failover carries the frames it lost.
-		if graceful {
+		// nothing, a replayed kill-failover carries the frames it
+		// recovered, a bare kill-failover the frames it lost.
+		switch {
+		case graceful:
 			c.mark("migrate:"+rt.extID+":"+n.name+">"+target.name, int64(shed))
-		} else {
+		case recovered > 0 || len(entries) > 0:
+			c.mark("replay:"+rt.extID+":"+n.name+">"+target.name, int64(recovered))
+		default:
 			c.mark("failover:"+rt.extID+":"+n.name+">"+target.name, int64(shed))
 		}
+	}
+}
+
+// replay re-ingests a session's replicated journal chunks on the
+// failover target, seeding the new journal's sequence counter past
+// everything the dead incarnation assigned so resumed result streams
+// stay monotonic. Returns the frames the replay regenerated. Entries
+// that fail to decode or ingest are skipped — replay is best-effort
+// recovery of an already-failed node, never a new failure mode.
+func (c *Cluster) replay(target *node, localID, extID string, entries []serve.ReplicaEntry) uint64 {
+	srv := target.server()
+	_ = srv.SeedJournal(localID, entries[len(entries)-1].Seq)
+	var recovered uint64
+	for _, e := range entries {
+		ent, err := serve.DecodeJournalEntry(e.Data)
+		if err != nil || ent.Kind != serve.JournalChunk {
+			continue
+		}
+		res, err := srv.Ingest(localID, ent.Chunk)
+		if err != nil {
+			continue
+		}
+		recovered += uint64(res.Frames)
+	}
+	return recovered
+}
+
+// terminateRouteLocked folds a terminating route's failover counters
+// into the monotonic closed roll-up; callers hold c.mu and must have
+// applied any final shed to rt before calling. Safe against a
+// concurrent client close: if the route is already closed (and hence
+// already folded), only the late shed delta is added.
+func (c *Cluster) terminateRouteLocked(rt *route, lateShed uint64) {
+	if rt.closed {
+		c.closedShed += lateShed
+		return
+	}
+	rt.closed = true
+	c.foldClosedLocked(rt)
+}
+
+// foldClosedLocked moves a route's failover counters from the live sum
+// into the closed roll-up; called exactly once, under c.mu, when
+// rt.closed flips to true.
+func (c *Cluster) foldClosedLocked(rt *route) {
+	c.closedFailovers += uint64(rt.failovers)
+	c.closedShed += rt.shedFrames
+	c.closedRecovered += rt.recoveredFrames
+}
+
+// failoverCounts sums the fleet's monotonic failover accounting: the
+// closed roll-up plus every open route's live counters, read in one
+// critical section so a closing session can never be counted in
+// neither (an under-count) or both (a double count).
+func (c *Cluster) failoverCounts() (sessions, shed, recovered uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sessions, shed, recovered = c.closedFailovers, c.closedShed, c.closedRecovered
+	for _, rt := range c.routes {
+		if rt.closed {
+			continue
+		}
+		sessions += uint64(rt.failovers)
+		shed += rt.shedFrames
+		recovered += rt.recoveredFrames
+	}
+	return sessions, shed, recovered
+}
+
+// buddyFor resolves a session owner's deterministic replication buddy:
+// the next alive node after the owner in construction order (wrapping),
+// nil when no other node is alive. Determinism matters — the failover
+// sweep must find the replicas exactly where the ingest path put them.
+func (c *Cluster) buddyFor(owner *node) *node {
+	for i, n := range c.nodes {
+		if n != owner {
+			continue
+		}
+		for k := 1; k < len(c.nodes); k++ {
+			cand := c.nodes[(i+k)%len(c.nodes)]
+			if cand != owner && cand.alive() {
+				return cand
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// replicate ships one journaled chunk to the session's buddy node and
+// trims the replica log to the chunk's ack watermark. When the buddy
+// changed since the last chunk (fleet membership moved), surviving
+// entries re-home to the new buddy first so the unacknowledged window
+// stays whole on one node.
+func (c *Cluster) replicate(rt *route, owner *node, chunk *events.Stream, res serve.IngestResult) {
+	buddy := c.buddyFor(owner)
+	c.mu.Lock()
+	prev := rt.buddy
+	rt.buddy = buddy
+	extID := rt.extID
+	c.mu.Unlock()
+	if prev != nil && prev != buddy && prev.state.Load() != stateDead {
+		moved := prev.server().ReplicaTake(extID)
+		if buddy != nil {
+			for _, e := range moved {
+				buddy.server().ReplicaAppend(extID, e.Seq, e.Data, 0)
+			}
+		}
+	}
+	if buddy == nil {
+		return
+	}
+	data, err := serve.EncodeJournalChunk(res.Seq, chunk)
+	if err != nil {
+		return
+	}
+	buddy.server().ReplicaAppend(extID, res.Seq, data, res.AckSeq)
+	if prev != buddy {
+		// Buddy (re)assignment is rare — mark it; per-chunk appends are
+		// far too hot for the bounded ctl ring.
+		c.mark("replicate:"+extID+">"+buddy.name, 1)
 	}
 }
 
@@ -803,7 +999,19 @@ func (c *Cluster) Ingest(extID string, chunk *events.Stream) (serve.IngestResult
 			// Router-hop annotation: which node served this chunk, and how
 			// many frames the hop produced.
 			c.mark("hop:"+rt.extID+">"+n.name, int64(res.Frames))
+			if res.Seq > 0 {
+				// Journaled chunk: replicate it to the buddy before acking
+				// the client, so a kill after this return can replay it.
+				c.replicate(rt, n, chunk, res)
+			}
 			return res, nil
+		}
+		if n.state.Load() == stateDead {
+			// The owner died between route resolution and the send (a
+			// closed server rejects ingest rather than stranding frames on
+			// the corpse); loop — endpoint fails the session over and the
+			// chunk retries against the new owner.
+			continue
 		}
 		c.mu.Lock()
 		moved := rt.node != n || rt.localID != localID
@@ -832,7 +1040,7 @@ func (c *Cluster) snapshotRoute(rt *route) (serve.SessionSnapshot, error) {
 	c.mu.Lock()
 	n, localID, closed := rt.node, rt.localID, rt.closed
 	extID := rt.extID
-	failovers, shed, migrations := rt.failovers, rt.shedFrames, rt.migrations
+	failovers, shed, recovered, migrations := rt.failovers, rt.shedFrames, rt.recoveredFrames, rt.migrations
 	c.mu.Unlock()
 	snap, err := n.server().Snapshot(localID)
 	if err != nil {
@@ -848,6 +1056,7 @@ func (c *Cluster) snapshotRoute(rt *route) (serve.SessionSnapshot, error) {
 	snap.Node = n.name
 	snap.Failovers = failovers
 	snap.FailoverShedFrames = shed
+	snap.FailoverRecoveredFrames = recovered
 	snap.Migrations = migrations
 	if closed && snap.State == "active" {
 		snap.State = "closed"
@@ -899,11 +1108,15 @@ func (c *Cluster) CloseSession(extID string) (serve.SessionSnapshot, error) {
 		// Marking closed in the same critical section as the moved check
 		// makes this atomic against a migration commit: either the
 		// migration already flipped the route (we loop and close the new
-		// copy) or it will see closed and undo itself.
+		// copy) or it will see closed and undo itself. Folding the
+		// route's failover counters into the monotonic closed roll-up in
+		// the same section keeps the fleet totals from under-counting
+		// across the close.
 		c.mu.Lock()
 		moved := rt.node != n || rt.localID != localID
 		if !moved {
 			rt.closed = true
+			c.foldClosedLocked(rt)
 		}
 		c.mu.Unlock()
 		if !moved {
@@ -911,13 +1124,20 @@ func (c *Cluster) CloseSession(extID string) (serve.SessionSnapshot, error) {
 		}
 	}
 	c.mu.Lock()
-	failovers, shed, migrations := rt.failovers, rt.shedFrames, rt.migrations
+	failovers, shed, recovered, migrations := rt.failovers, rt.shedFrames, rt.recoveredFrames, rt.migrations
+	buddy := rt.buddy
 	c.mu.Unlock()
+	if buddy != nil && buddy.state.Load() != stateDead {
+		// The session is done; its replicated journal has nothing left to
+		// recover.
+		buddy.server().ReplicaDrop(extID)
+	}
 	out := *snap
 	out.ID = extID
 	out.Node = n.name
 	out.Failovers = failovers
 	out.FailoverShedFrames = shed
+	out.FailoverRecoveredFrames = recovered
 	out.Migrations = migrations
 	return out, nil
 }

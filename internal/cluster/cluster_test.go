@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -464,12 +466,15 @@ func TestDrainMigratesGracefully(t *testing.T) {
 	}
 }
 
-// TestFailoverShedsQueuedFrames checks the kill path counts queued
-// frames as shed: after the node dies its workers are gone, so frames
-// ingested onto the corpse stay queued and are lost at failover.
+// TestFailoverShedsQueuedFrames checks the un-journaled kill path
+// counts queued frames as shed, and that the corpse itself refuses
+// work: a dead server rejects ingest (ErrServerClosed) instead of
+// black-holing frames nobody will ever drain, and its scheduler
+// backlog drains to empty before the failover runs.
 func TestFailoverShedsQueuedFrames(t *testing.T) {
 	cfg := Config{Nodes: specs(t, "xavier:2")}
 	cfg.Node.QueueCap = 1024
+	cfg.Node.ManualDrain = true // nothing drains: ingest stays queued
 	c, cl, stop := newTestCluster(t, cfg)
 	defer stop()
 
@@ -481,19 +486,35 @@ func TestFailoverShedsQueuedFrames(t *testing.T) {
 	rt := c.routes[snap.ID]
 	owner, localID := rt.node, rt.localID
 	c.mu.Unlock()
+
+	// Queue a burst before the kill; under ManualDrain it stays queued.
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 3, 100_000)
+	res, err := cl.SendEvents(snap.ID, stream)
+	if err != nil {
+		t.Fatalf("SendEvents: %v", err)
+	}
+	if res.QueueLen == 0 {
+		t.Fatal("nothing queued; test needs a burst that frames")
+	}
 	if err := c.KillNode(owner.name); err != nil {
 		t.Fatalf("KillNode: %v", err)
 	}
-	// White-box: push a burst straight into the dead node's session —
-	// the window where a request lands between the kill and the probe.
-	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 3, 100_000)
-	res, err := owner.server().Ingest(localID, stream)
-	if err != nil {
-		t.Fatalf("Ingest onto dead node: %v", err)
+	// Kill-path ownership fix: the corpse rejects ingest — the window
+	// where a request lands between the kill and the probe surfaces an
+	// error the router can retry, instead of vanishing frames.
+	if _, err := owner.server().Ingest(localID, stream.Slice(0, 10_000)); !errors.Is(err, serve.ErrServerClosed) {
+		t.Fatalf("ingest onto dead node: err = %v, want ErrServerClosed", err)
 	}
-	if res.QueueLen == 0 {
-		t.Fatal("dead node queued nothing; test needs a burst that frames")
+	// Close waited out the workers, so the corpse's in-flight set is
+	// empty: no scheduler backlog survives node death.
+	st := owner.server().SchedStats()
+	if st.Submitted != st.Dispatched {
+		t.Fatalf("dead node still has %d in-flight invocations", st.Submitted-st.Dispatched)
 	}
+	if pend := owner.server().Load().PendingInvocations; pend != 0 {
+		t.Fatalf("dead node still has %d pending invocations", pend)
+	}
+
 	c.ProbeNow()
 	h := c.Health()
 	if h.FailoverSessions != 1 {
@@ -501,6 +522,9 @@ func TestFailoverShedsQueuedFrames(t *testing.T) {
 	}
 	if h.FailoverShedFrames < uint64(res.QueueLen) {
 		t.Fatalf("shed %d frames, want >= %d", h.FailoverShedFrames, res.QueueLen)
+	}
+	if h.FailoverRecoveredFrames != 0 {
+		t.Fatalf("recovered %d frames with journaling off", h.FailoverRecoveredFrames)
 	}
 	// The fleet-wide ID keeps working on the survivor.
 	got, err := cl.Session(snap.ID)
@@ -516,6 +540,301 @@ func TestFailoverShedsQueuedFrames(t *testing.T) {
 	}
 	if _, err := cl.SendEvents(snap.ID, stream.Slice(0, 50_000)); err != nil {
 		t.Fatalf("SendEvents after failover: %v", err)
+	}
+}
+
+// TestJournalFailoverRecoversQueuedFrames is the tentpole contract:
+// with journaling on, every ingested chunk is replicated to the
+// owner's buddy, so a kill with a queued backlog resumes the session
+// by replaying the journal — zero shed, queued frames recovered.
+func TestJournalFailoverRecoversQueuedFrames(t *testing.T) {
+	cfg := Config{Nodes: specs(t, "xavier:2")}
+	cfg.Node.QueueCap = 4096
+	cfg.Node.ManualDrain = true
+	cfg.Node.Journal = true
+	c, cl, stop := newTestCluster(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	c.mu.Lock()
+	owner := c.routes[snap.ID].node
+	c.mu.Unlock()
+
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 7, 150_000)
+	var queued uint64
+	for _, ch := range chunks(stream.Slice(0, 120_000), 120_000, 30_000) {
+		res, err := cl.SendEvents(snap.ID, ch)
+		if err != nil {
+			t.Fatalf("SendEvents: %v", err)
+		}
+		if res.Seq == 0 {
+			t.Fatalf("journaled ingest returned seq 0: %+v", res)
+		}
+		queued = uint64(res.QueueLen)
+	}
+	if queued == 0 {
+		t.Fatal("nothing queued before the kill")
+	}
+	// The buddy holds a replica log for the session.
+	if sessions, entries := c.buddyFor(owner).server().ReplicaStats(); sessions != 1 || entries == 0 {
+		t.Fatalf("buddy replica store: %d sessions, %d entries", sessions, entries)
+	}
+
+	if err := c.KillNode(owner.name); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	c.ProbeNow()
+
+	h := c.Health()
+	if h.FailoverSessions != 1 {
+		t.Fatalf("failover sessions = %d", h.FailoverSessions)
+	}
+	if h.FailoverShedFrames != 0 {
+		t.Fatalf("journaled failover shed %d frames, want 0", h.FailoverShedFrames)
+	}
+	if h.FailoverRecoveredFrames < queued {
+		t.Fatalf("recovered %d frames, want >= %d queued", h.FailoverRecoveredFrames, queued)
+	}
+	got, err := cl.Session(snap.ID)
+	if err != nil {
+		t.Fatalf("Session after failover: %v", err)
+	}
+	if got.Node == owner.name || got.State != "active" {
+		t.Fatalf("session after failover: %+v", got)
+	}
+	if got.FailoverShedFrames != 0 || got.FailoverRecoveredFrames < queued {
+		t.Fatalf("per-session recovery accounting: %+v", got)
+	}
+
+	// The resumed session keeps working: drain it and close cleanly.
+	if _, err := cl.SendEvents(snap.ID, stream.Slice(120_000, 150_000)); err != nil {
+		t.Fatalf("SendEvents after failover: %v", err)
+	}
+	c.Pump()
+	fin, err := cl.CloseSession(snap.ID)
+	if err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if fin.State != "closed" || fin.RawFramesDone == 0 {
+		t.Fatalf("final snapshot: %+v", fin)
+	}
+}
+
+// TestFailoverCountersSurviveClose pins the counter-fold fix: closing
+// a failed-over session must not drop its failover/shed/recovered
+// contribution from the fleet totals — evcluster_failover_*_total
+// stays monotonic across session close.
+func TestFailoverCountersSurviveClose(t *testing.T) {
+	cfg := Config{Nodes: specs(t, "xavier:2")}
+	cfg.Node.QueueCap = 1024
+	cfg.Node.ManualDrain = true
+	c, cl, stop := newTestCluster(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 9, 80_000)
+	if _, err := cl.SendEvents(snap.ID, stream); err != nil {
+		t.Fatalf("SendEvents: %v", err)
+	}
+	c.mu.Lock()
+	owner := c.routes[snap.ID].node
+	c.mu.Unlock()
+	if err := c.KillNode(owner.name); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	c.ProbeNow()
+
+	pre, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	preSessions := metricValue(t, pre, "evcluster_failover_sessions_total")
+	preShed := metricValue(t, pre, "evcluster_failover_shed_frames_total")
+	if preSessions != 1 || preShed == 0 {
+		t.Fatalf("pre-close failover counters: sessions=%v shed=%v", preSessions, preShed)
+	}
+
+	c.Pump()
+	if _, err := cl.CloseSession(snap.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+
+	post, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("Metrics after close: %v", err)
+	}
+	if got := metricValue(t, post, "evcluster_failover_sessions_total"); got != preSessions {
+		t.Fatalf("failover_sessions_total moved across close: %v -> %v", preSessions, got)
+	}
+	if got := metricValue(t, post, "evcluster_failover_shed_frames_total"); got != preShed {
+		t.Fatalf("failover_shed_frames_total moved across close: %v -> %v", preShed, got)
+	}
+	if got := metricValue(t, post, "evcluster_failover_recovered_frames_total"); got != 0 {
+		t.Fatalf("recovered counter nonzero with journaling off: %v", got)
+	}
+}
+
+// TestJournalReplayNoCrossArenaRelease regression-tests the frame
+// ownership rule across failover: the corpse's frozen queue frames
+// belong to the dead arena and must never be recycled by the new
+// owner. Replay re-ingests fresh copies on the survivor; pumping and
+// closing everything must leave both arenas' pools balanced.
+func TestJournalReplayNoCrossArenaRelease(t *testing.T) {
+	cfg := Config{Nodes: specs(t, "xavier:2")}
+	cfg.Node.QueueCap = 4096
+	cfg.Node.ManualDrain = true
+	cfg.Node.Journal = true
+	c, cl, stop := newTestCluster(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	c.mu.Lock()
+	owner := c.routes[snap.ID].node
+	c.mu.Unlock()
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 13, 100_000)
+	res, err := cl.SendEvents(snap.ID, stream)
+	if err != nil {
+		t.Fatalf("SendEvents: %v", err)
+	}
+	if res.QueueLen == 0 {
+		t.Fatal("nothing queued before the kill")
+	}
+
+	if err := c.KillNode(owner.name); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	deadLive := owner.server().ArenaStats().Total.Live()
+	c.ProbeNow() // replay onto the survivor
+
+	// Drain the resumed session on the survivor; the corpse's arena must
+	// not see any of those releases (its live count is frozen).
+	c.Pump()
+	if got := owner.server().ArenaStats().Total.Live(); got != deadLive {
+		t.Fatalf("dead arena live count moved across replay: %d -> %d", deadLive, got)
+	}
+	if err := c.ReviveNode(owner.name); err != nil {
+		t.Fatalf("ReviveNode: %v", err)
+	}
+	if _, err := cl.CloseSession(snap.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	// Survivor's arena is balanced after close: every frame it ingested
+	// (including replayed ones) went back to its own pools.
+	for _, n := range c.nodes {
+		if n.name == owner.name {
+			continue
+		}
+		if live := n.server().ArenaStats().Frames.Live(); live != 0 {
+			t.Fatalf("node %s leaks %d live frames after close", n.name, live)
+		}
+	}
+}
+
+// TestStreamResumesAcrossFailover kills a node mid-SSE-stream and
+// checks the client resumes gaplessly through the router: the second
+// connection (since=<last seq>) picks up strictly after the first and
+// delivers the killed node's queued work once the journal replays.
+func TestStreamResumesAcrossFailover(t *testing.T) {
+	cfg := Config{Nodes: specs(t, "xavier:2")}
+	cfg.Node.QueueCap = 4096
+	cfg.Node.ManualDrain = true
+	cfg.Node.Journal = true
+	c, cl, stop := newTestCluster(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	c.mu.Lock()
+	rt := c.routes[snap.ID]
+	owner, localID := rt.node, rt.localID
+	c.mu.Unlock()
+
+	// Phase A drains to completion: its results are streamable.
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 17, 160_000)
+	for _, ch := range chunks(stream.Slice(0, 80_000), 80_000, 20_000) {
+		if _, err := cl.SendEvents(snap.ID, ch); err != nil {
+			t.Fatalf("SendEvents (phase A): %v", err)
+		}
+	}
+	c.Pump()
+	st, err := owner.server().SessionJournalStats(localID)
+	if err != nil {
+		t.Fatalf("SessionJournalStats: %v", err)
+	}
+	if st.Retained == 0 {
+		t.Fatal("phase A produced no streamable results")
+	}
+
+	// Pass 1 reads everything phase A emitted, then drops the stream —
+	// the client's view of the world right before the node dies.
+	errStop := errors.New("drop connection")
+	var first []serve.ResultEvent
+	err = cl.StreamResults(context.Background(), snap.ID, 0, func(ev serve.ResultEvent) error {
+		first = append(first, ev)
+		if len(first) == st.Retained {
+			return errStop
+		}
+		return nil
+	})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("pass 1 err = %v, want errStop", err)
+	}
+
+	// Phase B queues without draining, then the owner dies: only the
+	// replicated journal can get those frames back.
+	res, err := cl.SendEvents(snap.ID, stream.Slice(80_000, 160_000))
+	if err != nil {
+		t.Fatalf("SendEvents (phase B): %v", err)
+	}
+	if res.QueueLen == 0 {
+		t.Fatal("phase B queued nothing")
+	}
+	if err := c.KillNode(owner.name); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	c.ProbeNow()
+	c.Pump() // drain the replayed frames on the survivor
+	if _, err := cl.CloseSession(snap.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+
+	// Pass 2 resumes through the router against the new owner.
+	var second []serve.ResultEvent
+	err = cl.StreamResults(context.Background(), snap.ID, first[len(first)-1].Seq, func(ev serve.ResultEvent) error {
+		second = append(second, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("pass 2: %v", err)
+	}
+	if len(second) == 0 {
+		t.Fatal("resumed stream delivered nothing after the failover")
+	}
+	union := append(append([]serve.ResultEvent{}, first...), second...)
+	var frames int
+	for i, ev := range union {
+		if i > 0 && ev.Seq <= union[i-1].Seq {
+			t.Fatalf("sequence not strictly increasing at %d: %d after %d", i, ev.Seq, union[i-1].Seq)
+		}
+		frames += ev.Frames
+	}
+	if frames == 0 {
+		t.Fatal("no frames delivered across the resumed stream")
+	}
+	h := c.Health()
+	if h.FailoverShedFrames != 0 || h.FailoverRecoveredFrames == 0 {
+		t.Fatalf("failover accounting: %+v", h)
 	}
 }
 

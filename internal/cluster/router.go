@@ -16,6 +16,7 @@ import (
 //	POST   /v1/sessions               create (placed by policy)
 //	GET    /v1/sessions[/{id}]        fleet-wide session listing/state
 //	POST   /v1/sessions/{id}/events   proxied ingest
+//	GET    /v1/sessions/{id}/stream   proxied SSE result stream
 //	POST   /v1/sessions/{id}/close    proxied close (DELETE too)
 //	GET    /healthz                   fleet + per-node health
 //	GET    /metrics                   fleet + per-node Prometheus text
@@ -31,6 +32,7 @@ func (c *Cluster) Handler() http.Handler {
 		mux.HandleFunc("GET /v1/sessions", c.handleList)
 		mux.HandleFunc("GET /v1/sessions/{id}", c.handleGet)
 		mux.HandleFunc("POST /v1/sessions/{id}/events", c.handleIngest)
+		mux.HandleFunc("GET /v1/sessions/{id}/stream", c.handleStream)
 		mux.HandleFunc("POST /v1/sessions/{id}/close", c.handleClose)
 		mux.HandleFunc("DELETE /v1/sessions/{id}", c.handleClose)
 		mux.HandleFunc("GET /healthz", c.handleHealth)
@@ -115,6 +117,19 @@ func (c *Cluster) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
+}
+
+// handleStream proxies the SSE result stream to the session's current
+// owner. A failover mid-stream drops the connection; the client
+// reconnects with since=<last seq> and the resumed session's journal
+// (re-seeded from the replicated log) serves the catch-up.
+func (c *Cluster) handleStream(w http.ResponseWriter, r *http.Request) {
+	n, localID, _, err := c.endpoint(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errStatus(err), err)
+		return
+	}
+	n.server().ServeStream(w, r, localID)
 }
 
 func (c *Cluster) handleClose(w http.ResponseWriter, r *http.Request) {

@@ -25,7 +25,7 @@ type driver interface {
 	probe()
 	chaos(kind int, name string) error
 	totals() serve.SessionTotals
-	counters() (failovers, shed, lost, migrations uint64)
+	counters() (failovers, shed, recovered, lost, migrations uint64)
 	schedStats() sched.Stats
 	nodes() []NodeSample
 	stages() []obs.StageSummary
@@ -63,9 +63,9 @@ func (d *clusterDriver) chaos(kind int, name string) error {
 }
 func (d *clusterDriver) totals() serve.SessionTotals { return d.c.FleetTotals() }
 func (d *clusterDriver) schedStats() sched.Stats     { return d.c.SchedTotals() }
-func (d *clusterDriver) counters() (uint64, uint64, uint64, uint64) {
+func (d *clusterDriver) counters() (uint64, uint64, uint64, uint64, uint64) {
 	h := d.c.Health()
-	return h.FailoverSessions, h.FailoverShedFrames, h.LostSessions, h.RebalanceMigrations
+	return h.FailoverSessions, h.FailoverShedFrames, h.FailoverRecoveredFrames, h.LostSessions, h.RebalanceMigrations
 }
 func (d *clusterDriver) nodes() []NodeSample {
 	stats := d.c.NodeStats()
@@ -121,8 +121,8 @@ func (d *serveDriver) chaos(kind int, name string) error {
 }
 func (d *serveDriver) totals() serve.SessionTotals { return d.s.Totals() }
 func (d *serveDriver) schedStats() sched.Stats     { return d.s.SchedStats() }
-func (d *serveDriver) counters() (uint64, uint64, uint64, uint64) {
-	return 0, 0, 0, 0
+func (d *serveDriver) counters() (uint64, uint64, uint64, uint64, uint64) {
+	return 0, 0, 0, 0, 0
 }
 func (d *serveDriver) nodes() []NodeSample {
 	ns := NodeSample{
@@ -237,6 +237,7 @@ func RunTraced(sc Script, seed int64, traceW io.Writer) (*Result, error) {
 	if sc.Trace {
 		nodeCfg.Trace = obs.Config{Enabled: true, Node: "server"}
 	}
+	nodeCfg.Journal = sc.Journal
 	if sc.Nodes == "" {
 		srv, err := serve.New(nodeCfg)
 		if err != nil {
@@ -385,22 +386,23 @@ func (r *runner) depart(n int) error {
 			return fmt.Errorf("harness: closing session %s: %w", hs.id, err)
 		}
 		r.res.Sessions = append(r.res.Sessions, SessionFinal{
-			ID:            snap.ID,
-			Network:       snap.Network,
-			Level:         snap.Level,
-			State:         snap.State,
-			Node:          snap.Node,
-			EventsIn:      snap.EventsIn,
-			FramesIn:      snap.FramesIn,
-			FramesDropped: snap.FramesDropped,
-			RawFramesDone: snap.RawFramesDone,
-			Failovers:     snap.Failovers,
-			Migrations:    snap.Migrations,
-			ShedFrames:    snap.FailoverShedFrames,
-			Retunes:       snap.Retunes,
-			Remaps:        snap.Remaps,
-			MeanLatencyUS: snap.Latency.MeanUS,
-			P99LatencyUS:  snap.Latency.P99US,
+			ID:              snap.ID,
+			Network:         snap.Network,
+			Level:           snap.Level,
+			State:           snap.State,
+			Node:            snap.Node,
+			EventsIn:        snap.EventsIn,
+			FramesIn:        snap.FramesIn,
+			FramesDropped:   snap.FramesDropped,
+			RawFramesDone:   snap.RawFramesDone,
+			Failovers:       snap.Failovers,
+			Migrations:      snap.Migrations,
+			ShedFrames:      snap.FailoverShedFrames,
+			RecoveredFrames: snap.FailoverRecoveredFrames,
+			Retunes:         snap.Retunes,
+			Remaps:          snap.Remaps,
+			MeanLatencyUS:   snap.Latency.MeanUS,
+			P99LatencyUS:    snap.Latency.P99US,
 		})
 		r.record("action", "close "+hs.id)
 	}
@@ -409,7 +411,7 @@ func (r *runner) depart(n int) error {
 
 // entry builds one timeline record from the current fleet observation.
 func (r *runner) entry(kind, note string) Entry {
-	fo, shed, lost, mig := r.drv.counters()
+	fo, shed, rec, lost, mig := r.drv.counters()
 	st := r.drv.schedStats()
 	return Entry{
 		TUS:             r.nowUS,
@@ -419,6 +421,7 @@ func (r *runner) entry(kind, note string) Entry {
 		Totals:          totalsSample(r.drv.totals()),
 		Failovers:       fo,
 		ShedFrames:      shed,
+		Recovered:       rec,
 		Lost:            lost,
 		Migrations:      mig,
 		SchedSubmitted:  st.Submitted,

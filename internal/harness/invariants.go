@@ -74,6 +74,7 @@ func Check(res *Result) []Violation {
 		{"latency_count", func(e Entry) uint64 { return e.Totals.LatencyCount }},
 		{"failover_sessions_total", func(e Entry) uint64 { return e.Failovers }},
 		{"failover_shed_frames_total", func(e Entry) uint64 { return e.ShedFrames }},
+		{"failover_recovered_frames_total", func(e Entry) uint64 { return e.Recovered }},
 		{"sessions_lost_total", func(e Entry) uint64 { return e.Lost }},
 		{"rebalance_migrations_total", func(e Entry) uint64 { return e.Migrations }},
 		{"sched_submitted_total", func(e Entry) uint64 { return e.SchedSubmitted }},
@@ -167,6 +168,14 @@ func CheckExpect(sc Script, res *Result) []Violation {
 	if res.Final.Failovers < sc.Expect.MinFailovers {
 		out = append(out, Violation{t, "expect",
 			fmt.Sprintf("failovers %d < expected %d", res.Final.Failovers, sc.Expect.MinFailovers)})
+	}
+	if res.Final.Recovered < sc.Expect.MinRecovered {
+		out = append(out, Violation{t, "expect",
+			fmt.Sprintf("recovered frames %d < expected %d", res.Final.Recovered, sc.Expect.MinRecovered)})
+	}
+	if sc.Expect.ZeroShed && res.Final.ShedFrames != 0 {
+		out = append(out, Violation{t, "expect",
+			fmt.Sprintf("shed %d frames, journaled scenario must shed none", res.Final.ShedFrames)})
 	}
 	if sc.Expect.Drops {
 		if res.Final.Totals.FramesDropped+res.Final.Totals.FramesDroppedDSFA+res.Final.ShedFrames == 0 {

@@ -60,19 +60,39 @@ func scenarios() []Script {
 			Expect: Expect{Drops: true},
 		},
 		{
-			Name:      "rolling-kill",
-			Notes:     "Kill each node in turn, reviving the previous one: sessions keep their fleet IDs across failovers, shed frames stay accounted.",
+			Name: "rolling-kill",
+			Notes: "Kill each node in turn, reviving the previous one, with the session journal on: every kill lands on an " +
+				"un-pumped backlog, yet failovers replay the replicated journal instead of shedding — the lossless-failover contract.",
 			Nodes:     "xavier:3",
 			Mix:       stdMix(),
 			PumpEvery: 2,
+			Journal:   true,
+			// Odd phase boundaries put every kill one tick after a skipped
+			// pump, so the victim always holds queued frames the journal
+			// must recover.
 			Phases: []Phase{
-				{Name: "warm", Ticks: 10, Arrive: 5},
+				{Name: "warm", Ticks: 9, Arrive: 5},
 				{Name: "kill-0", Ticks: 20, Kill: []string{"xavier0"}},
 				{Name: "kill-1", Ticks: 20, Revive: []string{"xavier0"}, Kill: []string{"xavier1"}},
 				{Name: "kill-2", Ticks: 20, Revive: []string{"xavier1"}, Kill: []string{"xavier2"}},
-				{Name: "recover", Ticks: 15, Revive: []string{"xavier2"}},
+				{Name: "recover", Ticks: 16, Revive: []string{"xavier2"}},
 			},
-			Expect: Expect{MinFailovers: 3},
+			Expect: Expect{MinFailovers: 3, ZeroShed: true, MinRecovered: 1},
+		},
+		{
+			Name: "journal-catchup",
+			Notes: "One node of a journaled pair dies mid-burst with a deep queued backlog; the buddy replays the replicated " +
+				"journal, sheds nothing, and the revived node rejoins for the wind-down.",
+			Nodes:     "xavier:2",
+			Mix:       stdMix(),
+			PumpEvery: 2,
+			Journal:   true,
+			Phases: []Phase{
+				{Name: "warm", Ticks: 9, Arrive: 4, Burst: &Burst{FromTick: 4, Ticks: 5, Gain: 3}},
+				{Name: "outage", Ticks: 20, Kill: []string{"xavier0"}},
+				{Name: "recover", Ticks: 15, Revive: []string{"xavier0"}, Depart: 1},
+			},
+			Expect: Expect{MinFailovers: 1, ZeroShed: true, MinRecovered: 1},
 		},
 		{
 			Name:  "drain-rebalance",

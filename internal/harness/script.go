@@ -92,6 +92,12 @@ type Expect struct {
 	MinMigrations uint64 `json:"min_migrations,omitempty"`
 	// MinFailovers is the minimum kill/drain session failovers.
 	MinFailovers uint64 `json:"min_failovers,omitempty"`
+	// MinRecovered is the minimum journal-replayed frames fleet-wide
+	// (requires Journal on the script).
+	MinRecovered uint64 `json:"min_recovered,omitempty"`
+	// ZeroShed requires the run to end with zero failover-shed frames —
+	// the lossless-failover contract for journaled scenarios.
+	ZeroShed bool `json:"zero_shed,omitempty"`
 	// Drops requires at least one shed frame somewhere (ingest queue,
 	// DSFA queue, or failover shed).
 	Drops bool `json:"drops,omitempty"`
@@ -132,6 +138,11 @@ type Script struct {
 	// emit a Chrome trace via RunTraced. Deterministic under the
 	// virtual clock — same (scenario, seed), same trace bytes.
 	Trace bool `json:"trace,omitempty"`
+	// Journal enables the per-session event journal on every node:
+	// ingested chunks replicate to a buddy node and a kill resumes the
+	// dead node's sessions by replaying the journal instead of shedding
+	// their queued frames.
+	Journal bool `json:"journal,omitempty"`
 	// RebalanceGap > 0 enables load-driven session migration between
 	// nodes (cluster only), gated by RebalanceCooldownUS of virtual
 	// time.

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -121,6 +123,73 @@ func (c *Client) CloseSession(id string) (*SessionSnapshot, error) {
 		return nil, err
 	}
 	return &snap, nil
+}
+
+// StreamResults subscribes to the session's server-push result stream
+// (SSE on /v1/sessions/{id}/stream), invoking fn for every result
+// event in journal sequence order. since is the last sequence number
+// the caller has seen (0 from the beginning): the server first replays
+// retained results after that watermark, then tails live — so a
+// dropped connection resumes gaplessly by passing the last delivered
+// Seq back in.
+//
+// The call blocks until the session closes (nil), the context is
+// canceled (ctx.Err()), fn returns an error (that error), or the
+// connection breaks. Use a context or an http.Client without a Timeout
+// for long-lived streams — the default 30 s client deadline applies to
+// the whole response.
+func (c *Client) StreamResults(ctx context.Context, id string, since uint64, fn func(ResultEvent) error) error {
+	url := fmt.Sprintf("%s/v1/sessions/%s/stream?since=%d", c.base, id, since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("serve: GET %s: %s (HTTP %d)", url, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("serve: GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var data string
+	closing := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: close"):
+			closing = true
+		case strings.HasPrefix(line, "data: "):
+			data = line[len("data: "):]
+		case line == "":
+			// Blank line terminates one SSE event.
+			if closing {
+				return nil
+			}
+			if data != "" {
+				var ev ResultEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return fmt.Errorf("serve: decoding stream event: %w", err)
+				}
+				data = ""
+				if err := fn(ev); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return sc.Err()
 }
 
 // Health fetches /healthz.

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"evedge/internal/events"
+)
+
+// The per-session event journal behind lossless failover and
+// server-push result delivery. Every ingested chunk and every emitted
+// result draws from one monotonic per-session sequence; chunk entries
+// are acknowledged (retired) once every frame they produced has left
+// the pipeline (completed or shed), and result entries are retained in
+// a bounded ring for SSE catch-up (GET /v1/sessions/{id}/stream).
+//
+// The journal itself stores only chunk *marks* (sequence number plus
+// the cumulative frame count at append) — the chunk payloads needed
+// for failover replay live in a buddy node's replica store as encoded
+// wire entries, so a dead node's own memory is never consulted. Both
+// sides are bounded: marks retire at the ack watermark, the result
+// ring overwrites its oldest entry, and replica logs trim to the ack
+// watermark on every replicated append.
+
+// ResultEvent is one completed inference batch pushed to stream
+// subscribers: the raw frames that finished, their completion instant
+// in session stream time, and the batch's mean per-raw latency. Seq
+// orders it within the session's journal sequence.
+type ResultEvent struct {
+	Seq    uint64  `json:"seq"`
+	DoneUS float64 `json:"done_us"`
+	LatUS  float64 `json:"lat_us"`
+	Frames int     `json:"frames"`
+}
+
+// journalResultCap bounds the retained result ring per session. A
+// reconnecting client can catch up gaplessly as long as it resumes
+// within this many results of the live edge.
+const journalResultCap = 1024
+
+// chunkMark is one unacknowledged ingest chunk: its sequence number
+// and the session's cumulative frames_in right after it was ingested.
+// The chunk retires when completed-or-shed frames reach framesCum.
+type chunkMark struct {
+	seq       uint64
+	framesCum uint64
+}
+
+// JournalStats is one session journal's observable state.
+type JournalStats struct {
+	Seq      uint64 // last sequence number assigned
+	AckSeq   uint64 // highest fully-retired chunk sequence
+	Unacked  int    // chunk marks not yet retired
+	Retained int    // result events in the catch-up ring
+}
+
+// journal is the per-session sequence state. It has its own leaf lock
+// because stream subscribers read it from HTTP goroutines without the
+// session lock; session-side writers already hold sess.mu, making the
+// two-lock cost one uncontended acquisition.
+type journal struct {
+	mu      sync.Mutex
+	seq     uint64
+	ackSeq  uint64
+	chunks  []chunkMark
+	results []ResultEvent // ring, oldest at head
+	head    int
+	n       int
+	closed  bool
+	notify  chan struct{}
+}
+
+func newJournal() *journal {
+	return &journal{notify: make(chan struct{})}
+}
+
+// appendChunk assigns the next sequence number to an ingested chunk
+// and records its ack mark.
+func (j *journal) appendChunk(framesCum uint64) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	j.chunks = append(j.chunks, chunkMark{seq: j.seq, framesCum: framesCum})
+	return j.seq
+}
+
+// ack retires every chunk whose frames have all completed or been
+// shed, returning the new ack watermark.
+func (j *journal) ack(completed uint64) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	i := 0
+	for i < len(j.chunks) && j.chunks[i].framesCum <= completed {
+		j.ackSeq = j.chunks[i].seq
+		i++
+	}
+	if i > 0 {
+		rest := copy(j.chunks, j.chunks[i:])
+		j.chunks = j.chunks[:rest]
+	}
+	return j.ackSeq
+}
+
+// appendResult assigns the next sequence number to a completed batch,
+// retains it in the catch-up ring and wakes stream subscribers.
+func (j *journal) appendResult(doneUS, latUS float64, frames int) uint64 {
+	j.mu.Lock()
+	j.seq++
+	ev := ResultEvent{Seq: j.seq, DoneUS: doneUS, LatUS: latUS, Frames: frames}
+	if len(j.results) < journalResultCap {
+		j.results = append(j.results, ev)
+		j.n++
+	} else {
+		j.results[j.head] = ev
+		j.head = (j.head + 1) % journalResultCap
+	}
+	seq := j.seq
+	j.broadcastLocked()
+	j.mu.Unlock()
+	return seq
+}
+
+// resultsSince appends every retained result with Seq > after to dst,
+// oldest first.
+func (j *journal) resultsSince(after uint64, dst []ResultEvent) []ResultEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := len(j.results)
+	for i := 0; i < n; i++ {
+		ev := j.results[(j.head+i)%n]
+		if ev.Seq > after {
+			dst = append(dst, ev)
+		}
+	}
+	return dst
+}
+
+// seed raises the sequence counter so entries appended after a
+// failover replay sort strictly after everything the old incarnation
+// emitted.
+func (j *journal) seed(seq uint64) {
+	j.mu.Lock()
+	if seq > j.seq {
+		j.seq = seq
+	}
+	j.mu.Unlock()
+}
+
+// wait returns a channel closed on the next append or close. Grab it
+// before reading resultsSince to avoid a lost wakeup.
+func (j *journal) wait() <-chan struct{} {
+	j.mu.Lock()
+	ch := j.notify
+	j.mu.Unlock()
+	return ch
+}
+
+// close marks the journal final (session closed) and wakes streams so
+// they can drain and finish.
+func (j *journal) close() {
+	j.mu.Lock()
+	if !j.closed {
+		j.closed = true
+		j.broadcastLocked()
+	}
+	j.mu.Unlock()
+}
+
+func (j *journal) isClosed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.closed
+}
+
+// broadcastLocked wakes every subscriber; callers hold j.mu.
+func (j *journal) broadcastLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+func (j *journal) stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{Seq: j.seq, AckSeq: j.ackSeq, Unacked: len(j.chunks), Retained: j.n}
+}
+
+// --- journal wire codec ---
+//
+// One journal entry on the wire:
+//
+//	magic   [4]byte  "EVJL"
+//	version uint16
+//	kind    uint8    1 = chunk, 2 = result
+//	seq     uint64
+//	payload          chunk: EVAR binary stream; result: done_us
+//	                 float64 bits, lat_us float64 bits, frames uint32
+//
+// All integers little-endian. The chunk payload inherits the EVAR
+// reader's bounded preallocation (a hostile header count cannot force
+// a huge upfront allocation), and the result payload is fixed-size,
+// so decoding untrusted bytes stays memory-safe.
+
+// Journal entry kinds.
+const (
+	JournalChunk  uint8 = 1
+	JournalResult uint8 = 2
+)
+
+const (
+	journalMagic       = "EVJL"
+	journalWireVersion = 1
+	journalHeaderSize  = 4 + 2 + 1 + 8
+	journalResultSize  = 8 + 8 + 4
+)
+
+// JournalEntry is one decoded journal wire entry.
+type JournalEntry struct {
+	Seq  uint64
+	Kind uint8
+	// Chunk is the replayable event payload (Kind == JournalChunk).
+	Chunk *events.Stream
+	// Result is the emitted result (Kind == JournalResult).
+	Result ResultEvent
+}
+
+// ReplicaEntry is one encoded journal entry held in a replica store,
+// keyed by its sequence number so trims never re-parse the payload.
+type ReplicaEntry struct {
+	Seq  uint64
+	Data []byte
+}
+
+func journalHeader(kind uint8, seq uint64) []byte {
+	b := make([]byte, journalHeaderSize)
+	copy(b, journalMagic)
+	binary.LittleEndian.PutUint16(b[4:], journalWireVersion)
+	b[6] = kind
+	binary.LittleEndian.PutUint64(b[7:], seq)
+	return b
+}
+
+// EncodeJournalChunk serializes one ingest chunk as a journal wire
+// entry — the replication payload the cluster ships to a buddy node.
+func EncodeJournalChunk(seq uint64, chunk *events.Stream) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(journalHeader(JournalChunk, seq))
+	if err := events.WriteBinary(&buf, chunk); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeJournalResult serializes one result event as a journal wire
+// entry.
+func EncodeJournalResult(ev ResultEvent) ([]byte, error) {
+	b := make([]byte, journalHeaderSize+journalResultSize)
+	copy(b, journalHeader(JournalResult, ev.Seq))
+	p := b[journalHeaderSize:]
+	binary.LittleEndian.PutUint64(p[0:], math.Float64bits(ev.DoneUS))
+	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(ev.LatUS))
+	if ev.Frames < 0 {
+		return nil, fmt.Errorf("serve: journal result has negative frame count %d", ev.Frames)
+	}
+	binary.LittleEndian.PutUint32(p[16:], uint32(ev.Frames))
+	return b, nil
+}
+
+// DecodeJournalEntry parses one journal wire entry. Untrusted input
+// is safe: payload sizes are validated and the chunk reader caps its
+// preallocation.
+func DecodeJournalEntry(b []byte) (JournalEntry, error) {
+	var ent JournalEntry
+	if len(b) < journalHeaderSize {
+		return ent, fmt.Errorf("serve: journal entry truncated at %d bytes", len(b))
+	}
+	if string(b[:4]) != journalMagic {
+		return ent, fmt.Errorf("serve: bad journal magic %q", b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != journalWireVersion {
+		return ent, fmt.Errorf("serve: unsupported journal version %d", v)
+	}
+	ent.Kind = b[6]
+	ent.Seq = binary.LittleEndian.Uint64(b[7:])
+	payload := b[journalHeaderSize:]
+	switch ent.Kind {
+	case JournalChunk:
+		chunk, err := events.ReadBinary(bytes.NewReader(payload))
+		if err != nil {
+			return JournalEntry{}, fmt.Errorf("serve: journal chunk payload: %w", err)
+		}
+		ent.Chunk = chunk
+	case JournalResult:
+		if len(payload) != journalResultSize {
+			return JournalEntry{}, fmt.Errorf("serve: journal result payload is %d bytes, want %d",
+				len(payload), journalResultSize)
+		}
+		ent.Result = ResultEvent{
+			Seq:    ent.Seq,
+			DoneUS: math.Float64frombits(binary.LittleEndian.Uint64(payload[0:])),
+			LatUS:  math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+			Frames: int(binary.LittleEndian.Uint32(payload[16:])),
+		}
+	default:
+		return JournalEntry{}, fmt.Errorf("serve: unknown journal entry kind %d", ent.Kind)
+	}
+	return ent, nil
+}
+
+// SeedJournal raises session id's journal sequence counter so entries
+// appended after a failover replay sort strictly after everything the
+// previous incarnation journaled — a client resuming its stream with
+// since=<last seen> never collides with recycled sequence numbers.
+func (s *Server) SeedJournal(id string, seq uint64) error {
+	sess, ok := s.Session(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	if sess.journal == nil {
+		return ErrJournalDisabled
+	}
+	sess.journal.seed(seq)
+	return nil
+}
+
+// SessionJournalStats reports session id's journal state.
+func (s *Server) SessionJournalStats(id string) (JournalStats, error) {
+	sess, ok := s.Session(id)
+	if !ok {
+		return JournalStats{}, fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	if sess.journal == nil {
+		return JournalStats{}, ErrJournalDisabled
+	}
+	return sess.journal.stats(), nil
+}
+
+// --- replica store ---
+
+// replicaStore holds other sessions' encoded journal entries on a
+// buddy node, keyed by fleet-wide session ID. It lives on the buddy
+// server (not the router) so a dead buddy genuinely loses its
+// replicas — exactly the failure model a real fleet has.
+type replicaStore struct {
+	mu   sync.Mutex
+	logs map[string][]ReplicaEntry
+}
+
+// ReplicaAppend stores one encoded journal entry for extID and trims
+// everything at or below the ack watermark — replica logs stay
+// bounded by the owner's unacknowledged window.
+func (s *Server) ReplicaAppend(extID string, seq uint64, data []byte, ackSeq uint64) {
+	rs := &s.replicas
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.logs == nil {
+		rs.logs = map[string][]ReplicaEntry{}
+	}
+	log := rs.logs[extID]
+	i := 0
+	for i < len(log) && log[i].Seq <= ackSeq {
+		i++
+	}
+	if i > 0 {
+		log = append(log[:0], log[i:]...)
+	}
+	rs.logs[extID] = append(log, ReplicaEntry{Seq: seq, Data: data})
+}
+
+// ReplicaTake removes and returns extID's replica log in sequence
+// order — the failover replay input.
+func (s *Server) ReplicaTake(extID string) []ReplicaEntry {
+	rs := &s.replicas
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	log := rs.logs[extID]
+	delete(rs.logs, extID)
+	return log
+}
+
+// ReplicaDrop discards extID's replica log (session closed).
+func (s *Server) ReplicaDrop(extID string) {
+	rs := &s.replicas
+	rs.mu.Lock()
+	delete(rs.logs, extID)
+	rs.mu.Unlock()
+}
+
+// ReplicaStats reports how many sessions and entries the node holds
+// replicas for.
+func (s *Server) ReplicaStats() (sessions, entries int) {
+	rs := &s.replicas
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, log := range rs.logs {
+		sessions++
+		entries += len(log)
+	}
+	return
+}

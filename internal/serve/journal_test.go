@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"evedge/internal/events"
+	"evedge/internal/nn"
+)
+
+// TestJournalAckWatermark exercises the chunk-mark lifecycle: marks
+// retire in order once the completed count reaches their cumulative
+// frame watermark, and the ack sequence never regresses.
+func TestJournalAckWatermark(t *testing.T) {
+	j := newJournal()
+	if seq := j.appendChunk(10); seq != 1 {
+		t.Fatalf("first chunk seq = %d", seq)
+	}
+	if seq := j.appendChunk(25); seq != 2 {
+		t.Fatalf("second chunk seq = %d", seq)
+	}
+	j.appendChunk(40)
+	if ack := j.ack(9); ack != 0 {
+		t.Fatalf("ack below first watermark = %d", ack)
+	}
+	if ack := j.ack(25); ack != 2 {
+		t.Fatalf("ack at second watermark = %d", ack)
+	}
+	st := j.stats()
+	if st.Unacked != 1 || st.AckSeq != 2 || st.Seq != 3 {
+		t.Fatalf("stats after partial ack: %+v", st)
+	}
+	// Acks are monotonic: a stale (lower) completed count is a no-op.
+	if ack := j.ack(10); ack != 2 {
+		t.Fatalf("ack regressed to %d", ack)
+	}
+	if ack := j.ack(40); ack != 3 {
+		t.Fatalf("final ack = %d", ack)
+	}
+	if st := j.stats(); st.Unacked != 0 {
+		t.Fatalf("marks not drained: %+v", st)
+	}
+}
+
+// TestJournalResultRing checks the catch-up ring: interleaved chunk and
+// result entries share one sequence, resultsSince honors the cursor,
+// and the ring overwrites oldest-first at capacity.
+func TestJournalResultRing(t *testing.T) {
+	j := newJournal()
+	j.appendChunk(5) // seq 1
+	for i := 0; i < 3; i++ {
+		j.appendResult(float64(i), 1, 1) // seq 2,3,4
+	}
+	got := j.resultsSince(0, nil)
+	if len(got) != 3 || got[0].Seq != 2 || got[2].Seq != 4 {
+		t.Fatalf("resultsSince(0) = %+v", got)
+	}
+	if got := j.resultsSince(3, nil); len(got) != 1 || got[0].Seq != 4 {
+		t.Fatalf("resultsSince(3) = %+v", got)
+	}
+
+	// Fill past capacity: the ring keeps the newest journalResultCap.
+	full := newJournal()
+	for i := 0; i < journalResultCap+10; i++ {
+		full.appendResult(float64(i), 1, 1)
+	}
+	got = full.resultsSince(0, nil)
+	if len(got) != journalResultCap {
+		t.Fatalf("ring retained %d, want %d", len(got), journalResultCap)
+	}
+	if got[0].Seq != 11 || got[len(got)-1].Seq != journalResultCap+10 {
+		t.Fatalf("ring window [%d, %d], want [11, %d]",
+			got[0].Seq, got[len(got)-1].Seq, journalResultCap+10)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("ring out of order at %d: %d after %d", i, got[i].Seq, got[i-1].Seq)
+		}
+	}
+}
+
+// TestJournalSeed checks the failover seed only raises the counter.
+func TestJournalSeed(t *testing.T) {
+	j := newJournal()
+	j.seed(7)
+	if seq := j.appendChunk(1); seq != 8 {
+		t.Fatalf("seq after seed(7) = %d", seq)
+	}
+	j.seed(3) // lower seed is a no-op
+	if seq := j.appendChunk(2); seq != 9 {
+		t.Fatalf("seq after stale seed = %d", seq)
+	}
+}
+
+// TestJournalCodecRoundTrip round-trips chunk and result entries
+// through the wire codec and rejects malformed headers.
+func TestJournalCodecRoundTrip(t *testing.T) {
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 21, 20_000)
+	b, err := EncodeJournalChunk(42, stream)
+	if err != nil {
+		t.Fatalf("EncodeJournalChunk: %v", err)
+	}
+	ent, err := DecodeJournalEntry(b)
+	if err != nil {
+		t.Fatalf("DecodeJournalEntry(chunk): %v", err)
+	}
+	if ent.Kind != JournalChunk || ent.Seq != 42 || ent.Chunk == nil {
+		t.Fatalf("decoded chunk entry: %+v", ent)
+	}
+	var orig, rt bytes.Buffer
+	if err := events.WriteBinary(&orig, stream); err != nil {
+		t.Fatalf("WriteBinary(orig): %v", err)
+	}
+	if err := events.WriteBinary(&rt, ent.Chunk); err != nil {
+		t.Fatalf("WriteBinary(roundtrip): %v", err)
+	}
+	if !bytes.Equal(orig.Bytes(), rt.Bytes()) {
+		t.Fatal("chunk payload not byte-identical after round trip")
+	}
+
+	res := ResultEvent{Seq: 7, DoneUS: 123.5, LatUS: 4.25, Frames: 9}
+	b, err = EncodeJournalResult(res)
+	if err != nil {
+		t.Fatalf("EncodeJournalResult: %v", err)
+	}
+	ent, err = DecodeJournalEntry(b)
+	if err != nil {
+		t.Fatalf("DecodeJournalEntry(result): %v", err)
+	}
+	if ent.Kind != JournalResult || ent.Result != res {
+		t.Fatalf("decoded result entry: %+v", ent)
+	}
+
+	for name, mut := range map[string]func([]byte) []byte{
+		"truncated":   func(b []byte) []byte { return b[:journalHeaderSize-1] },
+		"bad magic":   func(b []byte) []byte { b[0] = 'X'; return b },
+		"bad version": func(b []byte) []byte { b[4] = 99; return b },
+		"bad kind":    func(b []byte) []byte { b[6] = 77; return b },
+		"short result": func(b []byte) []byte {
+			return b[:len(b)-1]
+		},
+	} {
+		bad, _ := EncodeJournalResult(res)
+		if _, err := DecodeJournalEntry(mut(bad)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+// TestIngestJournalSequencing checks the server-side wiring: journaled
+// ingests carry sequence numbers and the ack watermark advances once
+// frames drain.
+func TestIngestJournalSequencing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	cfg.Journal = true
+	cfg.QueueCap = 4096
+	srv, cl, stop := newTestServer(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 5, 90_000)
+	var lastSeq uint64
+	for _, ch := range chunks(stream, 90_000, 30_000) {
+		res, err := cl.SendEvents(snap.ID, ch)
+		if err != nil {
+			t.Fatalf("SendEvents: %v", err)
+		}
+		if res.Seq <= lastSeq {
+			t.Fatalf("seq not increasing: %d after %d", res.Seq, lastSeq)
+		}
+		lastSeq = res.Seq
+	}
+	st, err := srv.SessionJournalStats(snap.ID)
+	if err != nil {
+		t.Fatalf("SessionJournalStats: %v", err)
+	}
+	if st.Unacked == 0 {
+		t.Fatal("no unacked chunks with a queued backlog")
+	}
+	srv.Pump()
+	if _, err := cl.CloseSession(snap.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	st, err = srv.SessionJournalStats(snap.ID)
+	if err != nil {
+		t.Fatalf("SessionJournalStats after close: %v", err)
+	}
+	if st.Retained == 0 {
+		t.Fatal("no results retained after a full drain")
+	}
+}
+
+// TestStreamResultsCatchUp is the SSE contract: a client that
+// disconnects mid-stream and reconnects with since=<last seq> sees
+// exactly the remaining events — the union of the two passes equals a
+// full from-zero read with no gaps and no duplicates.
+func TestStreamResultsCatchUp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	cfg.Journal = true
+	cfg.QueueCap = 4096
+	srv, cl, stop := newTestServer(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 8, 120_000)
+	for _, ch := range chunks(stream, 120_000, 20_000) {
+		if _, err := cl.SendEvents(snap.ID, ch); err != nil {
+			t.Fatalf("SendEvents: %v", err)
+		}
+	}
+	srv.Pump()
+	st, err := srv.SessionJournalStats(snap.ID)
+	if err != nil {
+		t.Fatalf("SessionJournalStats: %v", err)
+	}
+	if st.Retained < 2 {
+		t.Fatalf("need >= 2 retained results for a split stream, got %d", st.Retained)
+	}
+
+	// Pass 1: read roughly half, then drop the connection mid-stream.
+	errStop := errors.New("drop connection")
+	var first []ResultEvent
+	half := st.Retained / 2
+	err = cl.StreamResults(context.Background(), snap.ID, 0, func(ev ResultEvent) error {
+		first = append(first, ev)
+		if len(first) == half {
+			return errStop
+		}
+		return nil
+	})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("pass 1 err = %v, want errStop", err)
+	}
+
+	// The session closes; the resumed stream must drain the remainder
+	// and then terminate on the close event.
+	if _, err := cl.CloseSession(snap.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	var second []ResultEvent
+	err = cl.StreamResults(context.Background(), snap.ID, first[len(first)-1].Seq, func(ev ResultEvent) error {
+		second = append(second, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("pass 2: %v", err)
+	}
+
+	var full []ResultEvent
+	err = cl.StreamResults(context.Background(), snap.ID, 0, func(ev ResultEvent) error {
+		full = append(full, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("full read: %v", err)
+	}
+
+	union := append(append([]ResultEvent{}, first...), second...)
+	if len(union) != len(full) {
+		t.Fatalf("union has %d events, full read %d", len(union), len(full))
+	}
+	for i := range full {
+		if union[i] != full[i] {
+			t.Fatalf("event %d differs: resumed %+v vs full %+v", i, union[i], full[i])
+		}
+		if i > 0 && union[i].Seq <= union[i-1].Seq {
+			t.Fatalf("sequence not strictly increasing at %d: %d after %d",
+				i, union[i].Seq, union[i-1].Seq)
+		}
+	}
+}
+
+// TestStreamResultsErrors pins the stream endpoint's failure statuses.
+func TestStreamResultsErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	srv, cl, stop := newTestServer(t, cfg)
+	defer stop()
+
+	nop := func(ResultEvent) error { return nil }
+	if err := cl.StreamResults(context.Background(), "nope", 0, nop); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown session stream err = %v, want 404", err)
+	}
+	// Journal off: streaming is a 409, not a hang.
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if err := cl.StreamResults(context.Background(), snap.ID, 0, nop); err == nil ||
+		!strings.Contains(err.Error(), "409") {
+		t.Fatalf("disabled journal stream err = %v, want 409", err)
+	}
+	if _, err := srv.SessionJournalStats(snap.ID); !errors.Is(err, ErrJournalDisabled) {
+		t.Fatalf("journal stats err = %v, want ErrJournalDisabled", err)
+	}
+}
+
+// TestClosedServerRejectsWork pins the kill-path ownership rule: a
+// closed server refuses new sessions and new frames instead of
+// queueing work nobody will drain.
+func TestClosedServerRejectsWork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sess, err := srv.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	srv.Close()
+	if _, err := srv.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("CreateSession on closed server: %v, want ErrServerClosed", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 2, 20_000)
+	if _, err := srv.Ingest(sess.ID, stream); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Ingest on closed server: %v, want ErrServerClosed", err)
+	}
+}

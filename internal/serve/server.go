@@ -94,6 +94,13 @@ type Config struct {
 	// latency histograms in /metrics. Off by default — a disabled
 	// server carries a nil tracer and pays one pointer check per path.
 	Trace obs.Config
+	// Journal enables the per-session event journal: every ingest chunk
+	// and emitted result gets a monotonic sequence number, results are
+	// retained for SSE catch-up (GET /v1/sessions/{id}/stream) and the
+	// cluster replicates unacknowledged chunks to a buddy node for
+	// lossless failover replay. Off by default — the steady-state frame
+	// path stays allocation-free and sessions carry a nil journal.
+	Journal bool
 }
 
 // AdaptConfig enables the per-node control loop.
@@ -117,6 +124,13 @@ var ErrNoSession = errors.New("serve: no such session")
 
 // ErrDraining reports a session create refused by a draining node.
 var ErrDraining = errors.New("serve: node is draining")
+
+// ErrServerClosed reports an ingest or create against a server whose
+// Close already ran. A killed node must refuse new work: accepting a
+// chunk onto a corpse would silently strand its frames in a queue
+// nothing will ever drain — and recycle them into the dead node's own
+// arena while failover re-creates the session elsewhere.
+var ErrServerClosed = errors.New("serve: server is closed")
 
 // DefaultConfig returns the server defaults.
 func DefaultConfig() Config {
@@ -313,6 +327,11 @@ type Server struct {
 	// the fleet router flips it before migrating sessions off a node.
 	draining atomic.Bool
 
+	// replicas holds other nodes' replicated journal entries when this
+	// server acts as a buddy; zero-value ready, keyed by fleet session
+	// ID (see journal.go).
+	replicas replicaStore
+
 	// capacityMACs caches the platform's aggregate peak MAC rate.
 	capacityMACs float64
 }
@@ -419,6 +438,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/close", s.handleClose)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -438,13 +458,26 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops the worker pool and the execution scheduler. In-flight
-// work finishes; queued frames of never-closed sessions are abandoned.
+// work finishes; queued frames of never-closed sessions are abandoned
+// in place — a closed server rejects further ingest (ErrServerClosed),
+// so its arena-owned frames stay frozen in their queues and are never
+// recycled across arenas by a concurrent failover.
 func (s *Server) Close() {
 	s.stop.Do(func() { close(s.stopped) })
 	s.wg.Wait()
 	s.sched.Close()
 	// Recycle trace ring storage (export traces before Close).
 	s.tracer.Close()
+}
+
+// stoppedNow reports whether Close has run.
+func (s *Server) stoppedNow() bool {
+	select {
+	case <-s.stopped:
+		return true
+	default:
+		return false
+	}
 }
 
 // worker drains scheduled sessions until the server stops.
@@ -918,6 +951,14 @@ func (s *Server) complete(sess *Session, perRaw []pipeline.RawRef, engEnd float6
 		sess.clockUS = end
 		advanced = true
 	}
+	if sess.journal != nil && dCount > 0 {
+		// One journaled result per completed batch: completion instant in
+		// stream time, mean per-raw latency, raw frames served. The
+		// append wakes SSE subscribers; the ack sweep keeps the chunk
+		// watermark fresh for replica trimming.
+		sess.journal.appendResult(end, dSum/float64(dCount), int(dCount))
+		sess.journal.ack(sess.completedLocked())
+	}
 	tallied := sess.tallied
 	sess.mu.Unlock()
 	if tallied && dCount > 0 {
@@ -949,6 +990,9 @@ func (s *Server) adaptLocked(sess *Session) {
 // CreateSession registers a session programmatically (the HTTP create
 // handler goes through here too) and rebalances placement.
 func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
+	if s.stoppedNow() {
+		return nil, ErrServerClosed
+	}
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -987,6 +1031,9 @@ func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	sess.epochUS = s.engine.Makespan()
 	sess.tracer = s.tracer
 	sess.trackH = s.tracer.Track(sess.track)
+	if s.cfg.Journal {
+		sess.journal = newJournal()
+	}
 	s.sessMu.Lock()
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
@@ -1084,6 +1131,11 @@ func (s *Server) CloseSession(id string) (*SessionSnapshot, error) {
 			s.closedUnscraped = s.closedUnscraped[len(s.closedUnscraped)-s.cfg.MaxClosed:]
 		}
 		s.sessMu.Unlock()
+		if sess.journal != nil {
+			// Final results are journaled (sched.Wait above); mark the
+			// stream complete so SSE subscribers drain and finish.
+			sess.journal.close()
+		}
 		if rerr := s.rebalance(); rerr != nil && err == nil {
 			err = rerr
 		}
@@ -1107,6 +1159,12 @@ func (s *Server) Session(id string) (*Session, bool) {
 // the programmatic twin of the HTTP ingest endpoint, used by the
 // cluster router to proxy without a loopback connection.
 func (s *Server) Ingest(id string, chunk *events.Stream) (IngestResult, error) {
+	if s.stoppedNow() {
+		// A closed server's queues will never drain again; rejecting here
+		// (instead of queueing onto the corpse) is what lets the cluster
+		// retry the chunk against the failed-over session.
+		return IngestResult{}, ErrServerClosed
+	}
 	sess, ok := s.Session(id)
 	if !ok {
 		return IngestResult{}, fmt.Errorf("%w: %q", ErrNoSession, id)
@@ -1698,6 +1756,31 @@ func (s *Server) WriteMetrics(pw *PromWriter, ns, extraLabels string) {
 	pw.Counter(ns+"_raw_frames_done_total", "Raw frames completed across all sessions ever.", lbls(), float64(totals.RawFramesDone))
 	pw.Counter(ns+"_retunes_total", "DSFA retunes applied by the online controller.", lbls(), float64(totals.Retunes))
 	pw.Counter(ns+"_remaps_total", "Execution plans installed after the first, all sessions ever.", lbls(), float64(totals.Remaps))
+
+	if s.cfg.Journal {
+		// Journal gauges: the live replication/catch-up state. Unacked
+		// chunks bound how much a failover replay re-ingests; replica
+		// counts show what this node holds on behalf of its buddies.
+		var unacked, retained int
+		var maxSeq uint64
+		for _, sess := range activeSessions {
+			if sess.journal == nil {
+				continue
+			}
+			jst := sess.journal.stats()
+			unacked += jst.Unacked
+			retained += jst.Retained
+			if jst.Seq > maxSeq {
+				maxSeq = jst.Seq
+			}
+		}
+		pw.Gauge(ns+"_journal_unacked_chunks", "Journal chunk entries not yet retired by the ack watermark.", lbls(), float64(unacked))
+		pw.Gauge(ns+"_journal_results_retained", "Result events retained for SSE catch-up across active sessions.", lbls(), float64(retained))
+		pw.Gauge(ns+"_journal_max_seq", "Highest journal sequence number assigned across active sessions.", lbls(), float64(maxSeq))
+		rsess, rent := s.ReplicaStats()
+		pw.Gauge(ns+"_journal_replica_sessions", "Sessions this node holds journal replicas for as a buddy.", lbls(), float64(rsess))
+		pw.Gauge(ns+"_journal_replica_entries", "Replicated journal entries held for buddy sessions.", lbls(), float64(rent))
+	}
 
 	if s.planner != nil {
 		searches, committed, lastGain := s.planner.Stats()
