@@ -18,14 +18,19 @@
 // With the per-node journal enabled (serve.Config.Journal), a kill is
 // lossless too: every ingested chunk is replicated to a deterministic
 // buddy node (the next alive node after the owner in construction
-// order) and trimmed as its frames complete; on a kill, failover
-// resumes the session on the buddy by replaying the unacknowledged
-// entries through the normal ingest path, so queued frames are
-// recovered (failover_recovered_frames) instead of shed. Without the
-// journal, frames still sitting in the dead node's ingest queues are
-// shed and counted (failover_shed_frames). Per-session counters
-// restart after a migration — the fleet-level counters accumulate
-// across it.
+// order) and trimmed as its frames complete, and every emitted result
+// follows it there (carrying the session's sequence watermark and the
+// catch-up ring contents); on a kill, failover resumes the session on
+// the buddy by replaying the unacknowledged chunk entries through the
+// normal ingest path — queued frames are recovered
+// (failover_recovered_frames) instead of shed — while replicated
+// results refill the resumed catch-up ring and push the sequence
+// counter past everything the dead incarnation handed out, so a
+// streaming client's since=<seq> cursor stays gapless across the
+// kill. Without the journal, frames still sitting in the dead node's
+// ingest queues are shed and counted (failover_shed_frames).
+// Per-session counters restart after a migration — the fleet-level
+// counters accumulate across it.
 package cluster
 
 import (
@@ -195,6 +200,20 @@ type route struct {
 	// node is alive). Re-resolved on every replicated chunk so it
 	// tracks fleet membership changes.
 	buddy *node
+	// repMu serializes the route's replication traffic — chunk and
+	// result appends, buddy re-homes, the final drop on close —
+	// against the failover/migration sweeps, which hold it across
+	// take/replay/commit. An in-flight replication therefore either
+	// lands before the sweep takes the replica log (and replays) or
+	// runs after the commit and sees the bumped epoch.
+	repMu sync.Mutex
+	// epoch counts ownership flips (failover, drain, rebalance).
+	// Replication captured under an older epoch is dropped instead of
+	// appended: a chunk ingested into a node that died before its
+	// replication ran must not strand a stale old-incarnation entry in
+	// the buddy store, where a later failover would replay it into the
+	// wrong incarnation. Guarded by Cluster.mu.
+	epoch uint64
 	// shedFrames accumulates ingest-queue frames lost to kill-failovers
 	// of this session, surfaced so clients can account for the gap.
 	shedFrames uint64
@@ -317,12 +336,19 @@ func New(cfg Config) (*Cluster, error) {
 		// Each node's trace lanes carry its own name; the config is kept
 		// on the node, so a revived incarnation inherits it.
 		ncfg.Trace.Node = name
+		n := &node{name: name, platform: spec.Platform}
+		if ncfg.Journal {
+			// Journaled results replicate to the session's buddy the same
+			// way chunks do, so a failover can re-seed the resumed
+			// journal's sequence counter and catch-up ring.
+			ncfg.OnResult = c.resultHook(n)
+		}
+		n.cfg = ncfg
 		srv, err := serve.New(ncfg)
 		if err != nil {
 			c.closeNodes()
 			return nil, fmt.Errorf("cluster: node %s: %w", name, err)
 		}
-		n := &node{name: name, platform: spec.Platform, cfg: ncfg}
 		n.srv.Store(srv)
 		c.nodes = append(c.nodes, n)
 	}
@@ -555,13 +581,20 @@ func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
 	if err != nil {
 		return false
 	}
+	// The commit and the replica drop run under the route's replication
+	// mutex: an in-flight replication for the hot incarnation either
+	// lands before the drop (and is dropped with the rest) or waits and
+	// then sees the bumped epoch.
+	best.repMu.Lock()
 	c.mu.Lock()
 	if best.closed || best.node != hotN || best.localID != oldID {
 		// A client close (or another sweep) won the race; undo ours.
 		c.mu.Unlock()
+		best.repMu.Unlock()
 		_, _ = coldSrv.CloseSession(sess.ID)
 		return false
 	}
+	best.epoch++
 	best.node = coldN
 	best.localID = sess.ID
 	best.migrations++
@@ -574,6 +607,7 @@ func (c *Cluster) migrateForLoad(alive []*node, loads []serve.NodeLoad) bool {
 		// the re-created session.
 		prevBuddy.server().ReplicaDrop(best.extID)
 	}
+	best.repMu.Unlock()
 	// Graceful: the old session's queued frames execute during close.
 	_, _ = hotSrv.CloseSession(oldID)
 	c.migrations.Add(1)
@@ -687,9 +721,10 @@ func (c *Cluster) failoverNode(n *node) {
 // migrate moves the node's routed sessions elsewhere. graceful closes
 // each session on the old node first (drain: queued frames execute).
 // Otherwise the old node is dead: when its unacknowledged journal
-// entries survive on an alive buddy, the session resumes there — the
-// entries replay through the normal ingest path and the queued frames
-// are recovered; without a replica (journal off, buddy dead, nothing
+// entries survive on a buddy, the session resumes there (or on a
+// placed survivor when the buddy cannot host) — the chunk entries
+// replay through the normal ingest path and the queued frames are
+// recovered; without a replica (journal off, buddy dead, nothing
 // unacknowledged) the dead node's queued frames are shed.
 func (c *Cluster) migrate(n *node, graceful bool) {
 	c.migMu.Lock()
@@ -705,126 +740,180 @@ func (c *Cluster) migrate(n *node, graceful bool) {
 	}
 	c.mu.Unlock()
 	for _, rt := range affected {
-		var shed uint64
-		if graceful {
-			if _, err := srv.CloseSession(rt.localID); err != nil {
-				// The session may have raced a client close; count what
-				// its queue still held and move on.
-				if snap, serr := srv.Snapshot(rt.localID); serr == nil {
-					shed = uint64(snap.QueueLen)
-				}
+		c.moveRoute(rt, n, srv, graceful)
+	}
+}
+
+// moveRoute moves one route off n (dead or draining). It holds the
+// route's replication mutex for the whole move, so an in-flight
+// replication either finishes before the replica log is taken here
+// (and its entry replays) or waits and then observes the epoch this
+// commit bumps — a late append can never strand a stale
+// old-incarnation entry in the buddy store.
+func (c *Cluster) moveRoute(rt *route, n *node, srv *serve.Server, graceful bool) {
+	var shed uint64
+	if graceful {
+		// The graceful close runs before repMu is taken: it drains the
+		// session's queued frames, and their completions fire the
+		// result-replication hook, which needs repMu itself — holding
+		// it across the close would deadlock. Any entries the drain
+		// replicates are dropped with the rest of the stale log below.
+		c.mu.Lock()
+		localID := rt.localID
+		ours := rt.node == n && !rt.closed
+		c.mu.Unlock()
+		if !ours {
+			return
+		}
+		if _, err := srv.CloseSession(localID); err != nil {
+			// The session may have raced a client close; count what
+			// its queue still held and move on.
+			if snap, serr := srv.Snapshot(localID); serr == nil {
+				shed = uint64(snap.QueueLen)
 			}
-		} else if snap, err := srv.Snapshot(rt.localID); err == nil {
+		}
+	}
+	rt.repMu.Lock()
+	defer rt.repMu.Unlock()
+	c.mu.Lock()
+	if rt.node != n || rt.closed {
+		// A client close (or another sweep) resolved the route while we
+		// waited on repMu; nothing left to move.
+		c.mu.Unlock()
+		return
+	}
+	localID := rt.localID
+	buddy := rt.buddy
+	c.mu.Unlock()
+
+	if !graceful {
+		if snap, err := srv.Snapshot(localID); err == nil {
 			// Dead node: whatever sat in the ingest queue is lost unless
 			// the journal replica below recovers it.
 			shed = uint64(snap.QueueLen)
 		}
-		// Pull the replicated journal off the buddy before placing: a
-		// kill-failover with surviving entries resumes on the buddy
-		// itself, so replay never crosses another network hop.
-		var entries []serve.ReplicaEntry
-		var buddy *node
-		if !graceful {
-			c.mu.Lock()
-			buddy = rt.buddy
-			c.mu.Unlock()
-			if buddy != nil && buddy.alive() {
-				entries = buddy.server().ReplicaTake(rt.extID)
+	}
+	// Pull the replicated journal off the buddy before placing: a
+	// kill-failover with surviving entries resumes on the buddy itself
+	// when it can host, so replay normally never crosses another
+	// network hop. A draining buddy still holds the replicas — take
+	// them; only the new session lands elsewhere.
+	var entries []serve.ReplicaEntry
+	if !graceful && buddy != nil && buddy.state.Load() != stateDead {
+		entries = buddy.server().ReplicaTake(rt.extID)
+	}
+	var target *node
+	var sess *serve.Session
+	if len(entries) > 0 && buddy.alive() {
+		if s2, err := buddy.server().CreateSession(rt.cfg); err == nil {
+			target, sess = buddy, s2
+		}
+		// A buddy that cannot host (raced into draining or overload)
+		// falls through to placement: the replicas are already in hand,
+		// replay just crosses one extra hop instead of losing the
+		// session.
+	}
+	if target == nil {
+		if placed, err := c.place(rt.extID, n); err == nil {
+			if s2, cerr := placed.server().CreateSession(rt.cfg); cerr == nil {
+				target, sess = placed, s2
 			}
 		}
-		var target *node
-		var err error
-		if len(entries) > 0 {
-			target = buddy
-		} else if target, err = c.place(rt.extID, n); err != nil {
-			// No survivors: the session is gone.
-			c.mu.Lock()
-			rt.shedFrames += shed
-			c.terminateRouteLocked(rt, shed)
-			c.mu.Unlock()
-			c.lostSessions.Add(1)
-			continue
-		}
-		sess, err := target.server().CreateSession(rt.cfg)
-		if err != nil {
-			c.mu.Lock()
-			rt.shedFrames += shed
-			c.terminateRouteLocked(rt, shed)
-			c.mu.Unlock()
-			c.lostSessions.Add(1)
-			continue
-		}
-		// Replay before committing the route: the new session is only
-		// reachable through this sweep until the route flips, so the
-		// replayed chunks re-enter ingest strictly before any new client
-		// chunk — preserving the session's watermark ordering.
-		var recovered uint64
-		if len(entries) > 0 {
-			shed = 0
-			recovered = c.replay(target, sess.ID, rt.extID, entries)
-		}
+	}
+	if target == nil {
+		// No survivor can host the session: it is gone, along with
+		// whatever the replicas could have recovered.
 		c.mu.Lock()
-		if rt.closed {
-			// A client close landed while we re-created the session:
-			// undo the new copy instead of committing an orphan the
-			// fleet's load signal would count forever. The route's
-			// counters were already folded by that close, so the late
-			// shed goes straight into the closed roll-up.
-			rt.shedFrames += shed
-			c.closedShed += shed
-			c.mu.Unlock()
-			_, _ = target.server().CloseSession(sess.ID)
-			continue
-		}
-		prevBuddy := rt.buddy
-		rt.node = target
-		rt.localID = sess.ID
-		rt.buddy = nil // entries consumed; next ingest re-homes the replica
+		rt.epoch++
 		rt.shedFrames += shed
-		rt.recoveredFrames += recovered
-		rt.failovers++
+		c.terminateRouteLocked(rt, shed)
 		c.mu.Unlock()
-		if graceful && prevBuddy != nil && prevBuddy.state.Load() != stateDead {
-			// A graceful move executed every queued frame during close; the
-			// old incarnation's replica entries are stale (their sequence
-			// numbers belong to the closed journal) and must not replay
-			// into the re-created session later.
-			prevBuddy.server().ReplicaDrop(rt.extID)
-		}
-		// Annotate the move on the fleet track: a graceful migration shed
-		// nothing, a replayed kill-failover carries the frames it
-		// recovered, a bare kill-failover the frames it lost.
-		switch {
-		case graceful:
-			c.mark("migrate:"+rt.extID+":"+n.name+">"+target.name, int64(shed))
-		case recovered > 0 || len(entries) > 0:
-			c.mark("replay:"+rt.extID+":"+n.name+">"+target.name, int64(recovered))
-		default:
-			c.mark("failover:"+rt.extID+":"+n.name+">"+target.name, int64(shed))
-		}
+		c.lostSessions.Add(1)
+		return
+	}
+	// Replay before committing the route: the new session is only
+	// reachable through this sweep until the route flips, so the
+	// replayed chunks re-enter ingest strictly before any new client
+	// chunk — preserving the session's watermark ordering.
+	var recovered uint64
+	if len(entries) > 0 {
+		shed = 0
+		recovered = c.replay(target, sess.ID, rt.extID, entries)
+	}
+	c.mu.Lock()
+	if rt.closed {
+		// A client close landed while we re-created the session:
+		// undo the new copy instead of committing an orphan the
+		// fleet's load signal would count forever. The route's
+		// counters were already folded by that close, so the late
+		// shed goes straight into the closed roll-up.
+		rt.shedFrames += shed
+		c.closedShed += shed
+		c.mu.Unlock()
+		_, _ = target.server().CloseSession(sess.ID)
+		return
+	}
+	prevBuddy := rt.buddy
+	rt.epoch++
+	rt.node = target
+	rt.localID = sess.ID
+	rt.buddy = nil // entries consumed; next ingest re-homes the replica
+	rt.shedFrames += shed
+	rt.recoveredFrames += recovered
+	rt.failovers++
+	c.mu.Unlock()
+	if graceful && prevBuddy != nil && prevBuddy.state.Load() != stateDead {
+		// A graceful move executed every queued frame during close; the
+		// old incarnation's replica entries are stale (their sequence
+		// numbers belong to the closed journal) and must not replay
+		// into the re-created session later.
+		prevBuddy.server().ReplicaDrop(rt.extID)
+	}
+	// Annotate the move on the fleet track: a graceful migration shed
+	// nothing, a replayed kill-failover carries the frames it
+	// recovered, a bare kill-failover the frames it lost.
+	switch {
+	case graceful:
+		c.mark("migrate:"+rt.extID+":"+n.name+">"+target.name, int64(shed))
+	case recovered > 0 || len(entries) > 0:
+		c.mark("replay:"+rt.extID+":"+n.name+">"+target.name, int64(recovered))
+	default:
+		c.mark("failover:"+rt.extID+":"+n.name+">"+target.name, int64(shed))
 	}
 }
 
-// replay re-ingests a session's replicated journal chunks on the
-// failover target, seeding the new journal's sequence counter past
-// everything the dead incarnation assigned so resumed result streams
-// stay monotonic. Returns the frames the replay regenerated. Entries
-// that fail to decode or ingest are skipped — replay is best-effort
-// recovery of an already-failed node, never a new failure mode.
+// replay re-ingests a session's replicated journal on the failover
+// target: chunk entries re-enter the normal ingest path (recovering
+// their queued frames), result entries refill the resumed catch-up
+// ring under their original sequence numbers, and the journal's
+// sequence counter seeds from the log's highest seq — results
+// included, since they share the chunk sequence — so nothing the new
+// incarnation assigns can collide with a sequence number a streaming
+// client has already consumed. Returns the frames the replay
+// regenerated. Entries that fail to decode or ingest are skipped —
+// replay is best-effort recovery of an already-failed node, never a
+// new failure mode.
 func (c *Cluster) replay(target *node, localID, extID string, entries []serve.ReplicaEntry) uint64 {
 	srv := target.server()
+	// The replica log is seq-sorted, so the last entry carries the
+	// highest watermark the buddy saw.
 	_ = srv.SeedJournal(localID, entries[len(entries)-1].Seq)
 	var recovered uint64
 	for _, e := range entries {
 		ent, err := serve.DecodeJournalEntry(e.Data)
-		if err != nil || ent.Kind != serve.JournalChunk {
-			continue
-		}
-		res, err := srv.Ingest(localID, ent.Chunk)
 		if err != nil {
 			continue
 		}
-		recovered += uint64(res.Frames)
+		switch ent.Kind {
+		case serve.JournalResult:
+			_ = srv.RestoreResult(localID, ent.Result)
+		case serve.JournalChunk:
+			res, err := srv.Ingest(localID, ent.Chunk)
+			if err != nil {
+				continue
+			}
+			recovered += uint64(res.Frames)
+		}
 	}
 	return recovered
 }
@@ -895,10 +984,28 @@ func (c *Cluster) buddyFor(owner *node) *node {
 // trims the replica log to the chunk's ack watermark. When the buddy
 // changed since the last chunk (fleet membership moved), surviving
 // entries re-home to the new buddy first so the unacknowledged window
-// stays whole on one node.
-func (c *Cluster) replicate(rt *route, owner *node, chunk *events.Stream, res serve.IngestResult) {
+// stays whole on one node. The whole exchange runs under the route's
+// replication mutex: re-home plus append is atomic against concurrent
+// appends, and a failover sweep that won the race has already bumped
+// the epoch — the stale chunk is dropped (its frames are counted shed
+// by the sweep's snapshot) instead of stranding an old-incarnation
+// entry that a later failover would replay.
+func (c *Cluster) replicate(rt *route, owner *node, epoch uint64, chunk *events.Stream, res serve.IngestResult) {
+	data, err := serve.EncodeJournalChunk(res.Seq, chunk)
+	if err != nil {
+		return
+	}
+	rt.repMu.Lock()
+	defer rt.repMu.Unlock()
 	buddy := c.buddyFor(owner)
 	c.mu.Lock()
+	if rt.epoch != epoch || rt.closed {
+		// The route flipped (failover, migration) or closed after this
+		// chunk was ingested; its journal entry belongs to the dead
+		// incarnation.
+		c.mu.Unlock()
+		return
+	}
 	prev := rt.buddy
 	rt.buddy = buddy
 	extID := rt.extID
@@ -907,22 +1014,58 @@ func (c *Cluster) replicate(rt *route, owner *node, chunk *events.Stream, res se
 		moved := prev.server().ReplicaTake(extID)
 		if buddy != nil {
 			for _, e := range moved {
-				buddy.server().ReplicaAppend(extID, e.Seq, e.Data, 0)
+				buddy.server().ReplicaAppend(extID, e.Seq, e.Kind, e.Data, 0)
 			}
 		}
 	}
 	if buddy == nil {
 		return
 	}
-	data, err := serve.EncodeJournalChunk(res.Seq, chunk)
-	if err != nil {
-		return
-	}
-	buddy.server().ReplicaAppend(extID, res.Seq, data, res.AckSeq)
+	buddy.server().ReplicaAppend(extID, res.Seq, serve.JournalChunk, data, res.AckSeq)
 	if prev != buddy {
 		// Buddy (re)assignment is rare — mark it; per-chunk appends are
 		// far too hot for the bounded ctl ring.
 		c.mark("replicate:"+extID+">"+buddy.name, 1)
+	}
+}
+
+// resultHook builds node n's serve.Config.OnResult callback: it maps
+// the node-local session back to its fleet route and ships the
+// encoded result to the route's buddy, carrying the session's
+// sequence watermark — and the catch-up ring contents — across a
+// future failover. Results follow the chunks' buddy (rt.buddy, set by
+// replicate) so the whole journal survives together on one node; a
+// result that outruns its session's first replicated chunk is simply
+// skipped, the next append carries the watermark forward.
+func (c *Cluster) resultHook(n *node) func(string, serve.ResultEvent, uint64) {
+	return func(localID string, ev serve.ResultEvent, ackSeq uint64) {
+		c.mu.Lock()
+		var rt *route
+		for _, r := range c.routes {
+			if r.node == n && r.localID == localID && !r.closed {
+				rt = r
+				break
+			}
+		}
+		c.mu.Unlock()
+		if rt == nil {
+			return
+		}
+		data, err := serve.EncodeJournalResult(ev)
+		if err != nil {
+			return
+		}
+		rt.repMu.Lock()
+		defer rt.repMu.Unlock()
+		c.mu.Lock()
+		stale := rt.closed || rt.node != n || rt.localID != localID
+		buddy := rt.buddy
+		extID := rt.extID
+		c.mu.Unlock()
+		if stale || buddy == nil || buddy.state.Load() == stateDead {
+			return
+		}
+		buddy.server().ReplicaAppend(extID, ev.Seq, serve.JournalResult, data, ackSeq)
 	}
 }
 
@@ -994,6 +1137,19 @@ func (c *Cluster) Ingest(extID string, chunk *events.Stream) (serve.IngestResult
 		if err != nil {
 			return serve.IngestResult{}, err
 		}
+		// Capture the route's epoch before the send: if a failover sweep
+		// flips the route while the chunk is in flight, the bumped epoch
+		// tells replicate the entry belongs to the dead incarnation. A
+		// route that moved between resolution and here re-resolves; a
+		// closed route proceeds — the server owns that error, and
+		// replicate's epoch/closed check drops any journal entry.
+		c.mu.Lock()
+		epoch := rt.epoch
+		current := rt.node == n && rt.localID == localID
+		c.mu.Unlock()
+		if !current {
+			continue
+		}
 		res, err := n.server().Ingest(localID, chunk)
 		if err == nil {
 			// Router-hop annotation: which node served this chunk, and how
@@ -1002,7 +1158,7 @@ func (c *Cluster) Ingest(extID string, chunk *events.Stream) (serve.IngestResult
 			if res.Seq > 0 {
 				// Journaled chunk: replicate it to the buddy before acking
 				// the client, so a kill after this return can replay it.
-				c.replicate(rt, n, chunk, res)
+				c.replicate(rt, n, epoch, chunk, res)
 			}
 			return res, nil
 		}
@@ -1129,8 +1285,12 @@ func (c *Cluster) CloseSession(extID string) (serve.SessionSnapshot, error) {
 	c.mu.Unlock()
 	if buddy != nil && buddy.state.Load() != stateDead {
 		// The session is done; its replicated journal has nothing left to
-		// recover.
+		// recover. The drop serializes with in-flight replication so a
+		// late append cannot resurrect the log after it (the route is
+		// marked closed above, so appends arriving later skip themselves).
+		rt.repMu.Lock()
 		buddy.server().ReplicaDrop(extID)
+		rt.repMu.Unlock()
 	}
 	out := *snap
 	out.ID = extID

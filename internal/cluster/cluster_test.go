@@ -838,6 +838,261 @@ func TestStreamResumesAcrossFailover(t *testing.T) {
 	}
 }
 
+// TestResultReplicationSeedsResumedJournal is the seq-recycling
+// regression: results share the chunk sequence counter, so a session
+// whose chunks are all acked at kill time (replica log holds only
+// result entries) must still resume with its sequence counter past
+// every seq the dead node handed out, and with the catch-up ring
+// restored. Without result replication the resumed journal restarts
+// at zero and re-assigns seqs at or below a streaming client's
+// since=<seq> cursor — the client's filter then silently swallows
+// every post-failover result.
+func TestResultReplicationSeedsResumedJournal(t *testing.T) {
+	cfg := Config{Nodes: specs(t, "xavier:2")}
+	cfg.Node.QueueCap = 4096
+	cfg.Node.ManualDrain = true
+	cfg.Node.Journal = true
+	c, cl, stop := newTestCluster(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	c.mu.Lock()
+	rt := c.routes[snap.ID]
+	owner, localID := rt.node, rt.localID
+	c.mu.Unlock()
+
+	// Phase A drains fully: every chunk acks, so only replicated
+	// results keep the sequence watermark alive on the buddy.
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 29, 120_000)
+	for _, ch := range chunks(stream.Slice(0, 60_000), 60_000, 20_000) {
+		if _, err := cl.SendEvents(snap.ID, ch); err != nil {
+			t.Fatalf("SendEvents (phase A): %v", err)
+		}
+	}
+	c.Pump()
+	st, err := owner.server().SessionJournalStats(localID)
+	if err != nil {
+		t.Fatalf("SessionJournalStats: %v", err)
+	}
+	if st.Unacked != 0 || st.Retained == 0 {
+		t.Fatalf("phase A not fully acked with results: %+v", st)
+	}
+	if _, entries := c.buddyFor(owner).server().ReplicaStats(); entries == 0 {
+		t.Fatal("acked session left no replica entries — results are not replicated")
+	}
+
+	// The client consumes everything phase A emitted; its cursor now
+	// sits at the dead incarnation's sequence watermark.
+	errStop := errors.New("drop connection")
+	var first []serve.ResultEvent
+	err = cl.StreamResults(context.Background(), snap.ID, 0, func(ev serve.ResultEvent) error {
+		first = append(first, ev)
+		if len(first) == st.Retained {
+			return errStop
+		}
+		return nil
+	})
+	if !errors.Is(err, errStop) {
+		t.Fatalf("pass 1 err = %v, want errStop", err)
+	}
+	cursor := first[len(first)-1].Seq
+	if cursor < st.Seq {
+		t.Fatalf("cursor %d below journal watermark %d", cursor, st.Seq)
+	}
+
+	if err := c.KillNode(owner.name); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	c.ProbeNow()
+
+	// The resumed journal must start past the dead incarnation's
+	// watermark, not at zero.
+	c.mu.Lock()
+	newNode, newLocal := rt.node, rt.localID
+	c.mu.Unlock()
+	nst, err := newNode.server().SessionJournalStats(newLocal)
+	if err != nil {
+		t.Fatalf("SessionJournalStats after failover: %v", err)
+	}
+	if nst.Seq < st.Seq {
+		t.Fatalf("resumed journal seq %d below dead watermark %d — seqs will recycle", nst.Seq, st.Seq)
+	}
+	if nst.Retained != st.Retained {
+		t.Fatalf("resumed ring retained %d results, dead node had %d", nst.Retained, st.Retained)
+	}
+
+	// Post-failover work must reach the client's existing cursor
+	// gaplessly: every new result sorts strictly after it.
+	if _, err := cl.SendEvents(snap.ID, stream.Slice(60_000, 120_000)); err != nil {
+		t.Fatalf("SendEvents after failover: %v", err)
+	}
+	c.Pump()
+	if _, err := cl.CloseSession(snap.ID); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	var second []serve.ResultEvent
+	err = cl.StreamResults(context.Background(), snap.ID, cursor, func(ev serve.ResultEvent) error {
+		second = append(second, ev)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("pass 2: %v", err)
+	}
+	if len(second) == 0 {
+		t.Fatal("post-failover results invisible to the resumed cursor — sequence numbers were recycled")
+	}
+	for i, ev := range second {
+		if ev.Seq <= cursor {
+			t.Fatalf("result %d seq %d not after cursor %d", i, ev.Seq, cursor)
+		}
+		if i > 0 && ev.Seq <= second[i-1].Seq {
+			t.Fatalf("sequence not strictly increasing at %d", i)
+		}
+	}
+	// A from-zero reader sees the restored pre-kill results too.
+	var full []serve.ResultEvent
+	if err := cl.StreamResults(context.Background(), snap.ID, 0, func(ev serve.ResultEvent) error {
+		full = append(full, ev)
+		return nil
+	}); err != nil {
+		t.Fatalf("full read: %v", err)
+	}
+	if len(full) != len(first)+len(second) {
+		t.Fatalf("full read %d events, want restored %d + new %d", len(full), len(first), len(second))
+	}
+}
+
+// TestFailoverFallsBackWhenBuddyDraining pins the buddy-unavailable
+// path: when the node holding the replicas cannot host the resumed
+// session (it is draining), failover must take the replicas anyway and
+// replay them on a placed survivor instead of shedding the frames or
+// losing the session.
+func TestFailoverFallsBackWhenBuddyDraining(t *testing.T) {
+	cfg := Config{Nodes: specs(t, "xavier:3")}
+	cfg.Node.QueueCap = 4096
+	cfg.Node.ManualDrain = true
+	cfg.Node.Journal = true
+	c, cl, stop := newTestCluster(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 31, 100_000)
+	var queued uint64
+	for _, ch := range chunks(stream, 100_000, 25_000) {
+		res, err := cl.SendEvents(snap.ID, ch)
+		if err != nil {
+			t.Fatalf("SendEvents: %v", err)
+		}
+		queued = uint64(res.QueueLen)
+	}
+	if queued == 0 {
+		t.Fatal("nothing queued before the kill")
+	}
+	c.mu.Lock()
+	rt := c.routes[snap.ID]
+	owner, buddy := rt.node, rt.buddy
+	c.mu.Unlock()
+	if buddy == nil {
+		t.Fatal("no buddy after journaled ingest")
+	}
+
+	// The buddy drains (its replica store survives — only its sessions
+	// move), then the owner dies: a concurrent drain+kill.
+	if err := c.DrainNode(buddy.name); err != nil {
+		t.Fatalf("DrainNode(buddy): %v", err)
+	}
+	if err := c.KillNode(owner.name); err != nil {
+		t.Fatalf("KillNode(owner): %v", err)
+	}
+	c.ProbeNow()
+
+	got, err := cl.Session(snap.ID)
+	if err != nil {
+		t.Fatalf("Session after failover: %v", err)
+	}
+	if got.State != "active" {
+		t.Fatalf("session lost despite a surviving replica: %+v", got)
+	}
+	if got.Node == owner.name || got.Node == buddy.name {
+		t.Fatalf("session landed on %s, want the third node", got.Node)
+	}
+	h := c.Health()
+	if h.FailoverShedFrames != 0 {
+		t.Fatalf("shed %d frames with replicas in hand, want 0", h.FailoverShedFrames)
+	}
+	if h.FailoverRecoveredFrames < queued {
+		t.Fatalf("recovered %d frames, want >= %d queued", h.FailoverRecoveredFrames, queued)
+	}
+	if h.LostSessions != 0 {
+		t.Fatalf("lost %d sessions, want 0", h.LostSessions)
+	}
+
+	// The resumed session keeps serving on the fallback node.
+	c.Pump()
+	fin, err := cl.CloseSession(snap.ID)
+	if err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if fin.State != "closed" || fin.RawFramesDone == 0 {
+		t.Fatalf("final snapshot: %+v", fin)
+	}
+}
+
+// TestStaleReplicationDropped pins the epoch guard: replication that
+// raced a failover sweep (the chunk went into the dead incarnation,
+// the sweep took the replica log first) must be dropped, not appended
+// — a stale old-incarnation entry in the buddy store would replay
+// duplicate chunks into a later failover.
+func TestStaleReplicationDropped(t *testing.T) {
+	cfg := Config{Nodes: specs(t, "xavier:2")}
+	cfg.Node.QueueCap = 4096
+	cfg.Node.ManualDrain = true
+	cfg.Node.Journal = true
+	c, cl, stop := newTestCluster(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(serve.SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 37, 60_000)
+	res, err := cl.SendEvents(snap.ID, stream.Slice(0, 30_000))
+	if err != nil {
+		t.Fatalf("SendEvents: %v", err)
+	}
+	c.mu.Lock()
+	rt := c.routes[snap.ID]
+	owner := rt.node
+	staleEpoch := rt.epoch
+	c.mu.Unlock()
+
+	if err := c.KillNode(owner.name); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	c.ProbeNow() // bumps the epoch, takes and replays the replica log
+
+	// A replication captured before the kill arrives late: it must see
+	// the bumped epoch and drop instead of stranding a stale entry.
+	late := serve.IngestResult{Seq: res.Seq + 1}
+	c.replicate(rt, owner, staleEpoch, stream.Slice(30_000, 60_000), late)
+	for _, n := range c.nodes {
+		if sessions, entries := n.server().ReplicaStats(); sessions != 0 || entries != 0 {
+			t.Fatalf("stale replication stranded %d entries on %s", entries, n.name)
+		}
+	}
+	c.mu.Lock()
+	if rt.buddy != nil {
+		t.Fatalf("stale replication re-homed the buddy to %s", rt.buddy.name)
+	}
+	c.mu.Unlock()
+}
+
 // TestNoSurvivorsLosesSessions kills every node and checks sessions
 // are reported lost rather than wedged.
 func TestNoSurvivorsLosesSessions(t *testing.T) {

@@ -20,10 +20,15 @@ import (
 // The journal itself stores only chunk *marks* (sequence number plus
 // the cumulative frame count at append) — the chunk payloads needed
 // for failover replay live in a buddy node's replica store as encoded
-// wire entries, so a dead node's own memory is never consulted. Both
-// sides are bounded: marks retire at the ack watermark, the result
-// ring overwrites its oldest entry, and replica logs trim to the ack
-// watermark on every replicated append.
+// wire entries, so a dead node's own memory is never consulted.
+// Results replicate there too (Config.OnResult): they carry the
+// session's sequence watermark across a failover — the resumed
+// journal seeds strictly past every seq the dead incarnation handed
+// out, chunk or result — and they refill the resumed ring so SSE
+// catch-up spans the kill. Both sides are bounded: marks retire at
+// the ack watermark, the result ring overwrites its oldest entry,
+// and replica logs trim chunk entries to the ack watermark and cap
+// result entries at the ring size on every replicated append.
 
 // ResultEvent is one completed inference batch pushed to stream
 // subscribers: the raw frames that finished, their completion instant
@@ -109,7 +114,31 @@ func (j *journal) ack(completed uint64) uint64 {
 func (j *journal) appendResult(doneUS, latUS float64, frames int) uint64 {
 	j.mu.Lock()
 	j.seq++
-	ev := ResultEvent{Seq: j.seq, DoneUS: doneUS, LatUS: latUS, Frames: frames}
+	j.pushLocked(ResultEvent{Seq: j.seq, DoneUS: doneUS, LatUS: latUS, Frames: frames})
+	seq := j.seq
+	j.broadcastLocked()
+	j.mu.Unlock()
+	return seq
+}
+
+// restore re-inserts a result replicated before a failover, keeping
+// its original sequence number, and raises the sequence counter past
+// it so nothing appended later can recycle a seq a client already
+// consumed. Callers feed entries in ascending seq order (the replica
+// log is sorted) so the ring stays ordered for resultsSince.
+func (j *journal) restore(ev ResultEvent) {
+	j.mu.Lock()
+	if ev.Seq > j.seq {
+		j.seq = ev.Seq
+	}
+	j.pushLocked(ev)
+	j.broadcastLocked()
+	j.mu.Unlock()
+}
+
+// pushLocked retains one result in the catch-up ring; callers hold
+// j.mu and have already fixed ev.Seq.
+func (j *journal) pushLocked(ev ResultEvent) {
 	if len(j.results) < journalResultCap {
 		j.results = append(j.results, ev)
 		j.n++
@@ -117,10 +146,6 @@ func (j *journal) appendResult(doneUS, latUS float64, frames int) uint64 {
 		j.results[j.head] = ev
 		j.head = (j.head + 1) % journalResultCap
 	}
-	seq := j.seq
-	j.broadcastLocked()
-	j.mu.Unlock()
-	return seq
 }
 
 // resultsSince appends every retained result with Seq > after to dst,
@@ -227,9 +252,11 @@ type JournalEntry struct {
 }
 
 // ReplicaEntry is one encoded journal entry held in a replica store,
-// keyed by its sequence number so trims never re-parse the payload.
+// keyed by its sequence number and kind so trims never re-parse the
+// payload.
 type ReplicaEntry struct {
 	Seq  uint64
+	Kind uint8
 	Data []byte
 }
 
@@ -325,6 +352,24 @@ func (s *Server) SeedJournal(id string, seq uint64) error {
 	return nil
 }
 
+// RestoreResult re-inserts a replicated result event into session id's
+// journal during failover replay, preserving its original sequence
+// number: a client that reconnects with since=<seq> catches up on
+// results the dead node emitted but the client never saw, and the
+// resumed sequence counter moves past it so freshly replayed work
+// cannot recycle a seq the client has already consumed.
+func (s *Server) RestoreResult(id string, ev ResultEvent) error {
+	sess, ok := s.Session(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSession, id)
+	}
+	if sess.journal == nil {
+		return ErrJournalDisabled
+	}
+	sess.journal.restore(ev)
+	return nil
+}
+
 // SessionJournalStats reports session id's journal state.
 func (s *Server) SessionJournalStats(id string) (JournalStats, error) {
 	sess, ok := s.Session(id)
@@ -348,10 +393,14 @@ type replicaStore struct {
 	logs map[string][]ReplicaEntry
 }
 
-// ReplicaAppend stores one encoded journal entry for extID and trims
-// everything at or below the ack watermark — replica logs stay
-// bounded by the owner's unacknowledged window.
-func (s *Server) ReplicaAppend(extID string, seq uint64, data []byte, ackSeq uint64) {
+// ReplicaAppend stores one encoded journal entry for extID, inserted
+// by sequence number (concurrent ingests can replicate out of order;
+// failover replays the log front to back, so it must be sorted), and
+// trims the log so it stays bounded: chunk entries retire at or below
+// the ack watermark, result entries are capped at the catch-up ring
+// size (they exist to re-seed the resumed journal's ring and seq
+// counter, so they outlive their chunk's ack).
+func (s *Server) ReplicaAppend(extID string, seq uint64, kind uint8, data []byte, ackSeq uint64) {
 	rs := &s.replicas
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -359,14 +408,42 @@ func (s *Server) ReplicaAppend(extID string, seq uint64, data []byte, ackSeq uin
 		rs.logs = map[string][]ReplicaEntry{}
 	}
 	log := rs.logs[extID]
-	i := 0
-	for i < len(log) && log[i].Seq <= ackSeq {
-		i++
+	results := 0
+	if kind == JournalResult {
+		results++
 	}
-	if i > 0 {
-		log = append(log[:0], log[i:]...)
+	keep := log[:0]
+	for _, e := range log {
+		if e.Kind == JournalChunk && e.Seq <= ackSeq {
+			continue
+		}
+		if e.Kind == JournalResult {
+			results++
+		}
+		keep = append(keep, e)
 	}
-	rs.logs[extID] = append(log, ReplicaEntry{Seq: seq, Data: data})
+	log = keep
+	for results > journalResultCap {
+		// Shed the oldest retained result; the log is sorted, so the
+		// first result entry is the oldest.
+		for i, e := range log {
+			if e.Kind == JournalResult {
+				log = append(log[:i], log[i+1:]...)
+				break
+			}
+		}
+		results--
+	}
+	// Sorted insert; appends land at the tail in the common in-order
+	// case.
+	at := len(log)
+	for at > 0 && log[at-1].Seq > seq {
+		at--
+	}
+	log = append(log, ReplicaEntry{})
+	copy(log[at+1:], log[at:])
+	log[at] = ReplicaEntry{Seq: seq, Kind: kind, Data: data}
+	rs.logs[extID] = log
 }
 
 // ReplicaTake removes and returns extID's replica log in sequence

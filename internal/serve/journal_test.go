@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"evedge/internal/events"
@@ -305,6 +306,139 @@ func TestStreamResultsErrors(t *testing.T) {
 	if _, err := srv.SessionJournalStats(snap.ID); !errors.Is(err, ErrJournalDisabled) {
 		t.Fatalf("journal stats err = %v, want ErrJournalDisabled", err)
 	}
+}
+
+// TestJournalRestore checks the failover ring-refill path: restored
+// results keep their original sequence numbers, raise the counter past
+// themselves, and interleave correctly with freshly appended results.
+func TestJournalRestore(t *testing.T) {
+	j := newJournal()
+	j.restore(ResultEvent{Seq: 4, Frames: 2})
+	j.restore(ResultEvent{Seq: 6, Frames: 3})
+	if st := j.stats(); st.Seq != 6 {
+		t.Fatalf("seq after restore = %d, want 6", st.Seq)
+	}
+	// A fresh append continues strictly after the restored watermark.
+	if seq := j.appendResult(1, 1, 1); seq != 7 {
+		t.Fatalf("appended seq = %d, want 7", seq)
+	}
+	got := j.resultsSince(0, nil)
+	if len(got) != 3 || got[0].Seq != 4 || got[1].Seq != 6 || got[2].Seq != 7 {
+		t.Fatalf("ring after restore+append: %+v", got)
+	}
+	// A catch-up cursor between restored seqs sees only the newer tail.
+	if got := j.resultsSince(4, nil); len(got) != 2 || got[0].Seq != 6 {
+		t.Fatalf("resultsSince(4) = %+v", got)
+	}
+}
+
+// TestReplicaAppendSortedAndKindAware pins the replica-store ordering
+// and trim contract: out-of-order appends (concurrent ingests can
+// interleave replication) land in sequence order, the ack watermark
+// retires only chunk entries, and result entries are capped at the
+// catch-up ring size.
+func TestReplicaAppendSortedAndKindAware(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	srv, _, stop := newTestServer(t, cfg)
+	defer stop()
+
+	// Out-of-order appends sort by seq.
+	srv.ReplicaAppend("s", 5, JournalChunk, []byte{5}, 0)
+	srv.ReplicaAppend("s", 3, JournalChunk, []byte{3}, 0)
+	srv.ReplicaAppend("s", 4, JournalResult, []byte{4}, 0)
+	log := srv.ReplicaTake("s")
+	if len(log) != 3 || log[0].Seq != 3 || log[1].Seq != 4 || log[2].Seq != 5 {
+		t.Fatalf("log not seq-sorted: %+v", log)
+	}
+	if log[1].Kind != JournalResult || log[2].Kind != JournalChunk {
+		t.Fatalf("kinds lost on insert: %+v", log)
+	}
+
+	// The ack watermark retires chunks but keeps results: they carry
+	// the sequence watermark and the catch-up ring across a failover.
+	srv.ReplicaAppend("s", 1, JournalChunk, nil, 0)
+	srv.ReplicaAppend("s", 2, JournalResult, nil, 0)
+	srv.ReplicaAppend("s", 3, JournalChunk, nil, 2)
+	log = srv.ReplicaTake("s")
+	if len(log) != 2 || log[0].Seq != 2 || log[0].Kind != JournalResult || log[1].Seq != 3 {
+		t.Fatalf("ack trim wrong: %+v", log)
+	}
+
+	// Result entries are bounded by the ring cap, oldest shed first.
+	for i := 0; i < journalResultCap+10; i++ {
+		srv.ReplicaAppend("s", uint64(i+1), JournalResult, nil, 0)
+	}
+	log = srv.ReplicaTake("s")
+	if len(log) != journalResultCap {
+		t.Fatalf("replica retained %d results, want %d", len(log), journalResultCap)
+	}
+	if log[0].Seq != 11 || log[len(log)-1].Seq != journalResultCap+10 {
+		t.Fatalf("replica result window [%d, %d], want [11, %d]",
+			log[0].Seq, log[len(log)-1].Seq, journalResultCap+10)
+	}
+}
+
+// TestOnResultHook checks the replication hook fires once per
+// journaled result, outside the session lock, with the event's
+// assigned sequence and the live ack watermark.
+func TestOnResultHook(t *testing.T) {
+	var mu sync.Mutex
+	type call struct {
+		id  string
+		ev  ResultEvent
+		ack uint64
+	}
+	var calls []call
+	cfg := DefaultConfig()
+	cfg.ManualDrain = true
+	cfg.Journal = true
+	cfg.QueueCap = 4096
+	cfg.OnResult = func(id string, ev ResultEvent, ack uint64) {
+		mu.Lock()
+		calls = append(calls, call{id, ev, ack})
+		mu.Unlock()
+	}
+	srv, cl, stop := newTestServer(t, cfg)
+	defer stop()
+
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	stream := genStream(t, nn.MustByName(nn.DOTIE).Input.Preset, 11, 60_000)
+	if _, err := cl.SendEvents(snap.ID, stream); err != nil {
+		t.Fatalf("SendEvents: %v", err)
+	}
+	srv.Pump()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) == 0 {
+		t.Fatal("OnResult never fired across a full drain")
+	}
+	ring := mustJournalResults(t, srv, snap.ID)
+	if len(calls) != len(ring) {
+		t.Fatalf("hook fired %d times, ring retained %d", len(calls), len(ring))
+	}
+	for i, c := range calls {
+		if c.id != snap.ID {
+			t.Fatalf("call %d session = %q, want %q", i, c.id, snap.ID)
+		}
+		if c.ev != ring[i] {
+			t.Fatalf("call %d event %+v != ring %+v", i, c.ev, ring[i])
+		}
+	}
+}
+
+// mustJournalResults reads session id's full catch-up ring.
+func mustJournalResults(t *testing.T, srv *Server, id string) []ResultEvent {
+	t.Helper()
+	sess, ok := srv.Session(id)
+	if !ok {
+		t.Fatalf("no session %q", id)
+	}
+	return sess.journal.resultsSince(0, nil)
 }
 
 // TestClosedServerRejectsWork pins the kill-path ownership rule: a

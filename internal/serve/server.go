@@ -101,6 +101,15 @@ type Config struct {
 	// lossless failover replay. Off by default — the steady-state frame
 	// path stays allocation-free and sessions carry a nil journal.
 	Journal bool
+	// OnResult, when set alongside Journal, observes every journaled
+	// result right after it is appended: the session's local ID, the
+	// event (with its assigned sequence number) and the journal's
+	// chunk-ack watermark at that instant. The cluster router uses it
+	// to replicate results to the session's buddy node so a failover
+	// can re-seed the resumed journal's sequence counter and catch-up
+	// ring. Called outside the session lock; must not block on the
+	// session's own serving path.
+	OnResult func(sessionID string, ev ResultEvent, ackSeq uint64)
 }
 
 // AdaptConfig enables the per-node control loop.
@@ -951,16 +960,24 @@ func (s *Server) complete(sess *Session, perRaw []pipeline.RawRef, engEnd float6
 		sess.clockUS = end
 		advanced = true
 	}
+	var resultEv ResultEvent
+	var resultAck uint64
 	if sess.journal != nil && dCount > 0 {
 		// One journaled result per completed batch: completion instant in
 		// stream time, mean per-raw latency, raw frames served. The
 		// append wakes SSE subscribers; the ack sweep keeps the chunk
 		// watermark fresh for replica trimming.
-		sess.journal.appendResult(end, dSum/float64(dCount), int(dCount))
-		sess.journal.ack(sess.completedLocked())
+		resultEv = ResultEvent{DoneUS: end, LatUS: dSum / float64(dCount), Frames: int(dCount)}
+		resultEv.Seq = sess.journal.appendResult(resultEv.DoneUS, resultEv.LatUS, resultEv.Frames)
+		resultAck = sess.journal.ack(sess.completedLocked())
 	}
 	tallied := sess.tallied
 	sess.mu.Unlock()
+	if resultEv.Seq > 0 && s.cfg.OnResult != nil {
+		// Outside sess.mu: the hook takes cluster-side locks to ship the
+		// result to the buddy node.
+		s.cfg.OnResult(sess.ID, resultEv, resultAck)
+	}
 	if tallied && dCount > 0 {
 		s.totalsMu.Lock()
 		s.closedTotals.Merge(SessionTotals{LatencyCount: dCount, LatencySumUS: dSum})
