@@ -40,13 +40,15 @@ bench:
 
 # Serialized-vs-batched serving comparison plus per-stage allocation
 # profile: emits BENCH_serve.json (virtual throughput, p50/p99, batch
-# occupancy) and BENCH_alloc.json (allocs/op, bytes/op, ns/op per
-# hot-path stage) — the perf-trajectory artifacts CI uploads on every
-# run.
+# occupancy), BENCH_alloc.json (allocs/op, bytes/op, ns/op per
+# hot-path stage) and BENCH_par.json (serial-vs-tiled kernel scaling,
+# rulebook-cache hit rates, parallel byte-identity) — the
+# perf-trajectory artifacts CI uploads on every run.
 bench-json:
 	BENCH_JSON=$(abspath BENCH_serve.json) $(GO) test -run '^TestServeBenchJSON$$' -count=1 ./internal/serve
 	BENCH_OBS_JSON=$(abspath BENCH_obs.json) $(GO) test -run '^TestObsBenchJSON$$' -count=1 ./internal/serve
 	BENCH_ALLOC_JSON=$(abspath BENCH_alloc.json) $(GO) test -run '^TestAllocBenchJSON$$' -count=1 ./internal/serve
+	BENCH_PAR_JSON=$(abspath BENCH_par.json) $(GO) test -run '^TestParBenchJSON$$' -count=1 -timeout 30m ./internal/harness
 
 # Allocation regression gate: re-measure every hot-path stage and fail
 # if any stage's allocs/op regressed >10% against the committed
@@ -56,9 +58,12 @@ bench-smoke:
 	BENCH_ALLOC_BASELINE=$(abspath BENCH_alloc.json) $(GO) test -run '^TestAllocSmoke$$' -count=1 -v ./internal/serve
 
 # Run the deterministic scenario suite (the chaos/soak regression bed)
-# under the race detector.
+# plus the kernel worker pool under the race detector, at two scheduler
+# widths: a narrow host (2) forces pool shards to queue behind each
+# other, a wide one (8) maximizes true overlap.
 scenarios:
-	$(GO) test -race ./internal/harness/... ./cmd/evscenario/...
+	GOMAXPROCS=2 $(GO) test -race -count=1 ./internal/harness/... ./internal/par/... ./cmd/evscenario/...
+	GOMAXPROCS=8 $(GO) test -race -count=1 ./internal/harness/... ./internal/par/... ./cmd/evscenario/...
 
 # Short coverage-guided fuzz pass over every codec/decoder target.
 fuzz:

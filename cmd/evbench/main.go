@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	evbench [-run all|table1,fig8,...] [-quick] [-seed N] [-dur us] [-list]
+//	evbench [-run all|table1,fig8,...] [-quick] [-seed N] [-dur us]
+//	        [-parallel N] [-cpu-list 1,2,4,8] [-list]
 //
 // Each experiment prints an aligned text table plus the paper's
 // reference band, so the output can be compared against the paper (and
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +37,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed   = fs.Int64("seed", 7, "random seed for all stochastic components")
 		dur    = fs.Int64("dur", 2_000_000, "simulated stream duration in microseconds")
 		list   = fs.Bool("list", false, "list experiment IDs and exit")
+
+		parallel = fs.Int("parallel", 0, "kernel worker-pool width for the parallel-path experiments (0 = default)")
+		cpuList  = fs.String("cpu-list", "", "comma-separated core counts the 'par' experiment sweeps (default 1,2,4,8)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -56,6 +61,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.Seed = *seed
 	cfg.DurUS = *dur
+	cfg.Parallel = *parallel
+	if *cpuList != "" {
+		cpus, err := parseCPUList(*cpuList)
+		if err != nil {
+			fmt.Fprintf(stderr, "evbench: %v\n", err)
+			return 1
+		}
+		cfg.CPUList = cpus
+	}
 
 	ids := evedge.Experiments()
 	if *runIDs != "all" {
@@ -73,4 +87,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
 	}
 	return 0
+}
+
+// parseCPUList parses "1,2,4,8" into positive core counts.
+func parseCPUList(s string) ([]int, error) {
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -cpu-list entry %q: %v", part, err)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("bad -cpu-list entry %d: core counts must be >= 1", n)
+		}
+		cpus = append(cpus, n)
+	}
+	return cpus, nil
 }

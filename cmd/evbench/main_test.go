@@ -18,6 +18,9 @@ func TestRunFlagErrors(t *testing.T) {
 		{"bad flag syntax", []string{"-nope"}, 2, "flag provided but not defined"},
 		{"help", []string{"-h"}, 0, "Usage of evbench"},
 		{"unknown experiment", []string{"-run", "fig99"}, 1, "fig99"},
+		{"bad cpu-list entry", []string{"-cpu-list", "1,two,4"}, 1, `bad -cpu-list entry "two"`},
+		{"zero cpu-list entry", []string{"-cpu-list", "4,0"}, 1, "core counts must be >= 1"},
+		{"bad parallel syntax", []string{"-parallel", "x"}, 2, "invalid value"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -39,9 +42,31 @@ func TestRunList(t *testing.T) {
 		t.Fatalf("run(-list) = %d, stderr: %s", got, stderr.String())
 	}
 	out := stdout.String()
-	for _, want := range []string{"table1", "fig8"} {
+	for _, want := range []string{"table1", "fig8", "par", "rulebook"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestParseCPUList covers the sweep-list parser both ways.
+func TestParseCPUList(t *testing.T) {
+	cpus, err := parseCPUList(" 1, 2,4,8 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 4, 8}; len(cpus) != len(want) {
+		t.Fatalf("parseCPUList = %v, want %v", cpus, want)
+	} else {
+		for i := range want {
+			if cpus[i] != want[i] {
+				t.Fatalf("parseCPUList = %v, want %v", cpus, want)
+			}
+		}
+	}
+	for _, bad := range []string{"", "a", "1,,2", "-1", "0"} {
+		if _, err := parseCPUList(bad); err == nil {
+			t.Errorf("parseCPUList(%q) accepted", bad)
 		}
 	}
 }

@@ -1,10 +1,12 @@
 package nn
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"evedge/internal/par"
 	"evedge/internal/sparse"
 )
 
@@ -225,6 +227,47 @@ func TestRuntimeSparseMatchesDense(t *testing.T) {
 	for id := range a {
 		if d := sparse.MaxAbsDiff(a[id], b[id]); d > 1e-3 {
 			t.Fatalf("layer %d (%s): sparse differs from dense by %g", id, n.Layers[id].Name, d)
+		}
+	}
+}
+
+// TestRuntimeParallelBitIdentical: enabling a worker pool must not
+// change a single output bit — full forward passes, both exec modes,
+// across every zoo network.
+func TestRuntimeParallelBitIdentical(t *testing.T) {
+	pool := par.New(4)
+	defer pool.Close()
+	for _, n := range All() {
+		for _, mode := range []ExecMode{DenseExec, SparseExec} {
+			serial, err := NewRuntime(n, mode, 31, 8)
+			if err != nil {
+				t.Fatalf("%s: %v", n.Name, err)
+			}
+			parr, err := NewRuntime(n, mode, 31, 8) // same seed, same weights
+			if err != nil {
+				t.Fatalf("%s: %v", n.Name, err)
+			}
+			parr.SetParallel(pool, 0)
+			ins := runtimeInputs(serial, 13, 0.1)
+			a, err := serial.Forward(ins)
+			if err != nil {
+				t.Fatalf("%s serial: %v", n.Name, err)
+			}
+			b, err := parr.Forward(ins)
+			if err != nil {
+				t.Fatalf("%s parallel: %v", n.Name, err)
+			}
+			for id := range a {
+				if len(a[id].Data) != len(b[id].Data) {
+					t.Fatalf("%s layer %d: shape mismatch", n.Name, id)
+				}
+				for i := range a[id].Data {
+					if math.Float32bits(a[id].Data[i]) != math.Float32bits(b[id].Data[i]) {
+						t.Fatalf("%s mode %v layer %d elem %d: parallel %g != serial %g",
+							n.Name, mode, id, i, b[id].Data[i], a[id].Data[i])
+					}
+				}
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"evedge/internal/par"
 	"evedge/internal/sparse"
 )
 
@@ -35,6 +36,13 @@ type Runtime struct {
 	// spatialDiv scales down the spatial extent so tests stay fast;
 	// channel counts are preserved.
 	spatialDiv int
+
+	// pool/shards route convolutions through the tiled kernels when a
+	// worker pool is wired in via SetParallel. Tiled kernels are
+	// bit-identical to the serial ones, so the runtime's outputs do not
+	// depend on whether or how wide parallelism is enabled.
+	pool   *par.Pool
+	shards int
 }
 
 // NewRuntime builds a runtime with weights drawn from seed. spatialDiv
@@ -173,8 +181,35 @@ func (rt *Runtime) execLayer(l *Layer, in *sparse.Tensor) (*sparse.Tensor, error
 	return nil, fmt.Errorf("unknown layer kind %v", l.Kind)
 }
 
+// SetParallel wires a worker pool into the runtime's convolution
+// kernels. shards is the work-partition count per dispatch (<= 0 uses
+// twice the pool width, which keeps shards fine enough to balance
+// uneven rows). A nil pool restores the serial path. Outputs are
+// bit-identical either way.
+func (rt *Runtime) SetParallel(pool *par.Pool, shards int) {
+	if shards <= 0 {
+		shards = 2 * pool.Size()
+	}
+	rt.pool, rt.shards = pool, shards
+}
+
 func (rt *Runtime) conv(l *Layer, in *sparse.Tensor) (*sparse.Tensor, error) {
 	f := rt.filters[l.ID]
+	if rt.pool.Size() > 1 {
+		if oh, ow := f.OutShape(in.H, in.W); oh > 0 && ow > 0 {
+			out := sparse.NewTensor(f.OutC, oh, ow)
+			var err error
+			if rt.Mode == SparseExec {
+				err = sparse.SparseConv2DTiledInto(out, in, f, rt.pool, rt.shards)
+			} else {
+				err = sparse.Conv2DTiledInto(out, in, f, rt.pool, rt.shards)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
 	if rt.Mode == SparseExec {
 		return sparse.SparseConv2D(in, f)
 	}

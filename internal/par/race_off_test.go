@@ -1,0 +1,9 @@
+//go:build !race
+
+package par
+
+// raceEnabled reports whether the race detector is compiled in; its
+// twin in race_on_test.go flips it under -race. Allocation bounds are
+// asserted only on plain builds — the detector's instrumentation
+// allocates on its own.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package par
+
+// raceEnabled reports whether the race detector is compiled in; its
+// twin in race_off_test.go clears it on plain builds.
+const raceEnabled = true

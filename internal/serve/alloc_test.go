@@ -10,6 +10,7 @@ import (
 	"evedge/internal/events"
 	"evedge/internal/mem"
 	"evedge/internal/nn"
+	"evedge/internal/par"
 	"evedge/internal/scene"
 	"evedge/internal/sparse"
 )
@@ -32,8 +33,18 @@ type allocHarness struct {
 
 func newAllocHarness(tb testing.TB) *allocHarness {
 	tb.Helper()
+	return newAllocHarnessParallel(tb, 0)
+}
+
+// newAllocHarnessParallel is newAllocHarness with the kernel worker
+// pool and per-session rulebook cache enabled, so the zero-alloc gate
+// also covers the parallel path's per-frame work (rulebook Observe,
+// ActiveSet pool traffic).
+func newAllocHarnessParallel(tb testing.TB, parallel int) *allocHarness {
+	tb.Helper()
 	cfg := DefaultConfig()
 	cfg.ManualDrain = true
+	cfg.Parallel = parallel
 	srv, err := New(cfg)
 	if err != nil {
 		tb.Fatalf("New: %v", err)
@@ -94,6 +105,26 @@ func TestAllocRegression(t *testing.T) {
 	}
 	if avg != 0 {
 		t.Fatalf("steady-state serve cycle allocates: got %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestAllocRegressionParallel is the same gate over a parallel server:
+// once the ActiveSet pool and the rulebook cache's double buffers reach
+// steady capacity, per-frame rulebook upkeep (coverage probe, delta
+// merge, saved-scan accounting) must be allocation-free too.
+func TestAllocRegressionParallel(t *testing.T) {
+	h := newAllocHarnessParallel(t, 4)
+	defer h.srv.Close()
+	for i := 0; i < 12; i++ {
+		h.cycle(t)
+	}
+	avg := testing.AllocsPerRun(50, func() { h.cycle(t) })
+	if raceEnabled {
+		t.Logf("race build: measured %.2f allocs/op (bound not enforced)", avg)
+		return
+	}
+	if avg != 0 {
+		t.Fatalf("steady-state parallel serve cycle allocates: got %.2f allocs/op, want 0", avg)
 	}
 }
 
@@ -250,6 +281,76 @@ func collectAllocStages(t *testing.T) []allocStage {
 		}),
 	)
 
+	// Tiled variants on a warm worker pool: after the first dispatch
+	// the pool's free-listed dispatch records and sync.Pool'd task
+	// structs are at steady capacity, so sharded runs must allocate
+	// exactly as much as their serial counterparts — nothing.
+	pool := par.New(4)
+	t.Cleanup(pool.Close)
+	stages = append(stages,
+		benchStage("sparse_conv2d_tiled", func(b *testing.B) {
+			out := sparse.NewTensor(f.OutC, oh, ow)
+			if err := sparse.SparseConv2DTiledInto(out, in, f, pool, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sparse.SparseConv2DTiledInto(out, in, f, pool, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		benchStage("submanifold_conv2d_tiled", func(b *testing.B) {
+			out := sparse.NewTensor(f.OutC, in.H, in.W)
+			if err := sparse.SubmanifoldConv2DTiledInto(out, in, f, pool, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sparse.SubmanifoldConv2DTiledInto(out, in, f, pool, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		benchStage("submanifold_sites", func(b *testing.B) {
+			out := sparse.NewTensor(f.OutC, in.H, in.W)
+			as := sparse.NewActiveSet(in.H, in.W, f.K)
+			as.BuildFromTensor(in, f.K)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sparse.SubmanifoldConv2DSites(out, in, f, as); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		benchStage("rulebook_observe", func(b *testing.B) {
+			// Two drifted frames alternating: every Observe after warm-up
+			// takes the delta path with buffers at steady capacity.
+			fa, fb := sparse.NewFrame(64, 64, 0, 1), sparse.NewFrame(64, 64, 0, 1)
+			rng := rand.New(rand.NewSource(4))
+			for i := 0; i < 200; i++ {
+				y, x := int32(rng.Intn(64)), int32(rng.Intn(63))
+				fa.Set(y, x, 1, 0)
+				fb.Set(y, x+1, 0, 1)
+			}
+			c := sparse.NewRulebookCache(3, 0)
+			c.Observe(fa)
+			c.Observe(fb)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					c.Observe(fa)
+				} else {
+					c.Observe(fb)
+				}
+			}
+		}),
+	)
+
 	// CSR SpMM over a synthetic 5% dense 512x256 matrix.
 	rng := rand.New(rand.NewSource(9))
 	var entries []sparse.COOEntry
@@ -288,12 +389,40 @@ func collectAllocStages(t *testing.T) []allocStage {
 				}
 			}
 		}),
+		benchStage("csr_spmm_tiled", func(b *testing.B) {
+			out := sparse.NewMat(rows, dcols)
+			if err := csr.SpMMTiledInto(out, dmat, pool, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := csr.SpMMTiledInto(out, dmat, pool, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
 	)
 
 	// The end-to-end serving cycle — the number TestAllocRegression
 	// pins to zero.
 	stages = append(stages, benchStage("serve_ingest_pump", func(b *testing.B) {
 		h := newAllocHarness(b)
+		defer h.srv.Close()
+		for i := 0; i < 12; i++ {
+			h.cycle(b)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.cycle(b)
+		}
+	}))
+
+	// The same cycle on a parallel server: adds per-frame rulebook
+	// upkeep and ActiveSet pool traffic to the loop.
+	stages = append(stages, benchStage("serve_ingest_pump_parallel", func(b *testing.B) {
+		h := newAllocHarnessParallel(b, 4)
 		defer h.srv.Close()
 		for i := 0; i < 12; i++ {
 			h.cycle(b)

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"evedge/internal/nn"
+)
+
+// TestParallelServerRulebookHitRate drives steady scene traffic
+// through a parallel server and checks the temporal-coherence cache
+// actually pays: consecutive frames of a steady sequence overlap, so
+// the delta-revalidation path should dominate full rebuilds.
+func TestParallelServerRulebookHitRate(t *testing.T) {
+	srv, cl, stop := newTestServer(t, Config{Workers: 2, Parallel: 4})
+	defer stop()
+
+	if srv.KernelPool() == nil || srv.KernelPool().Size() != 4 {
+		t.Fatalf("Config.Parallel=4 did not build a width-4 kernel pool")
+	}
+
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 2})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	const dur = 300_000
+	net := nn.MustByName(nn.DOTIE)
+	stream := genStream(t, net.Input.Preset, 17, dur)
+	for _, c := range chunks(stream, dur, 20_000) {
+		if _, err := cl.SendEvents(snap.ID, c); err != nil {
+			t.Fatalf("SendEvents: %v", err)
+		}
+	}
+	fin, err := cl.CloseSession(snap.ID)
+	if err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	rb := fin.Rulebook
+	if rb == nil {
+		t.Fatal("parallel session final snapshot has no rulebook stats")
+	}
+	if rb.Frames == 0 || rb.Hits+rb.Misses != rb.Frames {
+		t.Fatalf("rulebook accounting broken: %+v", rb)
+	}
+	if rb.HitRate < 0.5 {
+		t.Fatalf("steady-traffic rulebook hit rate %.2f, want >= 0.5 (%+v)", rb.HitRate, rb)
+	}
+	if rb.SitesCarried == 0 {
+		t.Fatalf("no sites carried across frames despite %d hits", rb.Hits)
+	}
+	if rb.SavedScanElems == 0 {
+		t.Fatal("rulebook reuse saved zero scan elements")
+	}
+
+	pw := NewPromWriter()
+	srv.WriteMetrics(pw, "test", "")
+	text := pw.String()
+	for _, want := range []string{
+		"test_kernel_pool_width 4",
+		"test_rulebook_hits_total",
+		"test_rulebook_saved_scan_elems_total",
+		`test_pool_gets_total{pool="active_sets"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestSerialServerHasNoRulebook pins the default: without
+// Config.Parallel the rulebook cache is never built and the snapshot
+// omits the section entirely.
+func TestSerialServerHasNoRulebook(t *testing.T) {
+	srv, cl, stop := newTestServer(t, Config{Workers: 1})
+	defer stop()
+
+	if srv.KernelPool() != nil {
+		t.Fatal("serial config built a kernel pool")
+	}
+	snap, err := cl.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 1})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	const dur = 100_000
+	net := nn.MustByName(nn.DOTIE)
+	stream := genStream(t, net.Input.Preset, 17, dur)
+	for _, c := range chunks(stream, dur, 20_000) {
+		if _, err := cl.SendEvents(snap.ID, c); err != nil {
+			t.Fatalf("SendEvents: %v", err)
+		}
+	}
+	fin, err := cl.CloseSession(snap.ID)
+	if err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if fin.Rulebook != nil {
+		t.Fatalf("serial session reported rulebook stats: %+v", fin.Rulebook)
+	}
+}
+
+// TestParallelServerVirtualTimeIdentity replays the same traffic on a
+// serial and a parallel server: every virtual-time figure in the final
+// snapshot must match exactly, because tiled kernels are bit-identical
+// and rulebook upkeep only touches aux counters.
+func TestParallelServerVirtualTimeIdentity(t *testing.T) {
+	run := func(parallel int) *SessionSnapshot {
+		cfg := DefaultConfig()
+		cfg.ManualDrain = true
+		cfg.Parallel = parallel
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer srv.Close()
+		sess, err := srv.CreateSession(SessionConfig{Network: nn.DOTIE, Level: 2})
+		if err != nil {
+			t.Fatalf("CreateSession: %v", err)
+		}
+		const dur = 200_000
+		net := nn.MustByName(nn.DOTIE)
+		stream := genStream(t, net.Input.Preset, 23, dur)
+		for _, c := range chunks(stream, dur, 20_000) {
+			if _, err := srv.Ingest(sess.ID, c); err != nil {
+				t.Fatalf("Ingest: %v", err)
+			}
+			srv.Pump()
+		}
+		fin, err := srv.CloseSession(sess.ID)
+		if err != nil {
+			t.Fatalf("CloseSession: %v", err)
+		}
+		return fin
+	}
+
+	serial := run(0)
+	tiled := run(8)
+	if serial.Invocations != tiled.Invocations ||
+		serial.RawFramesDone != tiled.RawFramesDone ||
+		serial.FramesIn != tiled.FramesIn ||
+		serial.Latency.P99US != tiled.Latency.P99US ||
+		serial.Latency.MeanUS != tiled.Latency.MeanUS ||
+		serial.ThroughputFPS != tiled.ThroughputFPS {
+		t.Fatalf("parallel run moved virtual time:\nserial: inv=%d raw=%d in=%d p99=%.6f mean=%.6f fps=%.6f\ntiled:  inv=%d raw=%d in=%d p99=%.6f mean=%.6f fps=%.6f",
+			serial.Invocations, serial.RawFramesDone, serial.FramesIn,
+			serial.Latency.P99US, serial.Latency.MeanUS, serial.ThroughputFPS,
+			tiled.Invocations, tiled.RawFramesDone, tiled.FramesIn,
+			tiled.Latency.P99US, tiled.Latency.MeanUS, tiled.ThroughputFPS)
+	}
+	if tiled.Rulebook == nil || serial.Rulebook != nil {
+		t.Fatalf("rulebook presence wrong: serial=%v tiled=%v", serial.Rulebook, tiled.Rulebook)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"evedge/internal/nmp"
 	"evedge/internal/nn"
 	"evedge/internal/obs"
+	"evedge/internal/par"
 	"evedge/internal/perf"
 	"evedge/internal/pipeline"
 	"evedge/internal/quant"
@@ -101,6 +102,15 @@ type Config struct {
 	// lossless failover replay. Off by default — the steady-state frame
 	// path stays allocation-free and sessions carry a nil journal.
 	Journal bool
+	// Parallel enables the node's shared kernel worker pool and the
+	// per-session temporal-coherence rulebook cache: > 1 creates a
+	// par.Pool of that width, routes numeric kernels through the tiled
+	// (bit-identical) variants, and maintains one rulebook per session
+	// delta-revalidated frame to frame. 0 or 1 keeps everything serial
+	// — the default, and the byte-identical replay baseline (tiled
+	// kernels are bit-identical anyway; the knob only changes host
+	// wall-clock work, never virtual time).
+	Parallel int
 	// OnResult, when set alongside Journal, observes every journaled
 	// result right after it is appended: the session's local ID, the
 	// event (with its assigned sequence number) and the journal's
@@ -343,6 +353,12 @@ type Server struct {
 
 	// capacityMACs caches the platform's aggregate peak MAC rate.
 	capacityMACs float64
+
+	// kernels is the node's shared worker pool for tiled numeric
+	// kernels; nil when Config.Parallel <= 1 (the serial default).
+	// Sessions record its width in their plans (PlanSlot.SetParallel)
+	// and the rulebook caches borrow ActiveSet buffers from the arena.
+	kernels *par.Pool
 }
 
 // New validates cfg, starts the worker pool and returns the server.
@@ -388,6 +404,9 @@ func New(cfg Config) (*Server, error) {
 		runq:     make(chan *Session, 1024),
 		stopped:  make(chan struct{}),
 		start:    time.Now(),
+	}
+	if cfg.Parallel > 1 {
+		s.kernels = par.New(cfg.Parallel)
 	}
 	s.pendPool = mem.NewPool(func(p *pendingInv) {
 		p.sess = nil
@@ -477,7 +496,15 @@ func (s *Server) Close() {
 	s.sched.Close()
 	// Recycle trace ring storage (export traces before Close).
 	s.tracer.Close()
+	// Stop the kernel worker pool last: in-flight dispatches finish
+	// first, and Run after Close degrades to inline execution.
+	s.kernels.Close()
 }
+
+// KernelPool returns the node's shared tiled-kernel worker pool (nil
+// when Config.Parallel <= 1). Benchmarks and the numeric runtime wire
+// it into nn.Runtime.SetParallel.
+func (s *Server) KernelPool() *par.Pool { return s.kernels }
 
 // stoppedNow reports whether Close has run.
 func (s *Server) stoppedNow() bool {
@@ -694,6 +721,26 @@ func (s *Server) execute(sess *Session, frames []*sparse.Frame, flush bool) {
 				t1 := float64(frames[i].T1)
 				return t1 + sess.epochUS, sess.clockUS - t1, 1
 			})
+	}
+	if sess.rulebook != nil && !sess.closed {
+		// Maintain the session's rulebook frame by frame: the active-site
+		// structure the submanifold layers share is delta-revalidated
+		// against the previous frame (hit) or rebuilt (miss). This is
+		// host-side work accounted on the engine's aux counters only —
+		// virtual time and the replay stream are untouched.
+		for _, f := range frames {
+			as, hit := sess.rulebook.Observe(f)
+			if hit {
+				s.engine.AddAux(hw.AuxRulebookHits, 1)
+			} else {
+				s.engine.AddAux(hw.AuxRulebookMisses, 1)
+			}
+			// Per eligible layer, the rulebook replaces a dense per-pixel
+			// activity rescan with the cached site list.
+			saved := uint64(sess.subLayers) * uint64(f.H*f.W-as.Sites())
+			sess.rbSaved += saved
+			s.engine.AddAux(hw.AuxRulebookSavedScans, saved)
+		}
 	}
 	for _, f := range frames {
 		sess.stepper.Push(f)
@@ -1051,6 +1098,16 @@ func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 	if s.cfg.Journal {
 		sess.journal = newJournal()
 	}
+	if s.kernels != nil {
+		// Record the kernel-pool width in the plan (execution state that
+		// survives remaps) and stand up the session's rulebook cache,
+		// buffer-backed by the shared arena.
+		sess.plan.SetParallel(s.kernels.Size())
+		sess.rulebook = sparse.NewRulebookCache(0, 0)
+		sess.rulebook.Borrow = s.arena.ActiveSets.Get
+		sess.rulebook.Release = s.arena.ActiveSets.Put
+		sess.subLayers = countSubmanifoldEligible(net)
+	}
 	s.sessMu.Lock()
 	s.sessions[id] = sess
 	s.order = append(s.order, id)
@@ -1066,6 +1123,20 @@ func (s *Server) CreateSession(cfg SessionConfig) (*Session, error) {
 		return nil, err
 	}
 	return sess, nil
+}
+
+// countSubmanifoldEligible counts the network's layers whose geometry
+// admits the rulebook-driven submanifold kernel (stride 1, odd K, same
+// padding) — the layers a cached ActiveSet saves a dense activity
+// rescan for on every frame.
+func countSubmanifoldEligible(net *nn.Network) int {
+	n := 0
+	for _, l := range net.Layers {
+		if l.Kind == nn.Conv && l.Stride == 1 && l.K%2 == 1 && l.Pad == l.K/2 {
+			n++
+		}
+	}
+	return n
 }
 
 // removeFromOrderLocked drops one ID from the active placement order.
@@ -1152,6 +1223,12 @@ func (s *Server) CloseSession(id string) (*SessionSnapshot, error) {
 			// Final results are journaled (sched.Wait above); mark the
 			// stream complete so SSE subscribers drain and finish.
 			sess.journal.close()
+		}
+		if sess.rulebook != nil {
+			// Hand the rulebook's ActiveSet buffers back to the arena.
+			// Late executes observe sess.closed under sess.mu and skip the
+			// cache, so nothing borrows after this.
+			sess.rulebook.Close()
 		}
 		if rerr := s.rebalance(); rerr != nil && err == nil {
 			err = rerr
@@ -1724,11 +1801,25 @@ func (s *Server) WriteMetrics(pw *PromWriter, ns, extraLabels string) {
 	}{
 		{"frames", ast.Frames}, {"tensors", ast.Tensors},
 		{"mats", ast.Mats}, {"csrs", ast.CSRs},
+		{"active_sets", ast.ActiveSets},
 		{"invocations", s.invPool.Stats()}, {"requests", s.pendPool.Stats()},
 	} {
 		pw.Counter(ns+"_pool_gets_total", "Objects borrowed from the arena pool.", lbls("pool", p.name), float64(p.st.Gets))
 		pw.Counter(ns+"_pool_misses_total", "Borrows that allocated because the free list was empty.", lbls("pool", p.name), float64(p.st.News))
 		pw.Gauge(ns+"_pool_live", "Objects currently borrowed from the pool.", lbls("pool", p.name), float64(p.st.Live()))
+	}
+
+	if s.kernels != nil {
+		// Parallel-path telemetry: pool dispatch traffic plus the
+		// engine's out-of-band rulebook counters. All host-side cost —
+		// none of it appears in virtual time.
+		disp, inline := s.kernels.Stats()
+		pw.Gauge(ns+"_kernel_pool_width", "Worker-pool width for tiled numeric kernels.", lbls(), float64(s.kernels.Size()))
+		pw.Counter(ns+"_kernel_dispatches_total", "Sharded kernel dispatches run on the worker pool.", lbls(), float64(disp))
+		pw.Counter(ns+"_kernel_inline_runs_total", "Kernel runs that executed inline on the caller.", lbls(), float64(inline))
+		pw.Counter(ns+"_rulebook_hits_total", "Rulebook cache delta-revalidations across all sessions.", lbls(), float64(s.engine.Aux(hw.AuxRulebookHits)))
+		pw.Counter(ns+"_rulebook_misses_total", "Rulebook cache full rebuilds across all sessions.", lbls(), float64(s.engine.Aux(hw.AuxRulebookMisses)))
+		pw.Counter(ns+"_rulebook_saved_scan_elems_total", "Dense activity-scan elements avoided via cached rulebooks.", lbls(), float64(s.engine.Aux(hw.AuxRulebookSavedScans)))
 	}
 
 	if s.tracer != nil {

@@ -348,7 +348,9 @@ func SubmanifoldConv2D(in *Tensor, f *Filter) (*Tensor, error) {
 // caller-supplied (possibly pooled) output tensor; inactive sites are
 // zeroed. Active sites are found by a direct row-major scan instead
 // of materializing an ActiveSites slice, so the kernel allocates
-// nothing — same visit order, bit-identical results.
+// nothing, and the per-(oc, ic) weight-row base slices are hoisted
+// outside the site loop (see submanifoldRows) — same visit and
+// accumulation order, bit-identical results.
 func SubmanifoldConv2DInto(out *Tensor, in *Tensor, f *Filter) error {
 	if in.C != f.InC {
 		return fmt.Errorf("sparse: conv input channels %d != filter %d", in.C, f.InC)
@@ -362,44 +364,7 @@ func SubmanifoldConv2DInto(out *Tensor, in *Tensor, f *Filter) error {
 			out.C, out.H, out.W, f.OutC, in.H, in.W)
 	}
 	out.Zero()
-	half := f.K / 2
-	for oy := 0; oy < in.H; oy++ {
-	site:
-		for ox := 0; ox < in.W; ox++ {
-			active := false
-			for c := 0; c < in.C; c++ {
-				if in.At(c, oy, ox) != 0 {
-					active = true
-					break
-				}
-			}
-			if !active {
-				continue site
-			}
-			for oc := 0; oc < f.OutC; oc++ {
-				var sum float32
-				if f.Bias != nil {
-					sum = f.Bias[oc]
-				}
-				for ic := 0; ic < f.InC; ic++ {
-					for ky := 0; ky < f.K; ky++ {
-						iy := oy + ky - half
-						if iy < 0 || iy >= in.H {
-							continue
-						}
-						for kx := 0; kx < f.K; kx++ {
-							ix := ox + kx - half
-							if ix < 0 || ix >= in.W {
-								continue
-							}
-							sum += f.W(oc, ic, ky, kx) * in.At(ic, iy, ix)
-						}
-					}
-				}
-				out.Set(oc, oy, ox, sum)
-			}
-		}
-	}
+	submanifoldRows(out, in, f, 0, in.H)
 	return nil
 }
 
